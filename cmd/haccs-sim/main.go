@@ -1,0 +1,185 @@
+// Command haccs-sim runs a single federated training simulation with a
+// chosen client-selection strategy and prints the accuracy-vs-virtual-
+// time curve. It is the quickstart binary: one run, one strategy, one
+// curve.
+//
+// Example:
+//
+//	haccs-sim -dataset cifar -strategy haccs-py -clients 30 -k 6 -rounds 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/metrics"
+	"haccs/internal/nn"
+	"haccs/internal/selection"
+	"haccs/internal/simnet"
+	"haccs/internal/stats"
+)
+
+func main() {
+	var (
+		family   = flag.String("dataset", "cifar", "synthetic dataset family: mnist | femnist | cifar")
+		strategy = flag.String("strategy", "haccs-py", "selection strategy: random | tifl | oort | haccs-py | haccs-pxy")
+		clients  = flag.Int("clients", 30, "number of clients")
+		classes  = flag.Int("classes", 10, "number of class labels")
+		k        = flag.Int("k", 6, "clients selected per round")
+		rounds   = flag.Int("rounds", 100, "training rounds")
+		rho      = flag.Float64("rho", 0.75, "HACCS latency/loss trade-off in [0,1]")
+		eps      = flag.Float64("eps", 0, "differential-privacy epsilon for summaries (0 = off)")
+		target   = flag.Float64("target", 0.5, "target accuracy for the TTA report")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		size     = flag.Int("size", 8, "image side length (8 for quick runs, 16+ for larger)")
+		dropout  = flag.Float64("dropout", 0, "per-epoch transient client dropout rate")
+		lr       = flag.Float64("lr", 0.05, "local SGD learning rate")
+		epochs   = flag.Int("epochs", 2, "local epochs per round")
+		prox     = flag.Float64("prox", 0, "FedProx proximal coefficient mu (0 = plain FedAvg)")
+		policy   = flag.String("policy", "fastest", "HACCS intra-cluster device policy: fastest | weighted")
+		csvPath  = flag.String("csv", "", "write the accuracy curve as CSV to this path")
+		jsonPath = flag.String("json", "", "write the run summary as JSON to this path")
+	)
+	flag.Parse()
+
+	spec, err := specFor(*family, *classes, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	planRNG := stats.NewRNG(stats.DeriveSeed(*seed, 14))
+	plan := dataset.MajorityNoisePlan(*clients, *classes, 100, 240, planRNG)
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(*seed, 10))
+	dataRNG := stats.NewRNG(stats.DeriveSeed(*seed, 110))
+	profRNG := stats.NewRNG(stats.DeriveSeed(*seed, 11))
+	clientData := plan.Materialize(gen, 0.8, dataRNG)
+
+	roster := make([]*fl.Client, len(clientData))
+	trainSets := make([]*dataset.Dataset, len(clientData))
+	for i, cd := range clientData {
+		roster[i] = &fl.Client{ID: i, Data: cd, Profile: simnet.SampleProfile(profRNG)}
+		trainSets[i] = cd.Train
+	}
+
+	intra := core.PickFastest
+	if *policy == "weighted" {
+		intra = core.PickWeighted
+	} else if *policy != "fastest" {
+		fmt.Fprintf(os.Stderr, "haccs-sim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := fl.Config{
+		Arch:                modelFor(spec),
+		Seed:                stats.DeriveSeed(*seed, 12),
+		Local:               fl.LocalTrainConfig{Epochs: *epochs, BatchSize: 32, LR: *lr, ProxMu: *prox},
+		ClientsPerRound:     *k,
+		MaxRounds:           *rounds,
+		EvalEvery:           5,
+		PerSampleComputeSec: 0.01,
+	}
+	if *dropout > 0 {
+		cfg.Dropout = simnet.TransientDropout{
+			Rate:   *dropout,
+			Seed:   stats.DeriveSeed(*seed, 13),
+			NewRNG: func(s uint64) interface{ Float64() float64 } { return stats.NewRNG(s) },
+		}
+	}
+
+	fmt.Printf("haccs-sim: %s on %s, %d clients, k=%d, %d rounds, seed=%d\n",
+		strat.Name(), spec.Name, *clients, *k, *rounds, *seed)
+	res := fl.NewEngine(cfg, roster, strat).Run()
+
+	tab := metrics.NewTable("round", "virtual-time", "accuracy", "loss")
+	for _, p := range res.History {
+		tab.AddRow(p.Round, p.Time, p.Acc, p.Loss)
+	}
+	fmt.Print(tab.String())
+	if tta, ok := metrics.TTA(res.History, *target); ok {
+		fmt.Printf("time to %.0f%% accuracy: %.1f virtual seconds\n", *target*100, tta)
+	} else {
+		fmt.Printf("target accuracy %.0f%% not reached (final %.3f)\n", *target*100, res.FinalAccuracy())
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w io.Writer) error {
+			return metrics.WriteHistoryCSV(w, res.History)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("curve written to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(w io.Writer) error {
+			return metrics.Summarize(res, *target).WriteJSON(w)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary written to %s\n", *jsonPath)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("haccs-sim: %w", err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return fmt.Errorf("haccs-sim: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func specFor(family string, classes, size int) (dataset.Spec, error) {
+	var spec dataset.Spec
+	switch family {
+	case "mnist":
+		spec = dataset.SyntheticMNIST()
+		spec.Classes = classes
+	case "femnist":
+		spec = dataset.SyntheticFEMNIST(classes)
+	case "cifar":
+		spec = dataset.SyntheticCIFAR()
+		spec.Classes = classes
+	default:
+		return spec, fmt.Errorf("haccs-sim: unknown dataset %q", family)
+	}
+	return spec.Compact(size, size), nil
+}
+
+func modelFor(spec dataset.Spec) nn.Arch {
+	return nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{32}, Classes: spec.Classes}
+}
+
+func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, intra core.IntraClusterPolicy, seed uint64) (fl.Strategy, error) {
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, 15))
+	switch name {
+	case "random":
+		return selection.NewRandom(), nil
+	case "tifl":
+		return selection.NewTiFL(5), nil
+	case "oort":
+		return selection.NewOort(), nil
+	case "haccs-py":
+		sums := core.BuildSummaries(trainSets, core.PY, 0, eps, noiseRNG)
+		return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: intra}, sums), nil
+	case "haccs-pxy":
+		sums := core.BuildSummaries(trainSets, core.PXY, 0, eps, noiseRNG)
+		return core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, IntraCluster: intra}, sums), nil
+	default:
+		return nil, fmt.Errorf("haccs-sim: unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,18 @@
+// Package haccs is a from-scratch Go reproduction of "HACCS:
+// Heterogeneity-Aware Clustered Client Selection for Accelerated
+// Federated Learning" (Wolfrath et al., IPDPS 2022).
+//
+// The implementation lives under internal/: the statistical substrate
+// (stats), dense tensor math (tensor), a neural-network stack (nn),
+// synthetic federated datasets (dataset), density-based clustering
+// (cluster), the Table II system-heterogeneity model (simnet), the
+// virtual-clock federated engine (fl), a TCP protocol transport (flnet),
+// the baseline selection strategies (selection), the HACCS scheduler
+// itself (core), result post-processing (metrics), and one runner per
+// paper table/figure (experiments). Binaries are cmd/haccs-sim and
+// cmd/haccs-bench; runnable walkthroughs live in examples/.
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation via `go test -bench=.`; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package haccs

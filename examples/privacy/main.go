@@ -1,0 +1,72 @@
+// Privacy trade-off: each client noises its P(y) histogram with the
+// Laplace mechanism before upload. This example sweeps the privacy
+// budget ε and shows (a) what the noised histograms look like (the
+// paper's Fig. 3) and (b) how clustering accuracy degrades as ε shrinks
+// (Fig. 8a's trade-off).
+//
+// Run with: go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"haccs/internal/cluster"
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/metrics"
+	"haccs/internal/stats"
+)
+
+func main() {
+	const (
+		seed            = 11
+		classes         = 10
+		clientsPerLabel = 2
+		samples         = 800
+	)
+
+	spec := dataset.SyntheticCIFAR().Compact(8, 8)
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(seed, 1))
+	rng := stats.NewRNG(stats.DeriveSeed(seed, 2))
+	plan := dataset.PairedLabelPlan(classes, clientsPerLabel, samples, rng)
+	var sets []*dataset.Dataset
+	for i := 0; i < plan.NumClients(); i++ {
+		sets = append(sets, gen.Generate(plan.Dists[i].Draw(plan.Samples[i], rng), rng))
+	}
+
+	// (a) Fig. 3 style: one client's histogram before and after noising.
+	clean := core.Summarize(sets[0], core.PY, 0)
+	fmt.Println("client 0 label histogram (true counts vs Laplace-noised):")
+	for _, eps := range []float64{0.1, 0.005} {
+		noised := clean.Noised(eps, stats.NewRNG(stats.DeriveSeed(seed, 3)))
+		fmt.Printf("  eps=%-6g:", eps)
+		for c := 0; c < classes; c++ {
+			fmt.Printf(" %6.0f", noised.Label.Counts[c])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  true     :")
+	for c := 0; c < classes; c++ {
+		fmt.Printf(" %6.0f", clean.Label.Counts[c])
+	}
+	fmt.Println()
+	fmt.Printf("  (per-bin noise stddev at eps: 0.1 -> %.0f, 0.005 -> %.0f)\n\n",
+		math.Sqrt(stats.LaplaceNoiseVariance(0.1)), math.Sqrt(stats.LaplaceNoiseVariance(0.005)))
+
+	// (b) Fig. 8a style: clustering accuracy vs epsilon.
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, 4))
+	tab := metrics.NewTable("epsilon", "clusters-found", "exact-recovery", "bar")
+	for _, eps := range []float64{1, 0.1, 0.05, 0.01, 0.005, 0.001} {
+		sums := core.BuildSummaries(sets, core.PY, 0, eps, noiseRNG)
+		m := core.DistanceMatrix(sums)
+		labels := cluster.OPTICS(m, 2, math.Inf(1)).ExtractBestSilhouette(m, 0)
+		acc := cluster.ExactRecovery(labels, plan.Group)
+		tab.AddRow(eps, cluster.NumClusters(labels), acc, strings.Repeat("#", int(acc*20)))
+	}
+	fmt.Println("clustering accuracy vs privacy budget (10 true clusters):")
+	fmt.Print(tab.String())
+	fmt.Println("\nsmaller epsilon = stronger privacy = noisier summaries = worse clustering —")
+	fmt.Println("the fundamental trade-off HACCS exposes as a single tunable parameter.")
+}

@@ -1,0 +1,3 @@
+module haccs
+
+go 1.22

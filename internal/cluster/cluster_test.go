@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"haccs/internal/stats"
+)
+
+// pointsMatrix builds a distance matrix from 1-D coordinates.
+func pointsMatrix(xs []float64) *Matrix {
+	return FromFunc(len(xs), func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) })
+}
+
+// twoBlobs returns 1-D points forming two well-separated groups of the
+// given sizes.
+func twoBlobs(n1, n2 int) ([]float64, []int) {
+	var xs []float64
+	var truth []int
+	for i := 0; i < n1; i++ {
+		xs = append(xs, 0+0.01*float64(i))
+		truth = append(truth, 0)
+	}
+	for i := 0; i < n2; i++ {
+		xs = append(xs, 10+0.01*float64(i))
+		truth = append(truth, 1)
+	}
+	return xs, truth
+}
+
+func TestMatrixSymmetric(t *testing.T) {
+	m := FromFunc(3, func(i, j int) float64 { return float64(i + j) })
+	if m.At(0, 2) != m.At(2, 0) || m.At(0, 2) != 2 {
+		t.Errorf("matrix not symmetric: %v vs %v", m.At(0, 2), m.At(2, 0))
+	}
+	if m.At(1, 1) != 0 {
+		t.Error("diagonal not zero")
+	}
+	m.Set(0, 1, 7)
+	if m.At(1, 0) != 7 {
+		t.Error("Set not symmetric")
+	}
+}
+
+func TestMatrixNegativeDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromFunc(2, func(i, j int) float64 { return -1 })
+}
+
+func TestDBSCANTwoClusters(t *testing.T) {
+	xs, truth := twoBlobs(5, 5)
+	labels := DBSCAN(pointsMatrix(xs), 0.5, 2)
+	if NumClusters(labels) != 2 {
+		t.Fatalf("found %d clusters, want 2 (labels %v)", NumClusters(labels), labels)
+	}
+	if RandIndex(labels, truth) != 1 {
+		t.Errorf("imperfect recovery: %v", labels)
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	// Two tight pairs and one far-away singleton.
+	xs := []float64{0, 0.1, 10, 10.1, 100}
+	labels := DBSCAN(pointsMatrix(xs), 0.5, 2)
+	if labels[4] != Noise {
+		t.Errorf("outlier labeled %d, want Noise", labels[4])
+	}
+	if NumClusters(labels) != 2 {
+		t.Errorf("clusters = %d, want 2", NumClusters(labels))
+	}
+}
+
+func TestDBSCANSingleCluster(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	labels := DBSCAN(pointsMatrix(xs), 0.15, 2)
+	if NumClusters(labels) != 1 {
+		t.Errorf("chain should form one cluster, got %v", labels)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Errorf("chain member labeled %d", l)
+		}
+	}
+}
+
+func TestDBSCANAllNoiseWithHighMinPts(t *testing.T) {
+	xs := []float64{0, 5, 10}
+	labels := DBSCAN(pointsMatrix(xs), 0.1, 2)
+	for _, l := range labels {
+		if l != Noise {
+			t.Errorf("isolated point labeled %d", l)
+		}
+	}
+}
+
+func TestDBSCANBorderPointAbsorbed(t *testing.T) {
+	// Points 0..3 dense; point at 0.45 is within eps of the last core
+	// point but has too few neighbours to be core itself.
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.45}
+	labels := DBSCAN(pointsMatrix(xs), 0.16, 3)
+	if labels[4] == Noise {
+		t.Errorf("border point left as noise: %v", labels)
+	}
+}
+
+func TestOPTICSOrderingCoversAllPoints(t *testing.T) {
+	xs, _ := twoBlobs(4, 4)
+	res := OPTICS(pointsMatrix(xs), 2, math.Inf(1))
+	if len(res.Order) != 8 || len(res.Reach) != 8 {
+		t.Fatalf("order/reach lengths %d/%d", len(res.Order), len(res.Reach))
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Order {
+		if seen[p] {
+			t.Fatalf("point %d visited twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestOPTICSExtractMatchesDBSCAN(t *testing.T) {
+	// On clean, well-separated data, OPTICS ExtractDBSCAN at eps should
+	// reproduce DBSCAN's partition at the same eps.
+	xs, _ := twoBlobs(6, 5)
+	m := pointsMatrix(xs)
+	want := DBSCAN(m, 0.5, 2)
+	got := OPTICS(m, 2, math.Inf(1)).ExtractDBSCAN(0.5)
+	if RandIndex(got, want) != 1 {
+		t.Errorf("OPTICS extraction %v != DBSCAN %v", got, want)
+	}
+}
+
+func TestOPTICSExtractAutoTwoBlobs(t *testing.T) {
+	xs, truth := twoBlobs(6, 6)
+	labels := OPTICS(pointsMatrix(xs), 2, math.Inf(1)).ExtractAuto()
+	if NumClusters(labels) != 2 {
+		t.Fatalf("auto extraction found %d clusters: %v", NumClusters(labels), labels)
+	}
+	if RandIndex(labels, truth) != 1 {
+		t.Errorf("auto extraction mismatch: %v", labels)
+	}
+}
+
+func TestOPTICSExtractAutoSingleBlob(t *testing.T) {
+	// Near-IID case: one flat blob must collapse to a single cluster,
+	// the behaviour the paper relies on for the IID sensitivity run.
+	rng := stats.NewRNG(1)
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = rng.Uniform(0, 0.1)
+	}
+	labels := OPTICS(pointsMatrix(xs), 2, math.Inf(1)).ExtractAuto()
+	if NumClusters(labels) != 1 {
+		t.Errorf("IID-like data produced %d clusters: %v", NumClusters(labels), labels)
+	}
+}
+
+func TestOPTICSManyClusters(t *testing.T) {
+	// Ten groups of three points each at well-separated centers.
+	var xs []float64
+	var truth []int
+	for g := 0; g < 10; g++ {
+		for k := 0; k < 3; k++ {
+			xs = append(xs, float64(g*10)+0.05*float64(k))
+			truth = append(truth, g)
+		}
+	}
+	labels := OPTICS(pointsMatrix(xs), 2, math.Inf(1)).ExtractAuto()
+	if NumClusters(labels) != 10 {
+		t.Fatalf("found %d clusters, want 10", NumClusters(labels))
+	}
+	if ExactRecovery(labels, truth) != 1 {
+		t.Errorf("exact recovery < 1: %v", labels)
+	}
+}
+
+func TestOPTICSMaxEpsBoundsReachability(t *testing.T) {
+	xs, _ := twoBlobs(4, 4)
+	res := OPTICS(pointsMatrix(xs), 2, 1.0)
+	// The cross-blob jump (distance 10) exceeds maxEps, so the second
+	// blob must start with infinite reachability.
+	infs := 0
+	for _, r := range res.Reach {
+		if math.IsInf(r, 1) {
+			infs++
+		}
+	}
+	if infs != 2 {
+		t.Errorf("expected 2 infinite-reachability starts, got %d", infs)
+	}
+}
+
+func TestOPTICSDeterministic(t *testing.T) {
+	xs, _ := twoBlobs(5, 7)
+	m := pointsMatrix(xs)
+	a := OPTICS(m, 2, math.Inf(1))
+	b := OPTICS(m, 2, math.Inf(1))
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("OPTICS ordering not deterministic")
+		}
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	if r := RandIndex([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); r != 1 {
+		t.Errorf("label-permuted identical clustering RandIndex = %v", r)
+	}
+	if r := RandIndex([]int{0, 0, 0, 0}, []int{0, 0, 1, 1}); r != 2.0/6.0 {
+		t.Errorf("RandIndex = %v, want %v", r, 2.0/6.0)
+	}
+	if r := RandIndex([]int{0}, []int{5}); r != 1 {
+		t.Errorf("single point RandIndex = %v", r)
+	}
+}
+
+func TestRandIndexPropertyBounds(t *testing.T) {
+	f := func(a, b [8]uint8) bool {
+		la := make([]int, 8)
+		lb := make([]int, 8)
+		for i := range la {
+			la[i] = int(a[i]%4) - 1 // includes Noise
+			lb[i] = int(b[i]%4) - 1
+		}
+		r := RandIndex(la, lb)
+		return r >= 0 && r <= 1 && RandIndex(la, la) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactRecovery(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	// Perfect (with permuted label names).
+	if r := ExactRecovery([]int{5, 5, 9, 9, 1, 1}, truth); r != 1 {
+		t.Errorf("permuted perfect recovery = %v", r)
+	}
+	// One group merged: only group 2 recovered exactly.
+	if r := ExactRecovery([]int{0, 0, 0, 0, 1, 1}, truth); math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Errorf("merged recovery = %v, want 1/3", r)
+	}
+	// All noise: nothing recovered.
+	if r := ExactRecovery([]int{-1, -1, -1, -1, -1, -1}, truth); r != 0 {
+		t.Errorf("all-noise recovery = %v", r)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	if p := Purity([]int{0, 0, 1, 1}, truth); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	if p := Purity([]int{0, 0, 0, 0}, truth); p != 0.5 {
+		t.Errorf("merged purity = %v, want 0.5", p)
+	}
+	// Noise points count against purity.
+	if p := Purity([]int{0, 0, Noise, Noise}, truth); p != 0.5 {
+		t.Errorf("noisy purity = %v, want 0.5", p)
+	}
+}
+
+func TestMembersAndNumClusters(t *testing.T) {
+	labels := []int{0, 1, 0, Noise, 1, 2}
+	if NumClusters(labels) != 3 {
+		t.Errorf("NumClusters = %d", NumClusters(labels))
+	}
+	mem := Members(labels)
+	if len(mem) != 3 || len(mem[0]) != 2 || mem[2][0] != 5 {
+		t.Errorf("Members = %v", mem)
+	}
+}
+
+func TestHellingerHistogramClustering(t *testing.T) {
+	// End-to-end: clients with matching majority labels cluster together
+	// under Hellinger distance on label histograms — the actual HACCS
+	// P(y) pipeline at small scale.
+	rng := stats.NewRNG(42)
+	makeHist := func(major int) []float64 {
+		h := stats.NewLabelHistogram(5)
+		for i := 0; i < 300; i++ {
+			if rng.Float64() < 0.8 {
+				h.AddLabel(major)
+			} else {
+				h.AddLabel(rng.Intn(5))
+			}
+		}
+		return h.Normalize()
+	}
+	var hists [][]float64
+	var truth []int
+	for major := 0; major < 5; major++ {
+		for k := 0; k < 3; k++ {
+			hists = append(hists, makeHist(major))
+			truth = append(truth, major)
+		}
+	}
+	m := FromFunc(len(hists), func(i, j int) float64 { return stats.Hellinger(hists[i], hists[j]) })
+	labels := OPTICS(m, 2, math.Inf(1)).ExtractAuto()
+	if NumClusters(labels) != 5 {
+		t.Fatalf("found %d clusters, want 5: %v", NumClusters(labels), labels)
+	}
+	if ExactRecovery(labels, truth) != 1 {
+		t.Errorf("imperfect recovery of label groups: %v", labels)
+	}
+}

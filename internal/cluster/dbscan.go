@@ -1,0 +1,64 @@
+package cluster
+
+// DBSCAN clusters points by density: a point with at least minPts
+// neighbours within eps (itself included) is a core point; clusters are
+// the transitive closure of core-point neighbourhoods; non-core points
+// reachable from a core point join its cluster as border points;
+// everything else is Noise.
+//
+// Returns one label per point: 0..k-1 for cluster members, Noise (-1)
+// otherwise.
+func DBSCAN(m *Matrix, eps float64, minPts int) []int {
+	if minPts < 1 {
+		panic("cluster: DBSCAN minPts must be >= 1")
+	}
+	n := m.Len()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nbrs := regionQuery(m, i, eps)
+		if len(nbrs) < minPts {
+			continue // remains noise unless later absorbed as border
+		}
+		labels[i] = next
+		expandCluster(m, labels, visited, nbrs, next, eps, minPts)
+		next++
+	}
+	return labels
+}
+
+func regionQuery(m *Matrix, p int, eps float64) []int {
+	var out []int
+	for j := 0; j < m.Len(); j++ {
+		if m.At(p, j) <= eps {
+			out = append(out, j) // includes p itself (distance 0)
+		}
+	}
+	return out
+}
+
+func expandCluster(m *Matrix, labels []int, visited []bool, seeds []int, cluster int, eps float64, minPts int) {
+	// Classic seed-list expansion; seeds grows as new core points are
+	// discovered.
+	for qi := 0; qi < len(seeds); qi++ {
+		q := seeds[qi]
+		if !visited[q] {
+			visited[q] = true
+			qNbrs := regionQuery(m, q, eps)
+			if len(qNbrs) >= minPts {
+				seeds = append(seeds, qNbrs...)
+			}
+		}
+		if labels[q] == Noise {
+			labels[q] = cluster
+		}
+	}
+}

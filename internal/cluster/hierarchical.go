@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering measures the distance
+// between two clusters.
+type Linkage int
+
+const (
+	// SingleLinkage merges by the minimum pairwise distance (chains).
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges by the maximum pairwise distance (compact
+	// clusters).
+	CompleteLinkage
+	// AverageLinkage merges by the mean pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Dendrogram records an agglomerative clustering: n-1 merges over n
+// points, each with the inter-cluster distance at which it happened.
+// Cut it at a distance (CutDistance) or at a cluster count (CutK).
+type Dendrogram struct {
+	n      int
+	merges []merge
+}
+
+type merge struct {
+	a, b int     // cluster ids being merged (points are 0..n-1; merged clusters n, n+1, ...)
+	dist float64 // linkage distance of the merge
+}
+
+// Agglomerative builds the dendrogram for the points of m under the
+// given linkage, using the O(n³) textbook algorithm (rosters here are
+// tens of clients; simplicity wins).
+func Agglomerative(m *Matrix, linkage Linkage) *Dendrogram {
+	n := m.Len()
+	d := &Dendrogram{n: n}
+	// active[id] = member points of the cluster with that id.
+	active := map[int][]int{}
+	for i := 0; i < n; i++ {
+		active[i] = []int{i}
+	}
+	nextID := n
+	for len(active) > 1 {
+		// Find the closest active pair under the linkage.
+		bestA, bestB := -1, -1
+		bestD := math.Inf(1)
+		for a, membersA := range active {
+			for b, membersB := range active {
+				if a >= b {
+					continue
+				}
+				dist := linkageDistance(m, membersA, membersB, linkage)
+				if dist < bestD || (dist == bestD && (bestA == -1 || a < bestA || (a == bestA && b < bestB))) {
+					bestA, bestB, bestD = a, b, dist
+				}
+			}
+		}
+		d.merges = append(d.merges, merge{a: bestA, b: bestB, dist: bestD})
+		merged := append(append([]int{}, active[bestA]...), active[bestB]...)
+		delete(active, bestA)
+		delete(active, bestB)
+		active[nextID] = merged
+		nextID++
+	}
+	return d
+}
+
+func linkageDistance(m *Matrix, a, b []int, linkage Linkage) float64 {
+	switch linkage {
+	case SingleLinkage:
+		best := math.Inf(1)
+		for _, i := range a {
+			for _, j := range b {
+				if d := m.At(i, j); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	case CompleteLinkage:
+		worst := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				if d := m.At(i, j); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	case AverageLinkage:
+		sum := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				sum += m.At(i, j)
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	default:
+		panic(fmt.Sprintf("cluster: unknown linkage %d", int(linkage)))
+	}
+}
+
+// CutDistance returns the flat clustering obtained by applying only the
+// merges whose linkage distance is <= maxDist. Labels are 0..k-1.
+func (d *Dendrogram) CutDistance(maxDist float64) []int {
+	return d.cut(func(mg merge) bool { return mg.dist <= maxDist })
+}
+
+// CutK returns the flat clustering with exactly k clusters (1 <= k <= n),
+// i.e. the first n-k merges applied.
+func (d *Dendrogram) CutK(k int) []int {
+	if k < 1 || k > d.n {
+		panic(fmt.Sprintf("cluster: CutK(%d) out of [1, %d]", k, d.n))
+	}
+	applied := 0
+	limit := d.n - k
+	return d.cut(func(mg merge) bool {
+		if applied < limit {
+			applied++
+			return true
+		}
+		return false
+	})
+}
+
+// cut replays merges accepted by keep (in order) and labels the
+// resulting components.
+func (d *Dendrogram) cut(keep func(merge) bool) []int {
+	parent := make([]int, d.n+len(d.merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	nextID := d.n
+	for _, mg := range d.merges {
+		if keep(mg) {
+			ra, rb := find(mg.a), find(mg.b)
+			parent[ra] = nextID
+			parent[rb] = nextID
+		}
+		// Even unapplied merges consume their cluster id so later merge
+		// references resolve consistently.
+		nextID++
+	}
+	// Map component roots to dense labels over the original points.
+	labels := make([]int, d.n)
+	rootLabel := map[int]int{}
+	next := 0
+	for i := 0; i < d.n; i++ {
+		r := find(i)
+		l, ok := rootLabel[r]
+		if !ok {
+			l = next
+			rootLabel[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// NumMerges returns the number of recorded merges (n-1).
+func (d *Dendrogram) NumMerges() int { return len(d.merges) }
+
+// MergeDistances returns the linkage distances in merge order; a large
+// jump marks the natural cluster count.
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.merges))
+	for i, mg := range d.merges {
+		out[i] = mg.dist
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAgglomerativeTwoBlobs(t *testing.T) {
+	xs, truth := twoBlobs(5, 4)
+	m := pointsMatrix(xs)
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		d := Agglomerative(m, link)
+		if d.NumMerges() != len(xs)-1 {
+			t.Fatalf("%v: %d merges for %d points", link, d.NumMerges(), len(xs))
+		}
+		labels := d.CutK(2)
+		if NumClusters(labels) != 2 {
+			t.Fatalf("%v: CutK(2) gave %d clusters", link, NumClusters(labels))
+		}
+		if RandIndex(labels, truth) != 1 {
+			t.Errorf("%v: imperfect recovery %v", link, labels)
+		}
+	}
+}
+
+func TestCutDistance(t *testing.T) {
+	xs, truth := twoBlobs(4, 4)
+	m := pointsMatrix(xs)
+	d := Agglomerative(m, CompleteLinkage)
+	// Cut below the inter-blob gap: two clusters.
+	labels := d.CutDistance(1.0)
+	if NumClusters(labels) != 2 || RandIndex(labels, truth) != 1 {
+		t.Errorf("cut at 1.0: %v", labels)
+	}
+	// Cut above everything: one cluster.
+	if NumClusters(d.CutDistance(100)) != 1 {
+		t.Error("cut at 100 did not merge everything")
+	}
+	// Cut below everything: all singletons.
+	if NumClusters(d.CutDistance(0.001)) != len(xs) {
+		t.Error("cut at 0.001 merged something")
+	}
+}
+
+func TestCutKExtremes(t *testing.T) {
+	xs, _ := twoBlobs(3, 3)
+	m := pointsMatrix(xs)
+	d := Agglomerative(m, AverageLinkage)
+	if NumClusters(d.CutK(1)) != 1 {
+		t.Error("CutK(1) != 1 cluster")
+	}
+	if NumClusters(d.CutK(6)) != 6 {
+		t.Error("CutK(n) != n clusters")
+	}
+	for _, bad := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CutK(%d) did not panic", bad)
+				}
+			}()
+			d.CutK(bad)
+		}()
+	}
+}
+
+func TestMergeDistancesMonotone(t *testing.T) {
+	// Single, complete and average linkage are inversion-free: merge
+	// distances never decrease.
+	var xs []float64
+	for g := 0; g < 4; g++ {
+		for k := 0; k < 3; k++ {
+			xs = append(xs, float64(g)*5+0.3*float64(k))
+		}
+	}
+	m := pointsMatrix(xs)
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		ds := Agglomerative(m, link).MergeDistances()
+		for i := 1; i < len(ds); i++ {
+			if ds[i] < ds[i-1]-1e-12 {
+				t.Errorf("%v: inversion at merge %d (%v < %v)", link, i, ds[i], ds[i-1])
+			}
+		}
+	}
+}
+
+func TestLinkagesDifferOnChains(t *testing.T) {
+	// A chain of equally spaced points: single linkage happily merges it
+	// all at the spacing distance; complete linkage needs the full span.
+	xs := []float64{0, 1, 2, 3, 4}
+	m := pointsMatrix(xs)
+	single := Agglomerative(m, SingleLinkage).MergeDistances()
+	complete := Agglomerative(m, CompleteLinkage).MergeDistances()
+	if single[len(single)-1] != 1 {
+		t.Errorf("single linkage final merge %v, want 1", single[len(single)-1])
+	}
+	if complete[len(complete)-1] != 4 {
+		t.Errorf("complete linkage final merge %v, want 4", complete[len(complete)-1])
+	}
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" || AverageLinkage.String() != "average" {
+		t.Error("linkage strings")
+	}
+}
+
+func TestAgglomerativeMatchesOPTICSOnCleanData(t *testing.T) {
+	// On clean well-separated groups, hierarchical CutK and OPTICS
+	// auto-extraction agree exactly.
+	var xs []float64
+	var truth []int
+	for g := 0; g < 5; g++ {
+		for k := 0; k < 3; k++ {
+			xs = append(xs, float64(g)*10+0.05*float64(k))
+			truth = append(truth, g)
+		}
+	}
+	m := pointsMatrix(xs)
+	h := Agglomerative(m, AverageLinkage).CutK(5)
+	o := OPTICS(m, 2, math.Inf(1)).ExtractBestSilhouette(m, 0)
+	if RandIndex(h, o) != 1 || RandIndex(h, truth) != 1 {
+		t.Errorf("hierarchical %v and OPTICS %v disagree", h, o)
+	}
+}
+
+func TestCutKPropertyExactClusterCount(t *testing.T) {
+	// CutK(k) yields exactly k clusters for every valid k.
+	xs := []float64{0, 0.5, 3, 3.5, 8, 8.1, 12, 15, 15.2}
+	m := pointsMatrix(xs)
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		d := Agglomerative(m, link)
+		for k := 1; k <= len(xs); k++ {
+			if got := NumClusters(d.CutK(k)); got != k {
+				t.Fatalf("%v: CutK(%d) produced %d clusters", link, k, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package cluster implements the density-based clustering algorithms the
+// HACCS server runs on pairwise distribution distances: DBSCAN (Ester et
+// al., KDD'96) and OPTICS (Ankerst et al., SIGMOD'99), both operating on
+// a precomputed symmetric distance matrix, plus the cluster-quality
+// metrics used in the paper's privacy experiment (Fig. 8a).
+package cluster
+
+import "fmt"
+
+// Matrix is a symmetric pairwise distance matrix over n points.
+type Matrix struct {
+	n int
+	d []float64
+}
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic("cluster: NewMatrix with non-positive size")
+	}
+	return &Matrix{n: n, d: make([]float64, n*n)}
+}
+
+// FromFunc builds a symmetric matrix by evaluating dist(i, j) for every
+// pair i < j; the diagonal is zero.
+func FromFunc(n int, dist func(i, j int) float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			if v < 0 {
+				panic(fmt.Sprintf("cluster: negative distance %v for pair (%d,%d)", v, i, j))
+			}
+			m.d[i*n+j] = v
+			m.d[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// Len returns the number of points.
+func (m *Matrix) Len() int { return m.n }
+
+// At returns the distance between points i and j.
+func (m *Matrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+
+// Set assigns the symmetric distance between points i and j.
+func (m *Matrix) Set(i, j int, v float64) {
+	if v < 0 {
+		panic("cluster: negative distance")
+	}
+	m.d[i*m.n+j] = v
+	m.d[j*m.n+i] = v
+}
+
+// Noise is the cluster label assigned to points not belonging to any
+// cluster.
+const Noise = -1
+
+// NumClusters returns the number of distinct non-noise labels in an
+// assignment.
+func NumClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l != Noise {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// Members returns the point indices of each cluster, indexed by cluster
+// label (labels are assumed to be 0..k-1 as produced by DBSCAN/OPTICS).
+func Members(labels []int) [][]int {
+	k := 0
+	for _, l := range labels {
+		if l >= k {
+			k = l + 1
+		}
+	}
+	out := make([][]int, k)
+	for i, l := range labels {
+		if l != Noise {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package cluster
+
+// RandIndex measures agreement between two labelings as the fraction of
+// point pairs on which they agree (same-cluster vs different-cluster).
+// Noise points are treated as singleton clusters. Result is in [0, 1].
+func RandIndex(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("cluster: RandIndex length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	agree := 0
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a[i] == a[j] && a[i] != Noise
+			sameB := b[i] == b[j] && b[i] != Noise
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+// ExactRecovery is the paper's Fig. 8a clustering-accuracy metric: the
+// fraction of ground-truth groups whose member set is reproduced exactly
+// as one predicted cluster. ("The clustering accuracy will be based on
+// the number of clusters we correctly identify.")
+func ExactRecovery(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("cluster: ExactRecovery length mismatch")
+	}
+	truthGroups := groupSets(truth)
+	predGroups := groupSets(pred)
+	if len(truthGroups) == 0 {
+		return 1
+	}
+	recovered := 0
+	for _, tg := range truthGroups {
+		for _, pg := range predGroups {
+			if sameSet(tg, pg) {
+				recovered++
+				break
+			}
+		}
+	}
+	return float64(recovered) / float64(len(truthGroups))
+}
+
+func groupSets(labels []int) map[int][]int {
+	out := map[int][]int{}
+	for i, l := range labels {
+		if l == Noise {
+			continue
+		}
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Purity returns the weighted average, over predicted clusters, of the
+// largest ground-truth class fraction inside each cluster. Noise points
+// count as errors (their own never-matching cluster).
+func Purity(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("cluster: Purity length mismatch")
+	}
+	if len(pred) == 0 {
+		return 1
+	}
+	correct := 0
+	for _, members := range groupSets(pred) {
+		counts := map[int]int{}
+		for _, i := range members {
+			counts[truth[i]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}

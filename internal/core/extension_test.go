@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// weightedFixture builds a 9-client roster in 3 groups with strongly
+// increasing latencies inside each group.
+func weightedFixture(t *testing.T, policy IntraClusterPolicy) *Scheduler {
+	t.Helper()
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 6, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 71)
+	rng := stats.NewRNG(72)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	for major := 0; major < 3; major++ {
+		for k := 0; k < 3; k++ {
+			ld := dataset.MajorityNoise(major, 0.75, []int{(major + 3) % 6, (major + 4) % 6, (major + 5) % 6}, dataset.DefaultMajorityFractions)
+			d := gen.Generate(ld.Draw(300, rng), rng)
+			sums = append(sums, Summarize(d, PY, 0))
+			id := major*3 + k
+			infos = append(infos, fl.ClientInfo{ID: id, Latency: float64(1 + 10*k), NumSamples: 300})
+		}
+	}
+	s := NewScheduler(Config{Kind: PY, Rho: 0.5, IntraCluster: policy}, sums)
+	s.Init(infos, stats.NewRNG(73))
+	return s
+}
+
+func TestPickWeightedIncludesStragglers(t *testing.T) {
+	avail := allAvailable(9)
+	countSelections := func(policy IntraClusterPolicy, k int) map[int]int {
+		s := weightedFixture(t, policy)
+		counts := map[int]int{}
+		for epoch := 0; epoch < 400; epoch++ {
+			for _, id := range s.Select(epoch, avail, k) {
+				counts[id]++
+			}
+		}
+		return counts
+	}
+	// With k=1 a cluster is sampled at most once per round, so
+	// PickFastest can only ever take each cluster's fastest member.
+	fastest := countSelections(PickFastest, 1)
+	weighted := countSelections(PickWeighted, 3)
+
+	for _, slow := range []int{1, 2, 4, 5, 7, 8} {
+		if fastest[slow] != 0 {
+			t.Errorf("PickFastest(k=1) selected non-fastest member %d %d times", slow, fastest[slow])
+		}
+	}
+	// PickWeighted includes every device at least occasionally.
+	for id := 0; id < 9; id++ {
+		if weighted[id] == 0 {
+			t.Errorf("PickWeighted never selected device %d", id)
+		}
+	}
+	// But it still prefers fast devices: the fastest member of a
+	// cluster must be selected more often than the slowest.
+	for g := 0; g < 3; g++ {
+		fast, slow := g*3, g*3+2
+		if weighted[fast] <= weighted[slow] {
+			t.Errorf("cluster %d: fast device %d selected %d <= slow device %d selected %d",
+				g, fast, weighted[fast], slow, weighted[slow])
+		}
+	}
+}
+
+func TestPickWeightedValidSelections(t *testing.T) {
+	s := weightedFixture(t, PickWeighted)
+	avail := allAvailable(9)
+	avail[0] = false
+	for epoch := 0; epoch < 100; epoch++ {
+		sel := s.Select(epoch, avail, 4)
+		seen := map[int]bool{}
+		for _, id := range sel {
+			if !avail[id] || seen[id] {
+				t.Fatalf("invalid selection %v", sel)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestClientJoinsMidTraining exercises the §IV-C adaptation path: a
+// device with a brand-new distribution joins, UpdateSummaries
+// re-clusters, and the newcomer lands in its own cluster and becomes
+// schedulable.
+func TestClientJoinsMidTraining(t *testing.T) {
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 6, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 81)
+	rng := stats.NewRNG(82)
+
+	// Roster: 6 slots; slot 5 initially mirrors group 0 (a placeholder
+	// distribution), later replaced by a genuinely new distribution.
+	var sums []Summary
+	var infos []fl.ClientInfo
+	makeSum := func(major int) Summary {
+		ld := dataset.MajorityNoise(major, 0.75, []int{(major + 3) % 6, (major + 4) % 6, (major + 5) % 6}, dataset.DefaultMajorityFractions)
+		return Summarize(gen.Generate(ld.Draw(300, rng), rng), PY, 0)
+	}
+	for id := 0; id < 6; id++ {
+		major := id / 3 // groups {0,0,0}, {1,1,1}
+		if id == 5 {
+			major = 1
+		}
+		sums = append(sums, makeSum(major))
+		infos = append(infos, fl.ClientInfo{ID: id, Latency: float64(id + 1), NumSamples: 300})
+	}
+	s := NewScheduler(Config{Kind: PY, Rho: 0.5}, sums)
+	s.Init(infos, stats.NewRNG(83))
+	if s.NumClusters() != 2 {
+		t.Fatalf("initial clusters = %d, want 2", s.NumClusters())
+	}
+
+	// Client 5's data distribution shifts to majority label 2 — a
+	// distribution nobody else holds.
+	s.UpdateSummaries(map[int]Summary{5: makeSum(2)})
+	if s.NumClusters() != 3 {
+		t.Fatalf("after shift clusters = %d, want 3 (labels %v)", s.NumClusters(), s.ClusterLabels())
+	}
+	// The shifted client must be alone in its cluster and schedulable.
+	labels := s.ClusterLabels()
+	for id := 0; id < 5; id++ {
+		if labels[id] == labels[5] {
+			t.Fatalf("client %d shares the newcomer's cluster", id)
+		}
+	}
+	seen := false
+	for epoch := 0; epoch < 50 && !seen; epoch++ {
+		for _, id := range s.Select(epoch, allAvailable(6), 3) {
+			if id == 5 {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Error("re-clustered newcomer never scheduled in 50 epochs")
+	}
+}
+
+func TestUpdateSummariesValidation(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	for name, m := range map[string]map[int]Summary{
+		"unknown-id": {99: {Kind: PY, Label: stats.NewLabelHistogram(8)}},
+		"wrong-kind": {0: {Kind: PXY, Feature: make([]*stats.Histogram, 8)}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			s.UpdateSummaries(m)
+		}()
+	}
+}

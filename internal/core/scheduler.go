@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"haccs/internal/cluster"
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// IntraClusterPolicy selects how a device is chosen inside a sampled
+// cluster.
+type IntraClusterPolicy int
+
+const (
+	// PickFastest always takes the minimum-latency available device —
+	// Algorithm 1 as published.
+	PickFastest IntraClusterPolicy = iota
+	// PickWeighted samples devices with probability proportional to
+	// 1/latency — the straggler-bias mitigation the paper sketches in
+	// §V-D5 ("perform sampling within a cluster, rather than simply
+	// using the current ordering based on latency"). Slower devices are
+	// still disfavoured but are included regularly.
+	PickWeighted
+)
+
+// Config parameterizes the HACCS scheduler.
+type Config struct {
+	// Kind selects the summary family used for clustering (names the
+	// strategy: "haccs-P(y)" or "haccs-P(X|y)").
+	Kind SummaryKind
+	// Rho trades latency against loss in the cluster sampling weights
+	// (eq. 7): high rho favours fast clusters, low rho favours
+	// high-loss clusters. The value must lie in [0, 1].
+	Rho float64
+	// MinPts is the OPTICS density parameter (default 2).
+	MinPts int
+	// EpsPrime is the reachability-plot extraction threshold; 0 selects
+	// automatic silhouette-scored extraction.
+	EpsPrime float64
+	// InitLoss seeds unknown client losses before first training.
+	InitLoss float64
+	// IntraCluster picks the device-within-cluster policy (default
+	// PickFastest, the published algorithm).
+	IntraCluster IntraClusterPolicy
+	// MinSilhouette is the structure threshold for automatic extraction
+	// (0 picks a kind-dependent default). P(y) distances are well spread
+	// and use cluster.DefaultMinSilhouette; P(X|y) distances live on a
+	// compressed scale — per-class Hellinger terms are averaged — so a
+	// lower threshold is needed, which also reproduces the paper's
+	// observation that P(X|y) "identified a few clusters even though the
+	// data was IID" (§V-D1).
+	MinSilhouette float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Rho < 0 || c.Rho > 1 {
+		panic(fmt.Sprintf("core: rho %v outside [0,1]", c.Rho))
+	}
+	if c.MinPts <= 0 {
+		c.MinPts = 2
+	}
+	if c.InitLoss <= 0 {
+		c.InitLoss = 2.3
+	}
+	if c.MinSilhouette <= 0 {
+		if c.Kind == PXY {
+			c.MinSilhouette = pxyMinSilhouette
+		} else {
+			c.MinSilhouette = cluster.DefaultMinSilhouette
+		}
+	}
+}
+
+// pxyMinSilhouette is the default structure threshold for P(X|y)
+// summaries (see Config.MinSilhouette).
+const pxyMinSilhouette = 0.12
+
+// Scheduler is the HACCS client-selection strategy (Algorithm 1). It
+// clusters clients by summary distance once at initialization, then each
+// epoch samples clusters by weighted simple random sampling with
+// replacement (Weighted-SRSWR) using the eq. 7 weights and picks the
+// lowest-latency available device within each sampled cluster.
+type Scheduler struct {
+	cfg       Config
+	summaries []Summary
+
+	rng      *stats.RNG
+	latency  []float64
+	lastLoss []float64
+
+	labels   []int   // client -> cluster id (singletonized noise)
+	clusters [][]int // cluster id -> member client IDs
+}
+
+// NewScheduler builds a HACCS scheduler from the clients' (possibly
+// DP-noised) summaries. Clustering happens when the engine calls Init,
+// once latencies are known.
+func NewScheduler(cfg Config, summaries []Summary) *Scheduler {
+	cfg.fillDefaults()
+	if len(summaries) == 0 {
+		panic("core: NewScheduler with no summaries")
+	}
+	for _, s := range summaries {
+		if s.Kind != cfg.Kind {
+			panic("core: summary kind mismatch with config")
+		}
+	}
+	return &Scheduler{cfg: cfg, summaries: summaries}
+}
+
+// Name implements fl.Strategy.
+func (s *Scheduler) Name() string { return "haccs-" + s.cfg.Kind.String() }
+
+// Init implements fl.Strategy: it computes the distance matrix, runs
+// OPTICS, and extracts the clusters.
+func (s *Scheduler) Init(clients []fl.ClientInfo, rng *stats.RNG) {
+	if len(clients) != len(s.summaries) {
+		panic("core: client count does not match summaries")
+	}
+	s.rng = rng
+	s.latency = make([]float64, len(clients))
+	s.lastLoss = make([]float64, len(clients))
+	for _, c := range clients {
+		s.latency[c.ID] = c.Latency
+		s.lastLoss[c.ID] = s.cfg.InitLoss
+	}
+	s.recluster()
+}
+
+// recluster recomputes the cluster assignment from current summaries.
+func (s *Scheduler) recluster() {
+	m := DistanceMatrix(s.summaries)
+	res := cluster.OPTICS(m, s.cfg.MinPts, math.Inf(1))
+	var labels []int
+	if s.cfg.EpsPrime > 0 {
+		labels = res.ExtractDBSCAN(s.cfg.EpsPrime)
+	} else {
+		labels = res.ExtractBestSilhouette(m, s.cfg.MinSilhouette)
+	}
+	// Noise points become singleton clusters: the paper values OPTICS
+	// precisely because it can refuse to force dissimilar clients into a
+	// cluster, but every device must remain schedulable, and a singleton
+	// preserves "each distinguishable distribution is represented".
+	next := 0
+	for _, l := range labels {
+		if l >= next {
+			next = l + 1
+		}
+	}
+	for i, l := range labels {
+		if l == cluster.Noise {
+			labels[i] = next
+			next++
+		}
+	}
+	s.labels = labels
+	s.clusters = cluster.Members(labels)
+}
+
+// UpdateSummaries replaces one or more clients' summaries (clients
+// joining, leaving, or reporting distribution shift) and re-clusters —
+// the paper's real-time adaptation hook (§IV-C). The map keys are client
+// IDs.
+func (s *Scheduler) UpdateSummaries(updated map[int]Summary) {
+	for id, sum := range updated {
+		if id < 0 || id >= len(s.summaries) {
+			panic(fmt.Sprintf("core: UpdateSummaries for unknown client %d", id))
+		}
+		if sum.Kind != s.cfg.Kind {
+			panic("core: UpdateSummaries kind mismatch")
+		}
+		s.summaries[id] = sum
+	}
+	if s.latency != nil {
+		s.recluster()
+	}
+}
+
+// ClusterLabels returns each client's cluster id.
+func (s *Scheduler) ClusterLabels() []int { return append([]int(nil), s.labels...) }
+
+// Clusters returns the member lists of every cluster.
+func (s *Scheduler) Clusters() [][]int {
+	out := make([][]int, len(s.clusters))
+	for i, c := range s.clusters {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// NumClusters returns the number of clusters identified.
+func (s *Scheduler) NumClusters() int { return len(s.clusters) }
+
+// clusterWeights computes the eq. 7 sampling weight for every cluster
+// over its currently available members:
+//
+//	θ_i = ρ·τ_i + (1−ρ)·ACL_i / Σ_j ACL_j
+//	τ_i = 1 − Latency_i / Latency_max
+//
+// where Latency_i and ACL_i are the average latency and loss of the
+// cluster's available members. Clusters with no available members get
+// weight 0.
+func (s *Scheduler) clusterWeights(available []bool) []float64 {
+	n := len(s.clusters)
+	avgLat := make([]float64, n)
+	avgLoss := make([]float64, n)
+	hasMembers := make([]bool, n)
+	maxLat := 0.0
+	totalLoss := 0.0
+	for i, members := range s.clusters {
+		sumLat, sumLoss, cnt := 0.0, 0.0, 0
+		for _, id := range members {
+			if available[id] {
+				sumLat += s.latency[id]
+				sumLoss += s.lastLoss[id]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		hasMembers[i] = true
+		avgLat[i] = sumLat / float64(cnt)
+		avgLoss[i] = sumLoss / float64(cnt)
+		if avgLat[i] > maxLat {
+			maxLat = avgLat[i]
+		}
+		totalLoss += avgLoss[i]
+	}
+	weights := make([]float64, n)
+	for i := range s.clusters {
+		if !hasMembers[i] {
+			continue
+		}
+		tau := 0.0
+		if maxLat > 0 {
+			tau = 1 - avgLat[i]/maxLat
+		}
+		lossTerm := 0.0
+		if totalLoss > 0 {
+			lossTerm = avgLoss[i] / totalLoss
+		}
+		w := s.cfg.Rho*tau + (1-s.cfg.Rho)*lossTerm
+		// A strictly zero weight would make the slowest cluster
+		// unreachable at rho=1; keep a small floor so SRSWR can still
+		// sample it (the paper's law-of-large-numbers argument in §V-D3
+		// assumes weights are "not extremely small" but nonzero).
+		if w <= 0 {
+			w = 1e-9
+		}
+		weights[i] = w
+	}
+	return weights
+}
+
+// Select implements fl.Strategy (Algorithm 1): Weighted-SRSWR over
+// clusters, then the minimum-latency available device within each
+// sampled cluster, removing picked devices for the remainder of the
+// round.
+func (s *Scheduler) Select(epoch int, available []bool, k int) []int {
+	weights := s.clusterWeights(available)
+	picked := make(map[int]bool, k)
+	var selected []int
+	// remaining[i] counts available, unpicked members of cluster i.
+	remaining := make([]int, len(s.clusters))
+	anyRemaining := false
+	for i, members := range s.clusters {
+		for _, id := range members {
+			if available[id] {
+				remaining[i]++
+			}
+		}
+		if remaining[i] > 0 && weights[i] > 0 {
+			anyRemaining = true
+		}
+	}
+	for len(selected) < k && anyRemaining {
+		c := s.rng.WeightedChoice(weights)
+		if remaining[c] == 0 {
+			// Sampled an exhausted cluster (SRSWR samples with
+			// replacement); drop it from the distribution and retry.
+			weights[c] = 0
+			anyRemaining = false
+			for i := range weights {
+				if weights[i] > 0 && remaining[i] > 0 {
+					anyRemaining = true
+					break
+				}
+			}
+			continue
+		}
+		best := s.pickWithin(c, available, picked)
+		picked[best] = true
+		selected = append(selected, best)
+		remaining[c]--
+	}
+	return selected
+}
+
+// pickWithin chooses one available, unpicked device from cluster c
+// according to the configured intra-cluster policy. The caller
+// guarantees at least one candidate exists.
+func (s *Scheduler) pickWithin(c int, available []bool, picked map[int]bool) int {
+	if s.cfg.IntraCluster == PickWeighted {
+		var ids []int
+		var weights []float64
+		for _, id := range s.clusters[c] {
+			if available[id] && !picked[id] {
+				ids = append(ids, id)
+				weights = append(weights, 1/math.Max(s.latency[id], 1e-9))
+			}
+		}
+		return ids[s.rng.WeightedChoice(weights)]
+	}
+	best := -1
+	for _, id := range s.clusters[c] {
+		if !available[id] || picked[id] {
+			continue
+		}
+		if best == -1 || s.latency[id] < s.latency[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// Update implements fl.Strategy.
+func (s *Scheduler) Update(epoch int, selected []int, losses []float64) {
+	for i, id := range selected {
+		s.lastLoss[id] = losses[i]
+	}
+}
+
+var _ fl.Strategy = (*Scheduler)(nil)

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"testing"
+
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// testFixture builds 12 clients in 4 majority-label groups of 3, with
+// known latencies (client id = latency rank within the roster).
+func testFixture(t *testing.T, kind SummaryKind) (*Scheduler, []fl.ClientInfo) {
+	t.Helper()
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 8, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 21)
+	rng := stats.NewRNG(22)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	id := 0
+	for major := 0; major < 4; major++ {
+		for k := 0; k < 3; k++ {
+			noise := []int{(major + 4) % 8, (major + 5) % 8, (major + 6) % 8}
+			ld := dataset.MajorityNoise(major, 0.75, noise, dataset.DefaultMajorityFractions)
+			d := gen.Generate(ld.Draw(300, rng), rng)
+			sums = append(sums, Summarize(d, kind, 16))
+			infos = append(infos, fl.ClientInfo{ID: id, Latency: float64(1 + id), NumSamples: 300})
+			id++
+		}
+	}
+	sched := NewScheduler(Config{Kind: kind, Rho: 0.5}, sums)
+	sched.Init(infos, stats.NewRNG(23))
+	return sched, infos
+}
+
+func allAvailable(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestSchedulerName(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	if s.Name() != "haccs-P(y)" {
+		t.Errorf("name %q", s.Name())
+	}
+}
+
+func TestSchedulerClustersMatchGroups(t *testing.T) {
+	for _, kind := range []SummaryKind{PY, PXY} {
+		s, _ := testFixture(t, kind)
+		if s.NumClusters() != 4 {
+			t.Errorf("%v: found %d clusters, want 4 (labels %v)", kind, s.NumClusters(), s.ClusterLabels())
+			continue
+		}
+		labels := s.ClusterLabels()
+		for major := 0; major < 4; major++ {
+			base := labels[major*3]
+			for k := 1; k < 3; k++ {
+				if labels[major*3+k] != base {
+					t.Errorf("%v: group %d split across clusters: %v", kind, major, labels)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulerSelectsMinLatencyWithinCluster(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	// With all clients available, selecting 4 clients should return the
+	// lowest-latency member of each sampled cluster. Since latencies
+	// rise with client id, the first pick from group g must be client
+	// g*3 (its fastest member).
+	sel := s.Select(0, allAvailable(12), 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d clients", len(sel))
+	}
+	labels := s.ClusterLabels()
+	firstPick := map[int]int{} // cluster -> first selected id
+	for _, id := range sel {
+		c := labels[id]
+		if _, seen := firstPick[c]; !seen {
+			firstPick[c] = id
+		}
+	}
+	for c, id := range firstPick {
+		// The fastest member of cluster c is the minimum id in it.
+		minID := 12
+		for i, l := range labels {
+			if l == c && i < minID {
+				minID = i
+			}
+		}
+		if id != minID {
+			t.Errorf("cluster %d first pick %d, fastest member %d", c, id, minID)
+		}
+	}
+}
+
+func TestSchedulerNoDuplicatesAndAvailability(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	avail := allAvailable(12)
+	avail[0] = false
+	avail[3] = false
+	for epoch := 0; epoch < 50; epoch++ {
+		sel := s.Select(epoch, avail, 6)
+		seen := map[int]bool{}
+		for _, id := range sel {
+			if !avail[id] {
+				t.Fatalf("selected unavailable client %d", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate selection %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSchedulerSelectAllWhenBudgetExceedsClients(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	sel := s.Select(0, allAvailable(12), 50)
+	if len(sel) != 12 {
+		t.Errorf("selected %d of 12 clients with huge budget", len(sel))
+	}
+}
+
+func TestSchedulerNothingAvailable(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	sel := s.Select(0, make([]bool, 12), 5)
+	if len(sel) != 0 {
+		t.Errorf("selected %v with nothing available", sel)
+	}
+}
+
+func TestSchedulerDropoutFallsBackToClusterPeer(t *testing.T) {
+	// The HACCS robustness claim: when a cluster's fastest device drops,
+	// the next-fastest member of the same cluster takes its place.
+	s, _ := testFixture(t, PY)
+	labels := s.ClusterLabels()
+	avail := allAvailable(12)
+	avail[0] = false // drop the fastest member of client 0's cluster
+	counts := map[int]int{}
+	for epoch := 0; epoch < 200; epoch++ {
+		for _, id := range s.Select(epoch, avail, 4) {
+			counts[id]++
+		}
+	}
+	// Client 1 shares client 0's cluster and is its next-fastest member;
+	// it must be picked whenever that cluster is sampled first.
+	peer := -1
+	for i := 1; i < 12; i++ {
+		if labels[i] == labels[0] {
+			peer = i
+			break
+		}
+	}
+	if counts[peer] == 0 {
+		t.Errorf("cluster peer %d never substituted for dropped client 0 (counts %v)", peer, counts)
+	}
+	if counts[0] != 0 {
+		t.Error("dropped client was selected")
+	}
+}
+
+func TestSchedulerRhoExtremes(t *testing.T) {
+	// rho=1: pure latency preference. The globally fastest cluster
+	// should dominate selection frequency.
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 8, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 31)
+	rng := stats.NewRNG(32)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	for major := 0; major < 4; major++ {
+		for k := 0; k < 3; k++ {
+			ld := dataset.MajorityNoise(major, 0.75, []int{(major + 4) % 8, (major + 5) % 8, (major + 6) % 8}, dataset.DefaultMajorityFractions)
+			d := gen.Generate(ld.Draw(300, rng), rng)
+			sums = append(sums, Summarize(d, PY, 0))
+			id := major*3 + k
+			// Cluster 0's members are far faster than everyone else.
+			lat := 100.0
+			if major == 0 {
+				lat = 1.0
+			}
+			infos = append(infos, fl.ClientInfo{ID: id, Latency: lat, NumSamples: 300})
+		}
+	}
+	fast := NewScheduler(Config{Kind: PY, Rho: 1}, sums)
+	fast.Init(infos, stats.NewRNG(33))
+	labels := fast.ClusterLabels()
+	fastCluster := labels[0]
+	fastPicks, totalPicks := 0, 0
+	for epoch := 0; epoch < 100; epoch++ {
+		for _, id := range fast.Select(epoch, allAvailable(12), 2) {
+			if labels[id] == fastCluster {
+				fastPicks++
+			}
+			totalPicks++
+		}
+	}
+	if float64(fastPicks)/float64(totalPicks) < 0.5 {
+		t.Errorf("rho=1 picked the fast cluster only %d/%d times", fastPicks, totalPicks)
+	}
+
+	// rho=0: pure loss preference. Crank one cluster's loss and verify
+	// it dominates.
+	lossy := NewScheduler(Config{Kind: PY, Rho: 0}, sums)
+	lossy.Init(infos, stats.NewRNG(34))
+	labels = lossy.ClusterLabels()
+	// Report huge loss for cluster of client 9, tiny for everyone else.
+	hotCluster := labels[9]
+	var sel, losses []int
+	_ = losses
+	sel = []int{}
+	for id := 0; id < 12; id++ {
+		sel = append(sel, id)
+	}
+	ls := make([]float64, 12)
+	for id := 0; id < 12; id++ {
+		if labels[id] == hotCluster {
+			ls[id] = 50
+		} else {
+			ls[id] = 0.01
+		}
+	}
+	lossy.Update(0, sel, ls)
+	hotPicks, total := 0, 0
+	for epoch := 1; epoch < 101; epoch++ {
+		for _, id := range lossy.Select(epoch, allAvailable(12), 2) {
+			if labels[id] == hotCluster {
+				hotPicks++
+			}
+			total++
+		}
+	}
+	if float64(hotPicks)/float64(total) < 0.5 {
+		t.Errorf("rho=0 picked the high-loss cluster only %d/%d times", hotPicks, total)
+	}
+}
+
+func TestSchedulerUpdateSummariesReclusters(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	before := s.NumClusters()
+	// Move clients 0..2 (group 0) to look exactly like group 1's
+	// distribution: clusters should merge.
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 8, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 21)
+	rng := stats.NewRNG(55)
+	updated := map[int]Summary{}
+	for id := 0; id < 3; id++ {
+		ld := dataset.MajorityNoise(1, 0.75, []int{5, 6, 7}, dataset.DefaultMajorityFractions)
+		updated[id] = Summarize(gen.Generate(ld.Draw(300, rng), rng), PY, 0)
+	}
+	s.UpdateSummaries(updated)
+	after := s.NumClusters()
+	if after >= before {
+		t.Errorf("re-clustering did not merge groups: %d -> %d", before, after)
+	}
+}
+
+func TestSchedulerIIDCollapsesToOneCluster(t *testing.T) {
+	// The paper's IID sensitivity case: uniform labels on every client
+	// should produce a single cluster for P(y), letting HACCS simply
+	// pick the fastest clients.
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 10, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 41)
+	rng := stats.NewRNG(42)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	for id := 0; id < 10; id++ {
+		d := gen.Generate(dataset.Uniform(10).Draw(500, rng), rng)
+		sums = append(sums, Summarize(d, PY, 0))
+		infos = append(infos, fl.ClientInfo{ID: id, Latency: float64(id + 1), NumSamples: 500})
+	}
+	s := NewScheduler(Config{Kind: PY, Rho: 0.5}, sums)
+	s.Init(infos, stats.NewRNG(43))
+	if s.NumClusters() != 1 {
+		t.Fatalf("IID data produced %d clusters", s.NumClusters())
+	}
+	// Selection should now be the k globally fastest clients.
+	sel := s.Select(0, allAvailable(10), 3)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, id := range sel {
+		if !want[id] {
+			t.Errorf("IID selection picked %d, want the 3 fastest", id)
+		}
+	}
+}
+
+func TestSchedulerBadRhoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduler(Config{Kind: PY, Rho: 1.5}, []Summary{{Kind: PY, Label: stats.NewLabelHistogram(2)}})
+}
+
+func TestSchedulerKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduler(Config{Kind: PXY}, []Summary{{Kind: PY, Label: stats.NewLabelHistogram(2)}})
+}
+
+func TestSchedulerNoisySummariesStillCluster(t *testing.T) {
+	// With a moderate privacy budget (eps = 0.1) and ample data,
+	// clustering accuracy should survive (paper Fig. 8a).
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 8, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 61)
+	rng := stats.NewRNG(62)
+	noiseRNG := stats.NewRNG(63)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	truth := []int{}
+	for major := 0; major < 4; major++ {
+		for k := 0; k < 2; k++ {
+			ld := dataset.MajorityNoise(major, 0.70, []int{(major + 4) % 8, (major + 5) % 8, (major + 6) % 8}, []float64{0.10, 0.10, 0.10})
+			d := gen.Generate(ld.Draw(1000, rng), rng)
+			sums = append(sums, Summarize(d, PY, 0).Noised(0.1, noiseRNG))
+			infos = append(infos, fl.ClientInfo{ID: len(infos), Latency: 1, NumSamples: 1000})
+			truth = append(truth, major)
+		}
+	}
+	s := NewScheduler(Config{Kind: PY, Rho: 0.5}, sums)
+	s.Init(infos, stats.NewRNG(64))
+	if s.NumClusters() != 4 {
+		t.Errorf("eps=0.1 with 1000 samples: %d clusters, want 4 (labels %v)", s.NumClusters(), s.ClusterLabels())
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements HACCS, the paper's contribution: privacy-
+// preserving distribution summaries computed on clients, Hellinger-
+// distance clustering of those summaries on the server, and the
+// cluster-level scheduling policy that samples clusters by a convex
+// combination of latency reduction and average loss, then picks the
+// fastest available device within each sampled cluster.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"haccs/internal/cluster"
+	"haccs/internal/dataset"
+	"haccs/internal/stats"
+)
+
+// SummaryKind selects which part of the factored joint distribution
+// P(X, y) = P(y) · P(X|y) a client summarizes (paper eq. 2).
+type SummaryKind int
+
+const (
+	// PY summarizes the marginal label distribution P(y) as a single
+	// histogram over class labels — compact (Θ(c) bytes) and the least
+	// privacy-sensitive choice.
+	PY SummaryKind = iota
+	// PXY summarizes the class-conditional feature distribution P(X|y)
+	// as one feature-value histogram per class label present on the
+	// device — Θ(c·p) bytes for p bins.
+	PXY
+)
+
+// String implements fmt.Stringer.
+func (k SummaryKind) String() string {
+	switch k {
+	case PY:
+		return "P(y)"
+	case PXY:
+		return "P(X|y)"
+	default:
+		return fmt.Sprintf("SummaryKind(%d)", int(k))
+	}
+}
+
+// Summary is a client's privacy-preserving data summary S(Z_i). Exactly
+// one of Label (PY) or Feature (PXY) is populated.
+type Summary struct {
+	Kind SummaryKind
+	// Label is the class-label histogram for PY summaries.
+	Label *stats.Histogram
+	// Feature holds one per-class feature histogram for PXY summaries;
+	// entries for classes absent from the device are nil.
+	Feature []*stats.Histogram
+}
+
+// DefaultFeatureBins is the per-class histogram resolution for PXY
+// summaries.
+const DefaultFeatureBins = 32
+
+// Summarize computes S(Z) on a client's local dataset. bins is only used
+// for PXY (pass 0 for the default).
+func Summarize(d *dataset.Dataset, kind SummaryKind, bins int) Summary {
+	switch kind {
+	case PY:
+		return Summary{Kind: PY, Label: d.LabelHistogram()}
+	case PXY:
+		if bins <= 0 {
+			bins = DefaultFeatureBins
+		}
+		return Summary{Kind: PXY, Feature: d.FeatureHistograms(bins)}
+	default:
+		panic(fmt.Sprintf("core: unknown summary kind %d", int(kind)))
+	}
+}
+
+// Noised returns a copy of the summary with Laplace-mechanism noise
+// applied per histogram bin, making the release (eps, 0)-differentially
+// private (paper §IV-B). eps <= 0 returns the summary unchanged (no
+// privacy requested).
+func (s Summary) Noised(eps float64, rng *stats.RNG) Summary {
+	if eps <= 0 {
+		return s
+	}
+	out := Summary{Kind: s.Kind}
+	if s.Label != nil {
+		out.Label = stats.LaplaceMechanism(s.Label, eps, rng)
+	}
+	if s.Feature != nil {
+		out.Feature = make([]*stats.Histogram, len(s.Feature))
+		for i, h := range s.Feature {
+			if h != nil {
+				out.Feature[i] = stats.LaplaceMechanism(h, eps, rng)
+			}
+		}
+	}
+	return out
+}
+
+// Bytes returns the simulated wire size of the summary (8 bytes per
+// histogram bin), confirming the paper's Θ(c) vs Θ(c·p) comparison.
+func (s Summary) Bytes() int {
+	n := 0
+	if s.Label != nil {
+		n += 8 * s.Label.Bins()
+	}
+	for _, h := range s.Feature {
+		if h != nil {
+			n += 8 * h.Bins()
+		}
+	}
+	return n
+}
+
+// Distance is the paper's d(S(Z_a), S(Z_b)): the Hellinger distance for
+// PY summaries and the average per-class Hellinger distance for PXY
+// summaries (eq. 3). Both summaries must have the same kind.
+//
+// For PXY the per-class terms are weighted by the class's prevalence on
+// the two clients (the histograms' mass), a refinement over the paper's
+// plain average: an unweighted mean is blind to class proportions, so
+// two clients holding the same class *set* in wildly different ratios
+// would measure as identical. Prevalence weighting keeps the summary
+// sensitive to both conditional feature differences (e.g. rotation) and
+// the composition of the local data. Classes present on only one side
+// contribute the maximal distance 1 at that side's weight.
+func Distance(a, b Summary) float64 {
+	if a.Kind != b.Kind {
+		panic("core: Distance across summary kinds")
+	}
+	switch a.Kind {
+	case PY:
+		return stats.HistogramHellinger(a.Label, b.Label)
+	case PXY:
+		return weightedAverageHellinger(a.Feature, b.Feature)
+	default:
+		panic("core: Distance on malformed summary")
+	}
+}
+
+// weightedAverageHellinger computes the prevalence-weighted mean
+// Hellinger distance across two parallel per-class histogram sets.
+// Noised histograms can carry negative mass; weights clamp at zero.
+func weightedAverageHellinger(a, b []*stats.Histogram) float64 {
+	if len(a) != len(b) {
+		panic("core: PXY summaries with different class counts")
+	}
+	num, den := 0.0, 0.0
+	for c := range a {
+		wa, wb := 0.0, 0.0
+		if a[c] != nil {
+			wa = math.Max(0, a[c].Total())
+		}
+		if b[c] != nil {
+			wb = math.Max(0, b[c].Total())
+		}
+		w := wa + wb
+		if w <= 0 {
+			continue
+		}
+		d := 1.0
+		if a[c] != nil && b[c] != nil {
+			d = stats.HistogramHellinger(a[c], b[c])
+		}
+		num += w * d
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DistanceMatrix computes all pairwise summary distances — the server's
+// first step before clustering (Algorithm 1's distMatrix).
+func DistanceMatrix(summaries []Summary) *cluster.Matrix {
+	return cluster.FromFunc(len(summaries), func(i, j int) float64 {
+		return Distance(summaries[i], summaries[j])
+	})
+}
+
+// BuildSummaries computes each client dataset's summary, applying
+// (eps, 0)-differential privacy when eps > 0. The noise stream is drawn
+// per client from the provided RNG.
+func BuildSummaries(trainSets []*dataset.Dataset, kind SummaryKind, bins int, eps float64, rng *stats.RNG) []Summary {
+	out := make([]Summary, len(trainSets))
+	for i, d := range trainSets {
+		out[i] = Summarize(d, kind, bins).Noised(eps, rng)
+	}
+	return out
+}

@@ -1,0 +1,500 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"haccs/internal/stats"
+	"haccs/internal/tensor"
+)
+
+func smallSpec() Spec {
+	return Spec{Name: "test", Channels: 1, Height: 8, Width: 8, Classes: 4, NoiseStd: 0.1, Blobs: 3}
+}
+
+func TestGeneratorDeterministicPrototypes(t *testing.T) {
+	g1 := NewGenerator(smallSpec(), 42)
+	g2 := NewGenerator(smallSpec(), 42)
+	for c := 0; c < 4; c++ {
+		p1, p2 := g1.Prototype(c), g2.Prototype(c)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("class %d prototype differs at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorDistinctClassPrototypes(t *testing.T) {
+	g := NewGenerator(smallSpec(), 42)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			pa, pb := g.Prototype(a), g.Prototype(b)
+			diff := 0.0
+			for i := range pa {
+				diff += math.Abs(pa[i] - pb[i])
+			}
+			if diff/float64(len(pa)) < 0.01 {
+				t.Errorf("classes %d and %d have nearly identical prototypes", a, b)
+			}
+		}
+	}
+}
+
+func TestPrototypeRange(t *testing.T) {
+	g := NewGenerator(SyntheticCIFAR(), 7)
+	for c := 0; c < 10; c++ {
+		for i, v := range g.Prototype(c) {
+			if v < 0.1 || v > 0.9 {
+				t.Fatalf("class %d prototype[%d] = %v outside [0.15, 0.85] band", c, i, v)
+			}
+		}
+	}
+}
+
+func TestSampleClipped(t *testing.T) {
+	spec := smallSpec()
+	spec.NoiseStd = 2 // extreme noise to force clipping
+	g := NewGenerator(spec, 1)
+	rng := stats.NewRNG(2)
+	dst := make([]float64, spec.FeatureDim())
+	for i := 0; i < 50; i++ {
+		g.Sample(0, dst, rng)
+		for _, v := range dst {
+			if v < 0 || v > 1 {
+				t.Fatalf("sample value %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g := NewGenerator(smallSpec(), 3)
+	rng := stats.NewRNG(4)
+	labels := []int{0, 1, 2, 3, 0, 1}
+	d := g.Generate(labels, rng)
+	if d.Len() != 6 || d.FeatureDim() != 64 || d.Classes != 4 {
+		t.Fatalf("dataset geometry: len=%d dim=%d classes=%d", d.Len(), d.FeatureDim(), d.Classes)
+	}
+	for i, y := range labels {
+		if d.Y[i] != y {
+			t.Fatal("labels not preserved")
+		}
+	}
+}
+
+func TestGenerateOutOfRangeLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(smallSpec(), 1).Generate([]int{9}, stats.NewRNG(1))
+}
+
+func TestSamplesOfSameClassCloserThanDifferent(t *testing.T) {
+	// The core property HACCS exploits: same-class samples are closer
+	// to each other than cross-class samples, on average.
+	g := NewGenerator(smallSpec(), 5)
+	rng := stats.NewRNG(6)
+	a1 := make([]float64, 64)
+	a2 := make([]float64, 64)
+	b := make([]float64, 64)
+	sameD, diffD := 0.0, 0.0
+	n := 100
+	for i := 0; i < n; i++ {
+		g.Sample(0, a1, rng)
+		g.Sample(0, a2, rng)
+		g.Sample(1, b, rng)
+		for j := range a1 {
+			sameD += (a1[j] - a2[j]) * (a1[j] - a2[j])
+			diffD += (a1[j] - b[j]) * (a1[j] - b[j])
+		}
+	}
+	if sameD >= diffD {
+		t.Errorf("same-class distance %v >= cross-class %v", sameD, diffD)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	g := NewGenerator(smallSpec(), 7)
+	d := g.Generate([]int{0, 1, 2, 3}, stats.NewRNG(8))
+	s := d.Subset([]int{3, 1})
+	if s.Len() != 2 || s.Y[0] != 3 || s.Y[1] != 1 {
+		t.Fatalf("subset labels %v", s.Y)
+	}
+	// Mutating the subset must not touch the parent.
+	s.X.Data[0] = 99
+	if d.X.At(3, 0) == 99 {
+		t.Error("Subset shares storage with parent")
+	}
+	empty := d.Subset(nil)
+	if empty.Len() != 0 {
+		t.Error("empty subset has samples")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	g := NewGenerator(smallSpec(), 9)
+	labels := make([]int, 100)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	d := g.Generate(labels, stats.NewRNG(10))
+	train, test := d.Split(0.8, stats.NewRNG(11))
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Degenerate fractions panic.
+	for _, f := range []float64{0, 1, -1} {
+		func() {
+			defer func() { recover() }()
+			d.Split(f, stats.NewRNG(1))
+			t.Errorf("Split(%v) did not panic", f)
+		}()
+	}
+}
+
+func TestBatchesCoverAll(t *testing.T) {
+	g := NewGenerator(smallSpec(), 12)
+	labels := make([]int, 23)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	d := g.Generate(labels, stats.NewRNG(13))
+	total := 0
+	nBatches := 0
+	d.Batches(8, stats.NewRNG(14), func(x *tensor.Dense, y []int) {
+		total += len(y)
+		nBatches++
+		if x.Rows() != len(y) {
+			t.Fatal("batch x/y mismatch")
+		}
+	})
+	if total != 23 || nBatches != 3 {
+		t.Fatalf("batches covered %d samples in %d batches", total, nBatches)
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	g := NewGenerator(smallSpec(), 15)
+	d := g.Generate([]int{0, 0, 0, 1, 2}, stats.NewRNG(16))
+	h := d.LabelHistogram()
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 0 {
+		t.Errorf("label histogram %v", h.Counts)
+	}
+}
+
+func TestFeatureHistograms(t *testing.T) {
+	g := NewGenerator(smallSpec(), 17)
+	d := g.Generate([]int{0, 0, 2}, stats.NewRNG(18))
+	hists := d.FeatureHistograms(16)
+	if hists[1] != nil || hists[3] != nil {
+		t.Error("absent classes should have nil histograms")
+	}
+	if hists[0] == nil || hists[2] == nil {
+		t.Fatal("present classes missing histograms")
+	}
+	if got := hists[0].Total(); got != float64(2*64) {
+		t.Errorf("class 0 histogram total %v, want 128 pixels", got)
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	g := NewGenerator(smallSpec(), 19)
+	d := g.Generate([]int{3, 1, 3, 1}, stats.NewRNG(20))
+	got := d.Labels()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Labels = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	g := NewGenerator(smallSpec(), 21)
+	a := g.Generate([]int{0, 1}, stats.NewRNG(22))
+	b := g.Generate([]int{2}, stats.NewRNG(23))
+	c := Concat(a, b)
+	if c.Len() != 3 || c.Y[2] != 2 {
+		t.Fatalf("concat: %v", c.Y)
+	}
+}
+
+func TestLabelDistDraw(t *testing.T) {
+	ld := MajorityNoise(5, 0.75, []int{1, 2, 3}, DefaultMajorityFractions)
+	rng := stats.NewRNG(24)
+	counts := map[int]int{}
+	n := 100000
+	for _, y := range ld.Draw(n, rng) {
+		counts[y]++
+	}
+	if f := float64(counts[5]) / float64(n); math.Abs(f-0.75) > 0.01 {
+		t.Errorf("majority fraction %v, want ~0.75", f)
+	}
+	if f := float64(counts[1]) / float64(n); math.Abs(f-0.12) > 0.01 {
+		t.Errorf("first noise fraction %v, want ~0.12", f)
+	}
+	if counts[0] != 0 || counts[4] != 0 {
+		t.Error("drew labels outside the distribution")
+	}
+}
+
+func TestUniformDistProperties(t *testing.T) {
+	u := Uniform(10)
+	if len(u.Labels) != 10 {
+		t.Fatal("bad uniform")
+	}
+	sum := 0.0
+	for _, p := range u.Probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("uniform probs sum %v", sum)
+	}
+}
+
+func TestIIDPlan(t *testing.T) {
+	p := IIDPlan(10, 5, 100)
+	if p.NumClients() != 10 {
+		t.Fatal("client count")
+	}
+	for i := 0; i < 10; i++ {
+		if p.Samples[i] != 100 || len(p.Dists[i].Labels) != 5 {
+			t.Fatalf("client %d plan wrong", i)
+		}
+	}
+}
+
+func TestKRandomLabelsPlan(t *testing.T) {
+	rng := stats.NewRNG(25)
+	p := KRandomLabelsPlan(20, 10, 5, 50, rng)
+	for i, d := range p.Dists {
+		if len(d.Labels) != 5 {
+			t.Fatalf("client %d has %d labels, want 5", i, len(d.Labels))
+		}
+		seen := map[int]bool{}
+		for _, l := range d.Labels {
+			if l < 0 || l >= 10 || seen[l] {
+				t.Fatalf("client %d bad label set %v", i, d.Labels)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestMajorityNoisePlan(t *testing.T) {
+	rng := stats.NewRNG(26)
+	p := MajorityNoisePlan(50, 10, 100, 300, rng)
+	for i := 0; i < 50; i++ {
+		if p.Group[i] != i%10 {
+			t.Fatalf("client %d group %d, want %d", i, p.Group[i], i%10)
+		}
+		if p.Samples[i] < 100 || p.Samples[i] > 300 {
+			t.Fatalf("client %d samples %d out of bounds", i, p.Samples[i])
+		}
+		d := p.Dists[i]
+		if len(d.Labels) != 4 {
+			t.Fatalf("client %d has %d labels, want 4", i, len(d.Labels))
+		}
+		if d.Labels[0] != i%10 {
+			t.Fatalf("client %d majority label %d", i, d.Labels[0])
+		}
+		// Noise labels must be distinct and differ from the majority.
+		seen := map[int]bool{d.Labels[0]: true}
+		for _, l := range d.Labels[1:] {
+			if seen[l] {
+				t.Fatalf("client %d duplicate label %d", i, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestGroupPlanTableI(t *testing.T) {
+	p := GroupPlan(TableIGroups, 10, 60)
+	if p.NumClients() != 100 {
+		t.Fatalf("Table I plan has %d clients, want 100", p.NumClients())
+	}
+	// Client 0 is in group 0 which holds labels {6,7}.
+	if p.Group[0] != 0 || p.Dists[0].Labels[0] != 6 || p.Dists[0].Labels[1] != 7 {
+		t.Errorf("group 0 labels %v", p.Dists[0].Labels)
+	}
+	// Client 95 is in group 9 -> labels {1,3}.
+	if p.Group[95] != 9 || p.Dists[95].Labels[0] != 1 {
+		t.Errorf("group 9 labels %v", p.Dists[95].Labels)
+	}
+}
+
+func TestPairedLabelPlan(t *testing.T) {
+	rng := stats.NewRNG(27)
+	p := PairedLabelPlan(10, 2, 100, rng)
+	if p.NumClients() != 20 {
+		t.Fatalf("paired plan has %d clients", p.NumClients())
+	}
+	for i := 0; i < 20; i++ {
+		if p.Group[i] != i/2 {
+			t.Errorf("client %d group %d, want %d", i, p.Group[i], i/2)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	g := NewGenerator(smallSpec(), 28)
+	rng := stats.NewRNG(29)
+	p := GroupPlan([][]int{{0, 1}, {2, 3}}, 3, 50)
+	clients := p.Materialize(g, 0.8, rng)
+	if len(clients) != 6 {
+		t.Fatalf("materialized %d clients", len(clients))
+	}
+	for i, c := range clients {
+		if c.Train.Len() != 40 || c.Test.Len() != 10 {
+			t.Fatalf("client %d split %d/%d", i, c.Train.Len(), c.Test.Len())
+		}
+		// Every label must come from the group's label set.
+		want := p.Dists[i].Labels
+		for _, y := range append(append([]int{}, c.Train.Y...), c.Test.Y...) {
+			if y != want[0] && y != want[1] {
+				t.Fatalf("client %d drew label %d outside %v", i, y, want)
+			}
+		}
+	}
+}
+
+func TestRotateImageIdentityAt0(t *testing.T) {
+	g := NewGenerator(smallSpec(), 30)
+	img := g.Prototype(0)
+	rot := RotateImage(img, 1, 8, 8, 0)
+	for i := range img {
+		if math.Abs(img[i]-rot[i]) > 1e-9 {
+			t.Fatalf("0-degree rotation changed pixel %d", i)
+		}
+	}
+}
+
+func TestRotate360RoundTrip(t *testing.T) {
+	g := NewGenerator(smallSpec(), 31)
+	img := g.Prototype(1)
+	// Four 90° rotations compose to the identity (within interpolation
+	// error — 90° hits grid points exactly, so error is tiny).
+	cur := img
+	for i := 0; i < 4; i++ {
+		cur = RotateImage(cur, 1, 8, 8, 90)
+	}
+	for i := range img {
+		if math.Abs(img[i]-cur[i]) > 1e-6 {
+			t.Fatalf("4x90° rotation not identity at pixel %d: %v vs %v", i, img[i], cur[i])
+		}
+	}
+}
+
+func TestRotate45ChangesFeaturesKeepsLabels(t *testing.T) {
+	g := NewGenerator(smallSpec(), 32)
+	d := g.Generate([]int{0, 1, 2}, stats.NewRNG(33))
+	r := d.Rotate(45)
+	for i, y := range d.Y {
+		if r.Y[i] != y {
+			t.Fatal("rotation changed labels")
+		}
+	}
+	diff := 0.0
+	for i := range d.X.Data {
+		diff += math.Abs(d.X.Data[i] - r.X.Data[i])
+	}
+	if diff/float64(len(d.X.Data)) < 1e-3 {
+		t.Error("45° rotation left features nearly unchanged")
+	}
+}
+
+func TestRotatePropertyValuesBounded(t *testing.T) {
+	g := NewGenerator(smallSpec(), 34)
+	rng := stats.NewRNG(35)
+	f := func(angleRaw uint16) bool {
+		angle := float64(angleRaw%360) + 0.5
+		dst := make([]float64, 64)
+		g.Sample(int(angleRaw)%4, dst, rng)
+		rot := RotateImage(dst, 1, 8, 8, angle)
+		for _, v := range rot {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	m := SyntheticMNIST()
+	if m.FeatureDim() != 784 || m.Classes != 10 {
+		t.Errorf("MNIST spec %+v", m)
+	}
+	f := SyntheticFEMNIST(20)
+	if f.Classes != 20 || f.FeatureDim() != 784 {
+		t.Errorf("FEMNIST spec %+v", f)
+	}
+	c := SyntheticCIFAR()
+	if c.FeatureDim() != 3*32*32 || c.Classes != 10 {
+		t.Errorf("CIFAR spec %+v", c)
+	}
+	cc := c.Compact(12, 12)
+	if cc.FeatureDim() != 3*12*12 || cc.Classes != 10 {
+		t.Errorf("compact spec %+v", cc)
+	}
+}
+
+func TestDirichletPlan(t *testing.T) {
+	rng := stats.NewRNG(40)
+	p := DirichletPlan(30, 10, 0.1, 100, 200, rng)
+	if p.NumClients() != 30 {
+		t.Fatalf("clients = %d", p.NumClients())
+	}
+	for i := 0; i < 30; i++ {
+		if len(p.Dists[i].Labels) != 10 || len(p.Dists[i].Probs) != 10 {
+			t.Fatalf("client %d distribution malformed", i)
+		}
+		sum := 0.0
+		maxP := 0.0
+		for _, v := range p.Dists[i].Probs {
+			sum += v
+			if v > maxP {
+				maxP = v
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("client %d probs sum %v", i, sum)
+		}
+		if p.Samples[i] < 100 || p.Samples[i] > 200 {
+			t.Fatalf("client %d samples %d", i, p.Samples[i])
+		}
+		// Group is the argmax label.
+		if p.Dists[i].Probs[p.Group[i]] != maxP {
+			t.Fatalf("client %d group %d not the dominant label", i, p.Group[i])
+		}
+	}
+}
+
+func TestDirichletPlanSkewControl(t *testing.T) {
+	rng := stats.NewRNG(41)
+	domMass := func(alpha float64) float64 {
+		p := DirichletPlan(50, 10, alpha, 100, 100, rng)
+		total := 0.0
+		for i := range p.Dists {
+			total += stats.Max(p.Dists[i].Probs)
+		}
+		return total / float64(len(p.Dists))
+	}
+	if skewed, iid := domMass(0.05), domMass(100); skewed <= iid+0.3 {
+		t.Errorf("alpha=0.05 dominant mass %v not well above alpha=100 mass %v", skewed, iid)
+	}
+}
+
+func TestDirichletPlanBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DirichletPlan(5, 5, 1, 0, 10, stats.NewRNG(1))
+}

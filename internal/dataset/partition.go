@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"fmt"
+
+	"haccs/internal/stats"
+)
+
+// LabelDist is a per-client categorical distribution over class labels,
+// used to draw that client's local label sequence. It is the ground
+// truth that HACCS's P(y) summaries estimate.
+type LabelDist struct {
+	Labels []int     // labels with positive probability
+	Probs  []float64 // parallel probabilities, summing to 1
+}
+
+// Draw samples n labels from the distribution.
+func (ld LabelDist) Draw(n int, rng *stats.RNG) []int {
+	if len(ld.Labels) == 0 || len(ld.Labels) != len(ld.Probs) {
+		panic("dataset: malformed LabelDist")
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = ld.Labels[rng.WeightedChoice(ld.Probs)]
+	}
+	return out
+}
+
+// MajorityNoise builds the paper's default per-client skew: one majority
+// label holding majorFrac of the mass and len(noise) noise labels with
+// the given fractions. The paper's default is 75% / 12% / 7% / 6%
+// (§V-A); Fig. 8a uses 70/10/10/10.
+func MajorityNoise(major int, majorFrac float64, noise []int, noiseFracs []float64) LabelDist {
+	if len(noise) != len(noiseFracs) {
+		panic("dataset: MajorityNoise noise label/fraction length mismatch")
+	}
+	total := majorFrac
+	for _, f := range noiseFracs {
+		total += f
+	}
+	if total <= 0 {
+		panic("dataset: MajorityNoise with non-positive total mass")
+	}
+	labels := append([]int{major}, noise...)
+	probs := append([]float64{majorFrac / total}, make([]float64, len(noiseFracs))...)
+	for i, f := range noiseFracs {
+		probs[i+1] = f / total
+	}
+	return LabelDist{Labels: labels, Probs: probs}
+}
+
+// DefaultMajorityFractions is the paper's standard noise-label split:
+// majority 75%, then 12% / 7% / 6%.
+var DefaultMajorityFractions = []float64{0.12, 0.07, 0.06}
+
+// Uniform returns the IID distribution over classes 0..classes-1.
+func Uniform(classes int) LabelDist {
+	labels := make([]int, classes)
+	probs := make([]float64, classes)
+	for i := range labels {
+		labels[i] = i
+		probs[i] = 1 / float64(classes)
+	}
+	return LabelDist{Labels: labels, Probs: probs}
+}
+
+// UniformOver returns the uniform distribution over an explicit label
+// subset.
+func UniformOver(labels []int) LabelDist {
+	if len(labels) == 0 {
+		panic("dataset: UniformOver with empty label set")
+	}
+	probs := make([]float64, len(labels))
+	for i := range probs {
+		probs[i] = 1 / float64(len(labels))
+	}
+	return LabelDist{Labels: append([]int(nil), labels...), Probs: probs}
+}
+
+// PartitionPlan assigns one LabelDist and sample count to each client.
+type PartitionPlan struct {
+	Dists   []LabelDist
+	Samples []int
+	// Group optionally records a ground-truth group id per client (the
+	// generating distribution), used to score clustering accuracy.
+	Group []int
+}
+
+// NumClients returns the number of clients in the plan.
+func (p *PartitionPlan) NumClients() int { return len(p.Dists) }
+
+// IIDPlan gives every client the uniform distribution over all classes
+// and identical sample counts — the paper's "no skew" sensitivity case,
+// which also equalizes data volume across clients (§V-D1).
+func IIDPlan(clients, classes, samplesPerClient int) *PartitionPlan {
+	p := &PartitionPlan{}
+	for i := 0; i < clients; i++ {
+		p.Dists = append(p.Dists, Uniform(classes))
+		p.Samples = append(p.Samples, samplesPerClient)
+		p.Group = append(p.Group, 0)
+	}
+	return p
+}
+
+// KRandomLabelsPlan assigns each client k randomly chosen labels,
+// uniformly weighted — the paper's moderate-skew case (5 labels per
+// client on CIFAR-10).
+func KRandomLabelsPlan(clients, classes, k, samplesPerClient int, rng *stats.RNG) *PartitionPlan {
+	if k <= 0 || k > classes {
+		panic("dataset: KRandomLabelsPlan with k out of range")
+	}
+	p := &PartitionPlan{}
+	for i := 0; i < clients; i++ {
+		labels := rng.SampleWithoutReplacement(classes, k)
+		p.Dists = append(p.Dists, UniformOver(labels))
+		p.Samples = append(p.Samples, samplesPerClient)
+		p.Group = append(p.Group, -1) // no crisp ground-truth grouping
+	}
+	return p
+}
+
+// MajorityNoisePlan assigns each client one majority label (round-robin
+// over classes so every label is somebody's majority) plus three random
+// noise labels in the standard 75/12/7/6 proportions, with per-client
+// sample counts varying uniformly in [minSamples, maxSamples] — the
+// paper's default high-skew workload where "the amount of data available
+// in each client varies" (§V-A).
+func MajorityNoisePlan(clients, classes, minSamples, maxSamples int, rng *stats.RNG) *PartitionPlan {
+	if minSamples <= 0 || maxSamples < minSamples {
+		panic("dataset: MajorityNoisePlan with bad sample bounds")
+	}
+	p := &PartitionPlan{}
+	for i := 0; i < clients; i++ {
+		major := i % classes
+		noise := pickNoiseLabels(classes, major, len(DefaultMajorityFractions), rng)
+		p.Dists = append(p.Dists, MajorityNoise(major, 0.75, noise, DefaultMajorityFractions))
+		n := minSamples
+		if maxSamples > minSamples {
+			n += rng.Intn(maxSamples - minSamples + 1)
+		}
+		p.Samples = append(p.Samples, n)
+		p.Group = append(p.Group, major)
+	}
+	return p
+}
+
+// pickNoiseLabels chooses count distinct labels excluding the majority.
+func pickNoiseLabels(classes, major, count int, rng *stats.RNG) []int {
+	if count > classes-1 {
+		count = classes - 1
+	}
+	pool := make([]int, 0, classes-1)
+	for c := 0; c < classes; c++ {
+		if c != major {
+			pool = append(pool, c)
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:count]
+}
+
+// GroupPlan implements the motivation experiment's Table I layout:
+// clients are divided into equal groups, each group holding data from
+// exactly the listed labels (uniformly). The HACCS paper partitions 100
+// clients into 10 groups of 2 labels each.
+func GroupPlan(groupLabels [][]int, clientsPerGroup, samplesPerClient int) *PartitionPlan {
+	p := &PartitionPlan{}
+	for g, labels := range groupLabels {
+		for c := 0; c < clientsPerGroup; c++ {
+			p.Dists = append(p.Dists, UniformOver(labels))
+			p.Samples = append(p.Samples, samplesPerClient)
+			p.Group = append(p.Group, g)
+		}
+	}
+	return p
+}
+
+// TableIGroups is the exact label-to-group assignment of the paper's
+// Table I (10 groups × 2 labels over MNIST's 10 classes).
+var TableIGroups = [][]int{
+	{6, 7}, {1, 4}, {5, 9}, {2, 3}, {0, 4},
+	{2, 5}, {6, 8}, {0, 9}, {7, 8}, {1, 3},
+}
+
+// PairedLabelPlan assigns exactly clientsPerLabel clients to each single
+// label — the Fig. 8a clustering-accuracy setup (20 clients, exactly 2
+// per CIFAR-10 label) with a 70/10/10/10 majority/noise split.
+func PairedLabelPlan(classes, clientsPerLabel, samplesPerClient int, rng *stats.RNG) *PartitionPlan {
+	p := &PartitionPlan{}
+	for c := 0; c < classes; c++ {
+		for k := 0; k < clientsPerLabel; k++ {
+			noise := pickNoiseLabels(classes, c, 3, rng)
+			p.Dists = append(p.Dists, MajorityNoise(c, 0.70, noise, []float64{0.10, 0.10, 0.10}))
+			p.Samples = append(p.Samples, samplesPerClient)
+			p.Group = append(p.Group, c)
+		}
+	}
+	return p
+}
+
+// Materialize draws every client's local dataset from the plan using the
+// shared generator, splitting each into train and test portions.
+func (p *PartitionPlan) Materialize(gen *Generator, trainFrac float64, rng *stats.RNG) []ClientData {
+	out := make([]ClientData, p.NumClients())
+	for i := range out {
+		labels := p.Dists[i].Draw(p.Samples[i], rng)
+		full := gen.Generate(labels, rng)
+		train, test := full.Split(trainFrac, rng)
+		out[i] = ClientData{Train: train, Test: test, Group: p.Group[i]}
+	}
+	return out
+}
+
+// ClientData is one client's local train/test data plus its ground-truth
+// generating group (or -1 when the plan has no crisp grouping).
+type ClientData struct {
+	Train *Dataset
+	Test  *Dataset
+	Group int
+}
+
+// String describes the client data volume.
+func (c ClientData) String() string {
+	return fmt.Sprintf("ClientData{train=%d test=%d group=%d}", c.Train.Len(), c.Test.Len(), c.Group)
+}
+
+// DirichletPlan assigns each client a label distribution drawn from a
+// symmetric Dirichlet(alpha) over the classes — the standard non-IID
+// partitioning knob in federated-learning benchmarks (smaller alpha =
+// stronger skew; alpha -> infinity approaches IID). It generalizes the
+// paper's discrete skew levels (Fig. 7) to a continuum.
+func DirichletPlan(clients, classes int, alpha float64, minSamples, maxSamples int, rng *stats.RNG) *PartitionPlan {
+	if minSamples <= 0 || maxSamples < minSamples {
+		panic("dataset: DirichletPlan with bad sample bounds")
+	}
+	p := &PartitionPlan{}
+	for i := 0; i < clients; i++ {
+		probs := rng.Dirichlet(classes, alpha)
+		labels := make([]int, classes)
+		for c := range labels {
+			labels[c] = c
+		}
+		p.Dists = append(p.Dists, LabelDist{Labels: labels, Probs: probs})
+		n := minSamples
+		if maxSamples > minSamples {
+			n += rng.Intn(maxSamples - minSamples + 1)
+		}
+		p.Samples = append(p.Samples, n)
+		// Ground-truth group: the dominant label (a soft proxy; with
+		// small alpha most mass sits on one label).
+		p.Group = append(p.Group, stats.ArgMaxFloat(probs))
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"math"
+
+	"haccs/internal/tensor"
+)
+
+// RotateImage rotates one flattened C×H×W image by angleDeg degrees
+// counter-clockwise about its center using bilinear interpolation.
+// Pixels sampled from outside the source are treated as the image's
+// background (its minimum value), matching how rotated-MNIST benchmarks
+// pad with background rather than black holes.
+func RotateImage(img []float64, channels, height, width int, angleDeg float64) []float64 {
+	if len(img) != channels*height*width {
+		panic("dataset: RotateImage length mismatch")
+	}
+	bg := img[0]
+	for _, v := range img {
+		if v < bg {
+			bg = v
+		}
+	}
+	rad := angleDeg * math.Pi / 180
+	sin, cos := math.Sin(rad), math.Cos(rad)
+	cy := float64(height-1) / 2
+	cx := float64(width-1) / 2
+	out := make([]float64, len(img))
+	for ch := 0; ch < channels; ch++ {
+		base := ch * height * width
+		for y := 0; y < height; y++ {
+			for x := 0; x < width; x++ {
+				// Inverse-map the destination pixel to source space.
+				dy := float64(y) - cy
+				dx := float64(x) - cx
+				sy := cy + dy*cos - dx*sin
+				sx := cx + dy*sin + dx*cos
+				out[base+y*width+x] = bilinear(img[base:base+height*width], height, width, sy, sx, bg)
+			}
+		}
+	}
+	return out
+}
+
+func bilinear(plane []float64, height, width int, y, x, bg float64) float64 {
+	y0 := int(math.Floor(y))
+	x0 := int(math.Floor(x))
+	fy := y - float64(y0)
+	fx := x - float64(x0)
+	get := func(yy, xx int) float64 {
+		if yy < 0 || yy >= height || xx < 0 || xx >= width {
+			return bg
+		}
+		return plane[yy*width+xx]
+	}
+	top := get(y0, x0)*(1-fx) + get(y0, x0+1)*fx
+	bot := get(y0+1, x0)*(1-fx) + get(y0+1, x0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// Rotate returns a copy of the dataset with every image rotated by
+// angleDeg degrees. This is the paper's feature-skew transform (§V-D4):
+// rotating half the data 45° skews P(X|y) while leaving P(y) untouched.
+func (d *Dataset) Rotate(angleDeg float64) *Dataset {
+	out := &Dataset{
+		X:        tensor.New(max(d.Len(), 1), d.X.Cols()),
+		Y:        append([]int(nil), d.Y...),
+		Channels: d.Channels, Height: d.Height, Width: d.Width, Classes: d.Classes,
+	}
+	for i := 0; i < d.Len(); i++ {
+		rot := RotateImage(d.X.Row(i), d.Channels, d.Height, d.Width, angleDeg)
+		copy(out.X.Row(i), rot)
+	}
+	return out
+}

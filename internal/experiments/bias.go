@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"haccs/internal/core"
+	"haccs/internal/metrics"
+)
+
+// BiasReport holds the scheduling-bias analyses of §V-D5: Table III
+// (fraction of each cluster's devices ever included over the run at
+// ρ = 0.01) and Fig. 11 (accuracy gap between the fastest and slowest
+// device of each cluster under the final model).
+type BiasReport struct {
+	Kind core.SummaryKind
+	// InclusionFrac[c] is the fraction of cluster c's devices selected
+	// at least once.
+	InclusionFrac []float64
+	// Buckets counts clusters by inclusion fraction: [0-50%), [50-75%),
+	// [75-100%] — the three columns of Table III.
+	Buckets [3]int
+	// AccGap[c] = accuracy(fastest member) - accuracy(slowest member)
+	// under the final global model; 0 for singleton clusters (Fig. 11).
+	AccGap []float64
+	// ClusterSizes records each cluster's membership count.
+	ClusterSizes []int
+	Epochs       int
+}
+
+// RunBias executes the feature-skew workload for the given summary kind
+// with ρ = 0.01 (strong loss preference, the Table III setting), records
+// every selection, and computes both analyses.
+func RunBias(kind core.SummaryKind, scale Scale, seed uint64) *BiasReport {
+	ec := defaultEngine(scale, 0) // no early stop: fixed epoch budget
+	ec.Record = true
+	epochs := 60
+	if scale == Full {
+		epochs = 200 // the paper's 200-epoch budget
+	}
+	ec.MaxRounds = epochs
+	ec.EvalEvery = epochs
+
+	w := buildFeatureSkewWorkload(scale, seed)
+	sched := HACCSOnly(w, kind, 0, 0.01, seed)
+	eng := newEngineForReport(ec, w, sched, seed)
+	res := eng.Run()
+
+	clusters := sched.Clusters()
+	report := &BiasReport{Kind: kind, Epochs: epochs}
+
+	selectedEver := map[int]bool{}
+	for _, sel := range res.Selected {
+		for _, id := range sel {
+			selectedEver[id] = true
+		}
+	}
+	for _, members := range clusters {
+		report.ClusterSizes = append(report.ClusterSizes, len(members))
+		included := 0
+		for _, id := range members {
+			if selectedEver[id] {
+				included++
+			}
+		}
+		frac := float64(included) / float64(len(members))
+		report.InclusionFrac = append(report.InclusionFrac, frac)
+		switch {
+		case frac < 0.5:
+			report.Buckets[0]++
+		case frac < 0.75:
+			report.Buckets[1]++
+		default:
+			report.Buckets[2]++
+		}
+
+		// Fig. 11: accuracy difference between the fastest and slowest
+		// member (0 for singletons, as in the paper).
+		if len(members) < 2 {
+			report.AccGap = append(report.AccGap, 0)
+			continue
+		}
+		fastest, slowest := members[0], members[0]
+		for _, id := range members[1:] {
+			if eng.ClientLatency(id) < eng.ClientLatency(fastest) {
+				fastest = id
+			}
+			if eng.ClientLatency(id) > eng.ClientLatency(slowest) {
+				slowest = id
+			}
+		}
+		report.AccGap = append(report.AccGap, res.PerClientAcc[fastest]-res.PerClientAcc[slowest])
+	}
+	return report
+}
+
+// String renders both Table III and the Fig. 11 series.
+func (r *BiasReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table III + Fig. 11: scheduling bias, %s clusters, rho=0.01, %d epochs ==\n", r.Kind, r.Epochs)
+	t := metrics.NewTable("devices-included", "0-50%", "50-75%", "75-100%")
+	t.AddRow(fmt.Sprintf("%s clusters", r.Kind), r.Buckets[0], r.Buckets[1], r.Buckets[2])
+	b.WriteString(t.String())
+	b.WriteString("fastest-vs-slowest accuracy gap per cluster (Fig. 11):\n")
+	g := metrics.NewTable("cluster", "size", "inclusion", "acc-gap")
+	for c := range r.AccGap {
+		g.AddRow(c, r.ClusterSizes[c], r.InclusionFrac[c], r.AccGap[c])
+	}
+	b.WriteString(g.String())
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"haccs/internal/cluster"
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/metrics"
+	"haccs/internal/stats"
+)
+
+// DistanceAblation measures the paper's choice of the Hellinger distance
+// (eq. 3) against alternative bounded distribution distances on the
+// Fig. 8a-style clustering task, with and without DP noise. The paper
+// argues Hellinger "can tolerate zero entries" and "produces a nice
+// bounded output"; this ablation quantifies how much the choice matters.
+type DistanceAblation struct {
+	// Recovery[distance][epsilonIndex] is the exact-recovery accuracy.
+	Recovery map[string][]float64
+	Epsilons []float64
+	Trials   int
+}
+
+// distanceFns are the comparators under test. All operate on normalized
+// label histograms and return values in [0, 1].
+var distanceFns = []struct {
+	Name string
+	Fn   func(p, q []float64) float64
+}{
+	{"hellinger", stats.Hellinger},
+	{"total-variation", stats.TotalVariation},
+	{"jensen-shannon", stats.JensenShannon},
+	{"bhattacharyya", stats.Bhattacharyya},
+}
+
+// RunDistanceAblation clusters the Fig. 8a roster (20 clients, 2 per
+// label, 500 samples) under each distance function across a privacy
+// sweep, averaging exact recovery over trials.
+func RunDistanceAblation(scale Scale, seed uint64) *DistanceAblation {
+	const (
+		classes = 10
+		perLbl  = 2
+		samples = 500
+		trials  = 5
+	)
+	spec := specFor("cifar", classes, scale)
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(seed, seedData))
+	rng := stats.NewRNG(stats.DeriveSeed(seed, seedMisc+30))
+	plan := dataset.PairedLabelPlan(classes, perLbl, samples, rng)
+	var sets []*dataset.Dataset
+	for i := 0; i < plan.NumClients(); i++ {
+		sets = append(sets, gen.Generate(plan.Dists[i].Draw(plan.Samples[i], rng), rng))
+	}
+
+	ab := &DistanceAblation{
+		Recovery: map[string][]float64{},
+		Epsilons: []float64{0, 1, 0.1, 0.05, 0.01},
+		Trials:   trials,
+	}
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise+31))
+	for _, d := range distanceFns {
+		ab.Recovery[d.Name] = make([]float64, len(ab.Epsilons))
+	}
+	for ei, eps := range ab.Epsilons {
+		nTrials := trials
+		if eps == 0 {
+			nTrials = 1 // no noise: deterministic
+		}
+		for trial := 0; trial < nTrials; trial++ {
+			sums := core.BuildSummaries(sets, core.PY, 0, eps, noiseRNG)
+			probs := make([][]float64, len(sums))
+			for i, s := range sums {
+				probs[i] = s.Label.Normalize()
+			}
+			for _, d := range distanceFns {
+				m := cluster.FromFunc(len(probs), func(i, j int) float64 {
+					return d.Fn(probs[i], probs[j])
+				})
+				labels := cluster.OPTICS(m, 2, math.Inf(1)).ExtractBestSilhouette(m, 0)
+				ab.Recovery[d.Name][ei] += cluster.ExactRecovery(labels, plan.Group) / float64(nTrials)
+			}
+		}
+	}
+	return ab
+}
+
+// String renders the grid.
+func (a *DistanceAblation) String() string {
+	var b strings.Builder
+	b.WriteString("== Ablation: summary distance function vs clustering accuracy ==\n")
+	header := []string{"distance"}
+	for _, e := range a.Epsilons {
+		if e == 0 {
+			header = append(header, "no-noise")
+		} else {
+			header = append(header, fmt.Sprintf("eps=%g", e))
+		}
+	}
+	t := metrics.NewTable(header...)
+	for _, d := range distanceFns {
+		cells := []interface{}{d.Name}
+		for _, v := range a.Recovery[d.Name] {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("the paper's Hellinger choice is compared against other bounded metrics;\nKL divergence is excluded (infinite on the zero bins sparse label\nhistograms always contain — the disqualifier the paper cites).\n")
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"haccs/internal/cluster"
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/flnet"
+	"haccs/internal/stats"
+)
+
+// TestFederatedTrainingOverTCP runs the full HACCS pipeline over real
+// TCP connections: clients register with P(y) summaries, the server
+// clusters them and drives FedAvg rounds where each selected client
+// trains a real model locally. This is the deployment-path analogue of
+// the paper's gRPC/PySyft implementation (Fig. 2 end to end).
+func TestFederatedTrainingOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network training run skipped in -short mode")
+	}
+	const (
+		seed    = 31
+		nClient = 8
+		classes = 4
+		k       = 4
+		rounds  = 30
+	)
+	w := func() *Workload {
+		spec := specFor("mnist", classes, Quick)
+		plan := dataPlanForTCP(nClient, classes, seed)
+		return BuildWorkload(spec, plan, archFor(spec, Quick), seed)
+	}()
+
+	srv, err := flnet.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Launch the clients: each registers its (noiseless) P(y) summary
+	// and serves local-training requests with a real model.
+	var wg sync.WaitGroup
+	arch := w.Arch
+	for i := 0; i < nClient; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := w.Clients[i]
+			model := arch.Build(stats.NewRNG(1)) // scratch; params overwritten per request
+			trainer := flnet.TrainerFunc(func(round int, params []float64) ([]float64, int, float64) {
+				res := client.LocalTrain(model, params,
+					fl.LocalTrainConfig{Epochs: 2, BatchSize: 16, LR: 0.05},
+					stats.NewRNG(stats.DeriveSeed(seed, uint64(1000+i*100+round))))
+				return res.Params, res.NumSamples, res.Loss
+			})
+			summary := core.Summarize(client.Data.Train, core.PY, 0)
+			reg := flnet.RegisterFromSummary(i, summary.Label.Counts, nil,
+				client.RoundLatency(0.01, 1, 1000), client.NumTrainSamples())
+			c := &flnet.Client{Reg: reg, Trainer: trainer}
+			if _, err := c.Run(srv.Addr()); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	regs, err := srv.AcceptClients(nClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server side: rebuild summaries from the wire payloads and run the
+	// HACCS clustering + scheduling pipeline.
+	sums := make([]core.Summary, nClient)
+	infos := make([]fl.ClientInfo, nClient)
+	for _, r := range regs {
+		sums[r.ClientID] = core.Summary{Kind: core.PY, Label: r.LabelHistogram()}
+		infos[r.ClientID] = fl.ClientInfo{ID: r.ClientID, Latency: r.LatencyEstimate, NumSamples: r.NumSamples}
+	}
+	sched := core.NewScheduler(core.Config{Kind: core.PY, Rho: 0.5}, sums)
+	sched.Init(infos, stats.NewRNG(stats.DeriveSeed(seed, 2)))
+	if got := sched.NumClusters(); got != classes {
+		t.Fatalf("server clustered wire summaries into %d clusters, want %d: %v",
+			got, classes, sched.ClusterLabels())
+	}
+	wantClusters := cluster.Purity(sched.ClusterLabels(), w.Plan.Group)
+	if wantClusters != 1 {
+		t.Fatalf("wire-summary clusters impure: %.2f", wantClusters)
+	}
+
+	// Drive FedAvg rounds over TCP.
+	global := arch.Build(stats.NewRNG(stats.DeriveSeed(seed, 3)))
+	params := global.ParamsVector()
+	available := make([]bool, nClient)
+	for i := range available {
+		available[i] = true
+	}
+	firstLoss, lastLoss := 0.0, 0.0
+	for round := 0; round < rounds; round++ {
+		selected := sched.Select(round, available, k)
+		replies, err := srv.RunRound(round, selected, params)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		results := make([]fl.TrainResult, len(replies))
+		losses := make([]float64, len(replies))
+		meanLoss := 0.0
+		for i, rep := range replies {
+			results[i] = fl.TrainResult{ClientID: rep.ClientID, Params: rep.Params, NumSamples: rep.NumSamples, Loss: rep.Loss}
+			losses[i] = rep.Loss
+			meanLoss += rep.Loss / float64(len(replies))
+		}
+		params = fl.FedAvg(results)
+		sched.Update(round, selected, losses)
+		if round == 0 {
+			firstLoss = meanLoss
+		}
+		lastLoss = meanLoss
+	}
+	srv.Close()
+	wg.Wait()
+
+	if lastLoss >= firstLoss {
+		t.Errorf("federated training over TCP did not reduce loss: %.3f -> %.3f", firstLoss, lastLoss)
+	}
+	// The aggregated model must actually classify: evaluate on every
+	// client's local test set.
+	global.SetParamsVector(params)
+	total, n := 0.0, 0
+	for _, c := range w.Clients {
+		_, acc := global.Evaluate(c.Data.Test.X, c.Data.Test.Y)
+		total += acc
+		n++
+	}
+	if mean := total / float64(n); mean < 0.4 {
+		t.Errorf("TCP-trained global model accuracy %.3f, want >= 0.4", mean)
+	}
+}
+
+// dataPlanForTCP builds a small group partition: nClient clients evenly
+// assigned to `classes` single-label groups (tight clusters the server
+// must recover from wire summaries).
+func dataPlanForTCP(nClient, classes int, seed uint64) *dataset.PartitionPlan {
+	groups := make([][]int, classes)
+	for c := 0; c < classes; c++ {
+		groups[c] = []int{c}
+	}
+	_ = seed
+	return dataset.GroupPlan(groups, nClient/classes, 200)
+}

@@ -1,0 +1,245 @@
+// Package experiments contains one runner per table and figure of the
+// HACCS evaluation (§III and §V). Every runner is deterministic given a
+// seed, supports a Quick scale (seconds, used by `go test -bench`) and a
+// Full scale (minutes, paper-sized client counts and models, used by
+// cmd/haccs-bench -scale=full), and returns a structured report whose
+// String() prints the same rows/series the paper plots.
+package experiments
+
+import (
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/nn"
+	"haccs/internal/selection"
+	"haccs/internal/simnet"
+	"haccs/internal/stats"
+)
+
+// Scale selects experiment size.
+type Scale int
+
+const (
+	// Quick shrinks images, client counts and round budgets so the whole
+	// suite runs in minutes; the qualitative comparisons survive.
+	Quick Scale = iota
+	// Full uses paper-scale client counts (50 clients, k=10) and
+	// full-resolution synthetic datasets.
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale converts "quick"/"full".
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "quick":
+		return Quick, true
+	case "full":
+		return Full, true
+	}
+	return Quick, false
+}
+
+// Workload bundles everything a run needs: the client roster (data +
+// system profiles), the raw per-client training sets (for summary
+// construction), and the model architecture.
+type Workload struct {
+	Clients   []*fl.Client
+	TrainSets []*dataset.Dataset
+	Plan      *dataset.PartitionPlan
+	Spec      dataset.Spec
+	Arch      nn.Arch
+}
+
+// NumClients returns the roster size.
+func (w *Workload) NumClients() int { return len(w.Clients) }
+
+// seed channel indices for DeriveSeed, one per stochastic subsystem.
+const (
+	seedData = iota + 10
+	seedProfiles
+	seedEngine
+	seedNoise
+	seedMisc
+)
+
+// BuildWorkload materializes a partition plan into clients with sampled
+// Table II system profiles.
+func BuildWorkload(spec dataset.Spec, plan *dataset.PartitionPlan, arch nn.Arch, seed uint64) *Workload {
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(seed, seedData))
+	dataRNG := stats.NewRNG(stats.DeriveSeed(seed, seedData+100))
+	profRNG := stats.NewRNG(stats.DeriveSeed(seed, seedProfiles))
+	clientData := plan.Materialize(gen, 0.8, dataRNG)
+	w := &Workload{Plan: plan, Spec: spec, Arch: arch}
+	for i, cd := range clientData {
+		w.Clients = append(w.Clients, &fl.Client{
+			ID:      i,
+			Data:    cd,
+			Profile: simnet.SampleProfile(profRNG),
+		})
+		w.TrainSets = append(w.TrainSets, cd.Train)
+	}
+	return w
+}
+
+// EngineConfig returns the shared training configuration for a workload;
+// all strategies in a comparison run with identical configs and seeds.
+type EngineConfig struct {
+	ClientsPerRound int
+	MaxRounds       int
+	EvalEvery       int
+	Target          float64 // target accuracy for TTA reporting
+	Local           fl.LocalTrainConfig
+	PerSampleSec    float64
+	Dropout         simnet.DropoutModel
+	Record          bool
+}
+
+// ToFL converts to the engine's configuration for the given workload.
+// The TTA target doubles as the engine's early-stop bound: once a
+// strategy crosses it, the comparison has its number and further rounds
+// only cost wall time. A small overshoot margin keeps the curve past the
+// crossing point so interpolation stays well conditioned.
+func (c EngineConfig) ToFL(w *Workload, seed uint64) fl.Config {
+	stop := 0.0
+	if c.Target > 0 {
+		stop = c.Target + 0.05
+		if stop > 0.99 {
+			stop = 0.99
+		}
+	}
+	return fl.Config{
+		Arch:                w.Arch,
+		Seed:                stats.DeriveSeed(seed, seedEngine),
+		Local:               c.Local,
+		ClientsPerRound:     c.ClientsPerRound,
+		MaxRounds:           c.MaxRounds,
+		EvalEvery:           c.EvalEvery,
+		TargetAccuracy:      stop,
+		PerSampleComputeSec: c.PerSampleSec,
+		Dropout:             c.Dropout,
+		RecordSelections:    c.Record,
+	}
+}
+
+// StrategySet builds the paper's five comparison strategies for a
+// workload: Random, TiFL, Oort, HACCS-P(y) and HACCS-P(X|y). eps <= 0
+// disables summary noising; rho is the HACCS latency/loss trade-off.
+func StrategySet(w *Workload, eps, rho float64, seed uint64) []fl.Strategy {
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
+	py := core.BuildSummaries(w.TrainSets, core.PY, 0, eps, noiseRNG)
+	pxy := core.BuildSummaries(w.TrainSets, core.PXY, 0, eps, noiseRNG)
+	return []fl.Strategy{
+		selection.NewRandom(),
+		selection.NewTiFL(5),
+		selection.NewOort(),
+		core.NewScheduler(core.Config{Kind: core.PY, Rho: rho}, py),
+		core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho}, pxy),
+	}
+}
+
+// HACCSOnly builds just the HACCS strategy of the given kind.
+func HACCSOnly(w *Workload, kind core.SummaryKind, eps, rho float64, seed uint64) *core.Scheduler {
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
+	sums := core.BuildSummaries(w.TrainSets, kind, 0, eps, noiseRNG)
+	return core.NewScheduler(core.Config{Kind: kind, Rho: rho}, sums)
+}
+
+// HACCSOnlyWeighted is HACCSOnly with the §V-D5 intra-cluster weighted
+// sampling policy instead of strict min-latency device choice.
+func HACCSOnlyWeighted(w *Workload, eps, rho float64, seed uint64) *core.Scheduler {
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
+	sums := core.BuildSummaries(w.TrainSets, core.PY, 0, eps, noiseRNG)
+	return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: core.PickWeighted}, sums)
+}
+
+// specFor returns the dataset spec for a named family at the given
+// scale. Quick shrinks images to 10×10 (grayscale) or 12×12 (color).
+func specFor(name string, classes int, scale Scale) dataset.Spec {
+	var spec dataset.Spec
+	switch name {
+	case "mnist":
+		spec = dataset.SyntheticMNIST()
+		spec.Classes = classes
+	case "femnist":
+		spec = dataset.SyntheticFEMNIST(classes)
+	case "cifar":
+		spec = dataset.SyntheticCIFAR()
+		spec.Classes = classes
+	default:
+		panic("experiments: unknown dataset family " + name)
+	}
+	if scale == Quick {
+		spec = spec.Compact(8, 8)
+	} else {
+		// Full scale keeps the paper's client counts and round budgets
+		// but renders images at 16x16: pure-Go training at 28x28/32x32
+		// would take hours per figure without changing any comparison.
+		spec = spec.Compact(16, 16)
+	}
+	return spec
+}
+
+// archFor returns the model family for a spec at the given scale: a
+// LeNet-style CNN at Full scale and an MLP at Quick scale (8×8 inputs
+// do not survive two 5×5 conv + pool stages).
+func archFor(spec dataset.Spec, scale Scale) nn.Arch {
+	if scale == Full && spec.Height >= 16 && spec.Width >= 16 {
+		return nn.Arch{
+			Kind:        "lenet",
+			Channels:    spec.Channels,
+			Height:      spec.Height,
+			Width:       spec.Width,
+			Classes:     spec.Classes,
+			ConvFilters: [2]int{4, 8},
+		}
+	}
+	return nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{32}, Classes: spec.Classes}
+}
+
+// defaultEngine returns the shared engine parameters at a scale.
+func defaultEngine(scale Scale, target float64) EngineConfig {
+	if scale == Full {
+		return EngineConfig{
+			ClientsPerRound: 10,
+			MaxRounds:       150,
+			EvalEvery:       5,
+			Target:          target,
+			Local:           fl.LocalTrainConfig{Epochs: 2, BatchSize: 32, LR: 0.05, Momentum: 0},
+			PerSampleSec:    0.01,
+		}
+	}
+	return EngineConfig{
+		ClientsPerRound: 6,
+		MaxRounds:       200,
+		EvalEvery:       5,
+		Target:          target,
+		Local:           fl.LocalTrainConfig{Epochs: 2, BatchSize: 32, LR: 0.05, Momentum: 0},
+		PerSampleSec:    0.01,
+	}
+}
+
+// clientCount returns the roster size at a scale (the paper emulates 50
+// clients).
+func clientCount(scale Scale) int {
+	if scale == Full {
+		return 50
+	}
+	return 30
+}
+
+// sampleBounds returns the per-client data volume range at a scale
+// ("the amount of data available in each client varies").
+func sampleBounds(scale Scale) (lo, hi int) {
+	if scale == Full {
+		return 300, 800
+	}
+	return 100, 240
+}

@@ -1,0 +1,114 @@
+// Package fl implements the federated-learning substrate: simulated
+// clients with local datasets and system profiles, federated averaging,
+// and a deterministic virtual-clock training engine that drives any
+// client-selection Strategy through the paper's round structure.
+//
+// Rounds advance a virtual clock instead of sleeping: each selected
+// client's round latency is computed from its simnet.Profile (compute
+// delay, bandwidth, network latency) and the round takes as long as its
+// slowest participant, exactly as in a synchronous FedAvg deployment.
+package fl
+
+import (
+	"fmt"
+
+	"haccs/internal/dataset"
+	"haccs/internal/nn"
+	"haccs/internal/simnet"
+	"haccs/internal/stats"
+	"haccs/internal/tensor"
+)
+
+// Client is one simulated device: local train/test data plus a sampled
+// system profile. Clients train clones of the global model; they never
+// share raw data with the server, only parameter vectors (and, for
+// HACCS, distribution summaries produced elsewhere).
+type Client struct {
+	ID      int
+	Data    dataset.ClientData
+	Profile simnet.Profile
+}
+
+// NumTrainSamples returns the client's local training set size.
+func (c *Client) NumTrainSamples() int { return c.Data.Train.Len() }
+
+// TrainResult is what a client returns to the server after local
+// training.
+type TrainResult struct {
+	ClientID int
+	// Params is the client's updated flat parameter vector.
+	Params []float64
+	// NumSamples weights this update in federated averaging.
+	NumSamples int
+	// Loss is the mean minibatch loss observed during the first local
+	// epoch (before updates from later epochs), the utility signal
+	// loss-aware schedulers consume.
+	Loss float64
+}
+
+// LocalTrainConfig controls one client's local optimization.
+type LocalTrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// ProxMu enables a FedProx-style proximal term (mu/2)·||w − w_g||²
+	// in the local objective (0 disables). Bounding local drift is the
+	// FedProx answer to the same heterogeneity HACCS addresses by
+	// selection; the two compose.
+	ProxMu float64
+}
+
+// LocalTrain runs local SGD from the given global parameters and returns
+// the updated parameters with the observed loss. The model is a scratch
+// network owned by the caller (reused across rounds to avoid
+// reallocation); its parameters are overwritten. The RNG drives batch
+// shuffling only.
+func (c *Client) LocalTrain(model *nn.Network, globalParams []float64, cfg LocalTrainConfig, rng *stats.RNG) TrainResult {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		panic(fmt.Sprintf("fl: bad local train config %+v", cfg))
+	}
+	model.SetParamsVector(globalParams)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	firstEpochLoss := 0.0
+	firstEpochBatches := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		c.Data.Train.Batches(cfg.BatchSize, rng, func(x *tensor.Dense, y []int) {
+			var loss float64
+			if cfg.ProxMu > 0 {
+				model.ZeroGrads()
+				logits := model.Forward(x)
+				var grad *tensor.Dense
+				loss, grad = nn.SoftmaxCrossEntropy(logits, y)
+				model.Backward(grad)
+				model.AddProximalGrad(globalParams, cfg.ProxMu)
+				opt.Step(model)
+			} else {
+				loss = nn.TrainBatch(model, opt, x, y)
+			}
+			if e == 0 {
+				firstEpochLoss += loss
+				firstEpochBatches++
+			}
+		})
+	}
+	loss := 0.0
+	if firstEpochBatches > 0 {
+		loss = firstEpochLoss / float64(firstEpochBatches)
+	}
+	return TrainResult{
+		ClientID:   c.ID,
+		Params:     model.ParamsVector(),
+		NumSamples: c.NumTrainSamples(),
+		Loss:       loss,
+	}
+}
+
+// RoundLatency returns the client's expected virtual-time cost for one
+// round: local compute (scaled by data volume, local epochs and the
+// profile's compute multiplier) plus the model transfer both ways and
+// the request RTT.
+func (c *Client) RoundLatency(perSampleSec float64, localEpochs, modelBytes int) float64 {
+	compute := perSampleSec * float64(c.NumTrainSamples()) * float64(localEpochs)
+	return c.Profile.RoundLatency(compute, modelBytes)
+}

@@ -1,0 +1,294 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"haccs/internal/nn"
+	"haccs/internal/simnet"
+	"haccs/internal/stats"
+)
+
+// Config parameterizes one federated training run.
+type Config struct {
+	// Arch is the model family every client trains.
+	Arch nn.Arch
+	// Seed is the root seed for all engine-owned randomness (model init,
+	// batch shuffling, strategy stream).
+	Seed uint64
+	// Local controls client-side optimization.
+	Local LocalTrainConfig
+	// ClientsPerRound is the selection budget k.
+	ClientsPerRound int
+	// MaxRounds bounds the run.
+	MaxRounds int
+	// TargetAccuracy stops the run early once the evaluated global
+	// accuracy reaches it (0 disables early stop).
+	TargetAccuracy float64
+	// EvalEvery evaluates the global model every that many rounds
+	// (default 1). The final round is always evaluated.
+	EvalEvery int
+	// PerSampleComputeSec is the baseline compute cost of one training
+	// sample for one local epoch on a Fast device; per-client compute
+	// time scales with data volume and the profile multiplier.
+	PerSampleComputeSec float64
+	// Dropout injects per-epoch unavailability (nil = no dropout).
+	Dropout simnet.DropoutModel
+	// Parallelism bounds concurrent client training (0 = GOMAXPROCS).
+	Parallelism int
+	// RecordSelections keeps the per-round selected-client lists in the
+	// Result (needed by the Table III / Fig 11 analyses).
+	RecordSelections bool
+}
+
+func (c *Config) validate() {
+	if c.ClientsPerRound <= 0 {
+		panic("fl: ClientsPerRound must be positive")
+	}
+	if c.MaxRounds <= 0 {
+		panic("fl: MaxRounds must be positive")
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.PerSampleComputeSec < 0 {
+		panic("fl: negative PerSampleComputeSec")
+	}
+	if c.Dropout == nil {
+		c.Dropout = simnet.NoDropout{}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Point is one evaluation of the global model.
+type Point struct {
+	Round int     // rounds completed when evaluated
+	Time  float64 // virtual seconds elapsed
+	Acc   float64 // mean per-client test accuracy
+	Loss  float64 // mean per-client test loss
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Strategy string
+	History  []Point
+	// PerClientAcc is each client's test accuracy under the final
+	// global model.
+	PerClientAcc []float64
+	// Selected holds the chosen client IDs per round when
+	// Config.RecordSelections is set.
+	Selected [][]int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Clock is the final virtual time in seconds.
+	Clock float64
+	// FinalParams is the final global parameter vector.
+	FinalParams []float64
+}
+
+// FinalAccuracy returns the last evaluated global accuracy (0 if the
+// run produced no evaluations).
+func (r *Result) FinalAccuracy() float64 {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.History[len(r.History)-1].Acc
+}
+
+// Engine drives one federated training run.
+type Engine struct {
+	cfg      Config
+	clients  []*Client
+	strategy Strategy
+
+	global     []float64
+	modelBytes int
+	clock      float64
+
+	// Per-worker scratch models for parallel local training and
+	// evaluation; allocated once.
+	scratch []*nn.Network
+}
+
+// NewEngine validates the configuration and initializes the global model
+// deterministically from the seed.
+func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
+	cfg.validate()
+	if len(clients) == 0 {
+		panic("fl: no clients")
+	}
+	for i, c := range clients {
+		if c.ID != i {
+			panic(fmt.Sprintf("fl: client %d has ID %d; IDs must be dense indices", i, c.ID))
+		}
+		if c.NumTrainSamples() == 0 {
+			panic(fmt.Sprintf("fl: client %d has no training data", i))
+		}
+	}
+	template := cfg.Arch.Build(stats.NewRNG(stats.DeriveSeed(cfg.Seed, 0)))
+	e := &Engine{
+		cfg:        cfg,
+		clients:    clients,
+		strategy:   strategy,
+		global:     template.ParamsVector(),
+		modelBytes: template.WireBytes(),
+	}
+	e.scratch = make([]*nn.Network, cfg.Parallelism)
+	for i := range e.scratch {
+		e.scratch[i] = template.Clone()
+	}
+	infos := make([]ClientInfo, len(clients))
+	for i, c := range clients {
+		infos[i] = ClientInfo{
+			ID:         c.ID,
+			Latency:    c.RoundLatency(cfg.PerSampleComputeSec, cfg.Local.Epochs, e.modelBytes),
+			NumSamples: c.NumTrainSamples(),
+		}
+	}
+	strategy.Init(infos, stats.NewRNG(stats.DeriveSeed(cfg.Seed, 1)))
+	return e
+}
+
+// ModelBytes returns the simulated wire size of one model transfer.
+func (e *Engine) ModelBytes() int { return e.modelBytes }
+
+// ClientLatency returns a client's expected round latency under the
+// engine's configuration.
+func (e *Engine) ClientLatency(id int) float64 {
+	return e.clients[id].RoundLatency(e.cfg.PerSampleComputeSec, e.cfg.Local.Epochs, e.modelBytes)
+}
+
+// Run executes the configured number of rounds (or stops early at the
+// target accuracy) and returns the result.
+func (e *Engine) Run() *Result {
+	res := &Result{Strategy: e.strategy.Name()}
+	for round := 0; round < e.cfg.MaxRounds; round++ {
+		selected := e.runRound(round)
+		res.Rounds = round + 1
+		if e.cfg.RecordSelections {
+			res.Selected = append(res.Selected, selected)
+		}
+		last := round == e.cfg.MaxRounds-1
+		if (round+1)%e.cfg.EvalEvery == 0 || last {
+			acc, loss, perClient := e.Evaluate()
+			res.History = append(res.History, Point{Round: round + 1, Time: e.clock, Acc: acc, Loss: loss})
+			res.PerClientAcc = perClient
+			if e.cfg.TargetAccuracy > 0 && acc >= e.cfg.TargetAccuracy {
+				break
+			}
+		}
+	}
+	res.Clock = e.clock
+	res.FinalParams = append([]float64(nil), e.global...)
+	return res
+}
+
+// runRound executes one selection + local training + aggregation round
+// and returns the selected client IDs.
+func (e *Engine) runRound(round int) []int {
+	mask := e.cfg.Dropout.Unavailable(round, len(e.clients))
+	available := make([]bool, len(e.clients))
+	for i := range available {
+		available[i] = !mask[i]
+	}
+	selected := e.strategy.Select(round, available, e.cfg.ClientsPerRound)
+	if len(selected) == 0 {
+		// Nothing available: the server idles briefly and retries next
+		// round. One virtual second models the scheduler's retry tick.
+		e.clock++
+		e.strategy.Update(round, nil, nil)
+		return nil
+	}
+	seen := make(map[int]bool, len(selected))
+	for _, id := range selected {
+		if id < 0 || id >= len(e.clients) {
+			panic(fmt.Sprintf("fl: strategy selected invalid client %d", id))
+		}
+		if !available[id] {
+			panic(fmt.Sprintf("fl: strategy selected unavailable client %d", id))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("fl: strategy selected client %d twice", id))
+		}
+		seen[id] = true
+	}
+	if len(selected) > e.cfg.ClientsPerRound {
+		panic("fl: strategy selected more clients than the budget")
+	}
+
+	results := e.trainSelected(round, selected)
+	e.global = FedAvg(results)
+
+	// Synchronous FedAvg: the round takes as long as its slowest
+	// participant.
+	roundTime := 0.0
+	losses := make([]float64, len(selected))
+	for i, id := range selected {
+		if lat := e.ClientLatency(id); lat > roundTime {
+			roundTime = lat
+		}
+		losses[i] = results[i].Loss
+	}
+	e.clock += roundTime
+	e.strategy.Update(round, selected, losses)
+	return selected
+}
+
+// trainSelected trains the selected clients in parallel, each from the
+// current global parameters, returning results in selection order.
+func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
+	results := make([]TrainResult, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan int, len(e.scratch))
+	for w := range e.scratch {
+		sem <- w
+	}
+	for i, id := range selected {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			w := <-sem
+			defer func() { sem <- w }()
+			// Each (client, round) pair owns an independent stream so
+			// results do not depend on scheduling order.
+			rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(id)*1_000_003+uint64(round)))
+			results[i] = e.clients[id].LocalTrain(e.scratch[w], e.global, e.cfg.Local, rng)
+		}(i, id)
+	}
+	wg.Wait()
+	return results
+}
+
+// Evaluate measures the current global model against every client's
+// local test set, returning the unweighted mean accuracy and loss across
+// clients (the paper's "average test accuracy on all devices") plus the
+// per-client accuracies.
+func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
+	perClient = make([]float64, len(e.clients))
+	losses := make([]float64, len(e.clients))
+	var wg sync.WaitGroup
+	sem := make(chan int, len(e.scratch))
+	for w := range e.scratch {
+		sem <- w
+	}
+	for i := range e.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := <-sem
+			defer func() { sem <- w }()
+			model := e.scratch[w]
+			model.SetParamsVector(e.global)
+			test := e.clients[i].Data.Test
+			losses[i], perClient[i] = model.Evaluate(test.X, test.Y)
+		}(i)
+	}
+	wg.Wait()
+	return stats.Mean(perClient), stats.Mean(losses), perClient
+}
+
+// GlobalParams returns a copy of the current global parameter vector.
+func (e *Engine) GlobalParams() []float64 { return append([]float64(nil), e.global...) }

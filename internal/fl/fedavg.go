@@ -1,0 +1,30 @@
+package fl
+
+// FedAvg computes the sample-weighted average of client parameter
+// vectors (McMahan et al., Federated Averaging): the new global model is
+// sum_i (n_i / n) * w_i over the participating clients. All vectors must
+// have equal length; the result is written into a new slice.
+func FedAvg(results []TrainResult) []float64 {
+	if len(results) == 0 {
+		panic("fl: FedAvg with no results")
+	}
+	dim := len(results[0].Params)
+	total := 0
+	for _, r := range results {
+		if len(r.Params) != dim {
+			panic("fl: FedAvg parameter dimension mismatch")
+		}
+		if r.NumSamples <= 0 {
+			panic("fl: FedAvg result with non-positive sample count")
+		}
+		total += r.NumSamples
+	}
+	out := make([]float64, dim)
+	for _, r := range results {
+		w := float64(r.NumSamples) / float64(total)
+		for i, v := range r.Params {
+			out[i] += w * v
+		}
+	}
+	return out
+}

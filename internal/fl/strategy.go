@@ -1,0 +1,44 @@
+package fl
+
+import "haccs/internal/stats"
+
+// ClientInfo is the system-level knowledge the server legitimately holds
+// about a client when training starts: its identity, expected round
+// latency, and data volume. Distribution summaries (the HACCS addition)
+// travel separately — see internal/core — so baseline strategies cannot
+// accidentally peek at them.
+type ClientInfo struct {
+	ID         int
+	Latency    float64 // expected round latency in virtual seconds
+	NumSamples int
+}
+
+// Strategy is a client-selection policy. The engine calls Init once,
+// then Select/Update every round. Implementations live in
+// internal/selection (Random, TiFL, Oort) and internal/core (HACCS).
+type Strategy interface {
+	// Name identifies the strategy in results and logs.
+	Name() string
+	// Init receives the client roster and a dedicated RNG stream before
+	// the first round.
+	Init(clients []ClientInfo, rng *stats.RNG)
+	// Select returns up to k client IDs to train this epoch, drawn only
+	// from clients whose availability flag is true. Returning fewer than
+	// k (even zero, if nothing is available) is allowed.
+	Select(epoch int, available []bool, k int) []int
+	// Update reports the losses observed for the selected clients after
+	// the round, in the same order as selected.
+	Update(epoch int, selected []int, losses []float64)
+}
+
+// FilterAvailable returns the IDs in candidates whose availability flag
+// is set — a helper shared by strategy implementations.
+func FilterAvailable(available []bool) []int {
+	var out []int
+	for id, ok := range available {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package flnet is a minimal network transport for the federated
+// protocol: clients connect to a coordinator over TCP, register with
+// their distribution summary and system profile, then serve local-
+// training requests. It demonstrates the deployment path the paper
+// implements with gRPC/PySyft; the simulation experiments use the
+// deterministic in-process engine instead, so this package carries the
+// protocol, not the evaluation.
+//
+// Framing is gob over the connection: one Register message from the
+// client, then an alternating stream of TrainRequest/TrainReply pairs
+// driven by the server, terminated by a Shutdown message.
+package flnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"haccs/internal/stats"
+)
+
+// Register is the client's first message: its identity, summary and
+// system characteristics (paper Fig. 2, steps 1-2).
+type Register struct {
+	ClientID int
+	// SummaryKind is 0 for P(y), 1 for P(X|y).
+	SummaryKind int
+	// LabelCounts is the (possibly noised) P(y) histogram.
+	LabelCounts []float64
+	// FeatureCounts are the per-class (possibly noised) P(X|y)
+	// histograms; empty slices mark absent classes.
+	FeatureCounts [][]float64
+	// LatencyEstimate is the client's expected round latency in seconds.
+	LatencyEstimate float64
+	// NumSamples is the local training-set size.
+	NumSamples int
+}
+
+// TrainRequest pushes the global parameters for one round of local
+// training (Fig. 2, step 3).
+type TrainRequest struct {
+	Round  int
+	Params []float64
+}
+
+// TrainReply returns the locally updated parameters (Fig. 2, step 4).
+// A client whose local data distribution has shifted may piggyback a
+// refreshed summary (UpdatedLabelCounts non-nil), the wire form of the
+// paper's §IV-C asynchronous summary updates; the coordinator forwards
+// it to the scheduler for re-clustering.
+type TrainReply struct {
+	ClientID   int
+	Round      int
+	Params     []float64
+	NumSamples int
+	Loss       float64
+	// UpdatedLabelCounts, when non-nil, replaces the client's P(y)
+	// summary on the server.
+	UpdatedLabelCounts []float64
+}
+
+// Shutdown ends the session.
+type Shutdown struct{ Reason string }
+
+// Envelope wraps every wire message so a single gob stream can carry
+// all types.
+type Envelope struct {
+	Register *Register
+	Request  *TrainRequest
+	Reply    *TrainReply
+	Shutdown *Shutdown
+}
+
+// Trainer is the client-side computation: given global parameters,
+// produce updated parameters, the local sample count, and a loss.
+type Trainer interface {
+	Train(round int, params []float64) (updated []float64, numSamples int, loss float64)
+}
+
+// TrainerFunc adapts a function to the Trainer interface.
+type TrainerFunc func(round int, params []float64) ([]float64, int, float64)
+
+// Train implements Trainer.
+func (f TrainerFunc) Train(round int, params []float64) ([]float64, int, float64) {
+	return f(round, params)
+}
+
+// Client is the device-side endpoint.
+type Client struct {
+	Reg     Register
+	Trainer Trainer
+	// SummaryRefresh, when set, is consulted after each local training
+	// round; a non-nil return piggybacks a refreshed P(y) summary on the
+	// reply (§IV-C adaptation). Most clients leave it nil.
+	SummaryRefresh func(round int) []float64
+}
+
+// Run connects to the coordinator, registers, and serves training
+// requests until the server shuts the session down or the connection
+// fails. It returns the number of rounds served.
+func (c *Client) Run(addr string) (rounds int, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("flnet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Envelope{Register: &c.Reg}); err != nil {
+		return 0, fmt.Errorf("flnet: register: %w", err)
+	}
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return rounds, fmt.Errorf("flnet: receive: %w", err)
+		}
+		switch {
+		case env.Shutdown != nil:
+			return rounds, nil
+		case env.Request != nil:
+			params, n, loss := c.Trainer.Train(env.Request.Round, env.Request.Params)
+			reply := TrainReply{
+				ClientID:   c.Reg.ClientID,
+				Round:      env.Request.Round,
+				Params:     params,
+				NumSamples: n,
+				Loss:       loss,
+			}
+			if c.SummaryRefresh != nil {
+				reply.UpdatedLabelCounts = c.SummaryRefresh(env.Request.Round)
+			}
+			if err := enc.Encode(Envelope{Reply: &reply}); err != nil {
+				return rounds, fmt.Errorf("flnet: reply: %w", err)
+			}
+			rounds++
+		default:
+			return rounds, fmt.Errorf("flnet: unexpected message %+v", env)
+		}
+	}
+}
+
+// session is one registered client on the server side.
+type session struct {
+	reg  Register
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	conn net.Conn
+}
+
+// Server is the coordinator endpoint: it accepts registrations, then
+// drives synchronized training rounds over the registered clients.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[int]*session
+}
+
+// NewServer listens on addr (use "127.0.0.1:0" for an ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: listen: %w", err)
+	}
+	return &Server{ln: ln, sessions: map[int]*session{}}, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AcceptClients blocks until n clients have registered (or an accept
+// fails) and returns their registrations.
+func (s *Server) AcceptClients(n int) ([]Register, error) {
+	regs := make([]Register, 0, n)
+	for len(regs) < n {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return regs, fmt.Errorf("flnet: accept: %w", err)
+		}
+		sess := &session{
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+			conn: conn,
+		}
+		var env Envelope
+		if err := sess.dec.Decode(&env); err != nil || env.Register == nil {
+			conn.Close()
+			return regs, fmt.Errorf("flnet: bad registration: %v", err)
+		}
+		sess.reg = *env.Register
+		s.mu.Lock()
+		s.sessions[sess.reg.ClientID] = sess
+		s.mu.Unlock()
+		regs = append(regs, sess.reg)
+	}
+	return regs, nil
+}
+
+// Registrations returns a snapshot of all registered clients.
+func (s *Server) Registrations() []Register {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Register, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess.reg)
+	}
+	return out
+}
+
+// RunRound pushes params to the selected clients, waits for all
+// replies, and returns them. Transport errors abort the round.
+func (s *Server) RunRound(round int, selected []int, params []float64) ([]TrainReply, error) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(selected))
+	for _, id := range selected {
+		sess, ok := s.sessions[id]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("flnet: client %d not registered", id)
+		}
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	replies := make([]TrainReply, len(sessions))
+	errs := make([]error, len(sessions))
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *session) {
+			defer wg.Done()
+			if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params}}); err != nil {
+				errs[i] = err
+				return
+			}
+			var env Envelope
+			if err := sess.dec.Decode(&env); err != nil {
+				errs[i] = err
+				return
+			}
+			if env.Reply == nil {
+				errs[i] = fmt.Errorf("flnet: client %d sent non-reply", sess.reg.ClientID)
+				return
+			}
+			replies[i] = *env.Reply
+		}(i, sess)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replies, nil
+}
+
+// Close shuts down every session and the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		_ = sess.enc.Encode(Envelope{Shutdown: &Shutdown{Reason: "done"}})
+		sess.conn.Close()
+	}
+	s.sessions = map[int]*session{}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// RegisterFromSummary converts a core-style summary (label counts or
+// per-class feature counts) into the wire form. Callers noise the
+// histograms before registration when privacy is required.
+func RegisterFromSummary(clientID int, labelCounts []float64, featureCounts [][]float64, latency float64, numSamples int) Register {
+	kind := 0
+	if featureCounts != nil {
+		kind = 1
+	}
+	return Register{
+		ClientID:        clientID,
+		SummaryKind:     kind,
+		LabelCounts:     append([]float64(nil), labelCounts...),
+		FeatureCounts:   featureCounts,
+		LatencyEstimate: latency,
+		NumSamples:      numSamples,
+	}
+}
+
+// LabelHistogram reconstructs a stats.Histogram from wire counts.
+func (r Register) LabelHistogram() *stats.Histogram {
+	return &stats.Histogram{Counts: append([]float64(nil), r.LabelCounts...)}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"haccs/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba): per-parameter
+// adaptive learning rates from exponential moving averages of gradients
+// and squared gradients, with bias correction. Provided as an
+// alternative local solver to SGD; federated averaging is agnostic to
+// how clients compute their local updates.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m    map[*tensor.Dense]*tensor.Dense // first-moment estimates
+	v    map[*tensor.Dense]*tensor.Dense // second-moment estimates
+}
+
+// NewAdam constructs an Adam optimizer with the reference defaults
+// (beta1 0.9, beta2 0.999, epsilon 1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic("nn: Adam with non-positive learning rate")
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: map[*tensor.Dense]*tensor.Dense{},
+		v: map[*tensor.Dense]*tensor.Dense{},
+	}
+}
+
+// Step applies one Adam update using the currently accumulated
+// gradients.
+func (a *Adam) Step(n *Network) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, l := range n.Layers {
+		params := l.Params()
+		grads := l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			m := a.m[p]
+			if m == nil {
+				m = tensor.New(p.Shape...)
+				a.m[p] = m
+			}
+			v := a.v[p]
+			if v == nil {
+				v = tensor.New(p.Shape...)
+				a.v[p] = v
+			}
+			for j := range p.Data {
+				gj := g.Data[j]
+				m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+				v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+				mHat := m.Data[j] / bc1
+				vHat := v.Data[j] / bc2
+				p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+			}
+		}
+	}
+}
+
+// Reset clears moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.step = 0
+	a.m = map[*tensor.Dense]*tensor.Dense{}
+	a.v = map[*tensor.Dense]*tensor.Dense{}
+}
+
+// TrainBatchAdam mirrors TrainBatch for the Adam optimizer.
+func TrainBatchAdam(n *Network, opt *Adam, x *tensor.Dense, labels []int) float64 {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	n.Backward(grad)
+	opt.Step(n)
+	return loss
+}

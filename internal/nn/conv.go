@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"haccs/internal/stats"
+	"haccs/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over inputs laid out as flattened C×H×W
+// rows of a (batch × C*H*W) tensor. It is implemented as im2col followed
+// by a single GEMM per image, the standard formulation that turns the
+// convolution into dense matrix math.
+type Conv2D struct {
+	Geom    tensor.ConvGeom
+	Filters int
+	// W has shape (Filters × C*K*K); B has shape (1 × Filters).
+	W, B   *tensor.Dense
+	dW, dB *tensor.Dense
+
+	lastCols []*tensor.Dense // cached im2col matrices, one per image
+}
+
+// NewConv2D constructs a convolution layer with He-uniform init.
+func NewConv2D(geom tensor.ConvGeom, filters int, rng *stats.RNG) *Conv2D {
+	geom.Validate()
+	if filters <= 0 {
+		panic("nn: Conv2D with non-positive filter count")
+	}
+	fan := geom.Channels * geom.Kernel * geom.Kernel
+	c := &Conv2D{
+		Geom:    geom,
+		Filters: filters,
+		W:       tensor.New(filters, fan),
+		B:       tensor.New(1, filters),
+		dW:      tensor.New(filters, fan),
+		dB:      tensor.New(1, filters),
+	}
+	limit := math.Sqrt(6.0 / float64(fan))
+	c.W.RandUniform(-limit, limit, rng)
+	return c
+}
+
+// OutSize returns the flattened per-image output length, Filters*outH*outW.
+func (c *Conv2D) OutSize() int { return c.Filters * c.Geom.OutHeight() * c.Geom.OutWidth() }
+
+// InSize returns the flattened per-image input length, C*H*W.
+func (c *Conv2D) InSize() int { return c.Geom.Channels * c.Geom.Height * c.Geom.Width }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
+	batch := x.Rows()
+	if x.Cols() != c.InSize() {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Cols(), c.InSize()))
+	}
+	outHW := c.Geom.OutHeight() * c.Geom.OutWidth()
+	y := tensor.New(batch, c.OutSize())
+	c.lastCols = make([]*tensor.Dense, batch)
+	for b := 0; b < batch; b++ {
+		cols := tensor.Im2Col(x.Row(b), c.Geom)
+		c.lastCols[b] = cols
+		prod := tensor.MatMul(c.W, cols) // (F × outHW)
+		dst := y.Row(b)
+		for f := 0; f < c.Filters; f++ {
+			bias := c.B.Data[f]
+			src := prod.Data[f*outHW : (f+1)*outHW]
+			out := dst[f*outHW : (f+1)*outHW]
+			for i, v := range src {
+				out[i] = v + bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	batch := gradOut.Rows()
+	if batch != len(c.lastCols) {
+		panic("nn: Conv2D.Backward batch mismatch with last Forward")
+	}
+	outHW := c.Geom.OutHeight() * c.Geom.OutWidth()
+	gradIn := tensor.New(batch, c.InSize())
+	for b := 0; b < batch; b++ {
+		// View this image's output gradient as (F × outHW).
+		g := tensor.FromSlice(gradOut.Row(b), c.Filters, outHW)
+		// dW += g · colsᵀ ; dB += row sums of g.
+		c.dW.Add(tensor.MatMulTransB(g, c.lastCols[b]))
+		for f := 0; f < c.Filters; f++ {
+			s := 0.0
+			for _, v := range g.Row(f) {
+				s += v
+			}
+			c.dB.Data[f] += s
+		}
+		// dCols = Wᵀ · g, scattered back to image space.
+		dcols := tensor.MatMulTransA(c.W, g)
+		img := tensor.Col2Im(dcols, c.Geom)
+		copy(gradIn.Row(b), img)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Dense { return []*tensor.Dense{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Dense { return []*tensor.Dense{c.dW, c.dB} }
+
+// ZeroGrads implements Layer.
+func (c *Conv2D) ZeroGrads() { c.dW.Zero(); c.dB.Zero() }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		Geom:    c.Geom,
+		Filters: c.Filters,
+		W:       c.W.Clone(),
+		B:       c.B.Clone(),
+		dW:      tensor.New(c.dW.Shape...),
+		dB:      tensor.New(c.dB.Shape...),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d,k=%d,f=%d)", c.Geom.Channels, c.Geom.Height, c.Geom.Width, c.Geom.Kernel, c.Filters)
+}
+
+// MaxPool2D is a max pooling layer over flattened C×H×W rows with a
+// square window and equal stride (non-overlapping pooling when
+// stride == window, as in LeNet).
+type MaxPool2D struct {
+	Geom tensor.ConvGeom // Kernel is the pool window; Pad must be 0.
+
+	lastArg []int // flat input index chosen per output element, per batch row
+	lastIn  int   // input width cached from Forward
+}
+
+// NewMaxPool2D constructs a max-pooling layer. geom.Pad must be zero.
+func NewMaxPool2D(geom tensor.ConvGeom) *MaxPool2D {
+	geom.Validate()
+	if geom.Pad != 0 {
+		panic("nn: MaxPool2D does not support padding")
+	}
+	return &MaxPool2D{Geom: geom}
+}
+
+// OutSize returns the flattened per-image output length.
+func (p *MaxPool2D) OutSize() int { return p.Geom.Channels * p.Geom.OutHeight() * p.Geom.OutWidth() }
+
+// InSize returns the flattened per-image input length.
+func (p *MaxPool2D) InSize() int { return p.Geom.Channels * p.Geom.Height * p.Geom.Width }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Dense) *tensor.Dense {
+	batch := x.Rows()
+	if x.Cols() != p.InSize() {
+		panic(fmt.Sprintf("nn: MaxPool2D input width %d, want %d", x.Cols(), p.InSize()))
+	}
+	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
+	y := tensor.New(batch, p.OutSize())
+	p.lastArg = make([]int, batch*p.OutSize())
+	p.lastIn = x.Cols()
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		out := y.Row(b)
+		argBase := b * p.OutSize()
+		for c := 0; c < p.Geom.Channels; c++ {
+			chanBase := c * p.Geom.Height * p.Geom.Width
+			outChan := c * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					bestIdx := -1
+					bestVal := math.Inf(-1)
+					for ky := 0; ky < p.Geom.Kernel; ky++ {
+						iy := oy*p.Geom.Stride + ky
+						if iy >= p.Geom.Height {
+							continue
+						}
+						for kx := 0; kx < p.Geom.Kernel; kx++ {
+							ix := ox*p.Geom.Stride + kx
+							if ix >= p.Geom.Width {
+								continue
+							}
+							idx := chanBase + iy*p.Geom.Width + ix
+							if in[idx] > bestVal {
+								bestVal = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := outChan + oy*outW + ox
+					out[o] = bestVal
+					p.lastArg[argBase+o] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	if p.lastArg == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	batch := gradOut.Rows()
+	gradIn := tensor.New(batch, p.lastIn)
+	for b := 0; b < batch; b++ {
+		g := gradOut.Row(b)
+		gi := gradIn.Row(b)
+		argBase := b * p.OutSize()
+		for o, v := range g {
+			gi[p.lastArg[argBase+o]] += v
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Dense { return nil }
+
+// ZeroGrads implements Layer.
+func (p *MaxPool2D) ZeroGrads() {}
+
+// Clone implements Layer.
+func (p *MaxPool2D) Clone() Layer { return &MaxPool2D{Geom: p.Geom} }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string {
+	return fmt.Sprintf("MaxPool2D(k=%d,s=%d)", p.Geom.Kernel, p.Geom.Stride)
+}

@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"haccs/internal/stats"
+	"haccs/internal/tensor"
+)
+
+// Sigmoid is the logistic activation, applied element-wise.
+type Sigmoid struct {
+	lastOut *tensor.Dense
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = y
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	if s.lastOut == nil {
+		panic("nn: Sigmoid.Backward before Forward")
+	}
+	g := gradOut.Clone()
+	for i := range g.Data {
+		o := s.lastOut.Data[i]
+		g.Data[i] *= o * (1 - o)
+	}
+	return g
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Dense { return nil }
+
+// ZeroGrads implements Layer.
+func (s *Sigmoid) ZeroGrads() {}
+
+// Clone implements Layer.
+func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "Sigmoid" }
+
+// Tanh is the hyperbolic-tangent activation, applied element-wise.
+type Tanh struct {
+	lastOut *tensor.Dense
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.lastOut = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	if t.lastOut == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	g := gradOut.Clone()
+	for i := range g.Data {
+		o := t.lastOut.Data[i]
+		g.Data[i] *= 1 - o*o
+	}
+	return g
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Dense { return nil }
+
+// ZeroGrads implements Layer.
+func (t *Tanh) ZeroGrads() {}
+
+// Clone implements Layer.
+func (t *Tanh) Clone() Layer { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Dropout randomly zeroes a fraction of activations during training and
+// scales the survivors by 1/(1-rate) (inverted dropout), so inference
+// needs no rescaling. Train mode must be toggled explicitly; Clone
+// returns a layer in inference mode.
+type Dropout struct {
+	Rate float64
+
+	training bool
+	rng      *stats.RNG
+	mask     []bool
+}
+
+// NewDropout constructs a dropout layer with the given drop rate in
+// [0, 1) and a deterministic mask stream.
+func NewDropout(rate float64, rng *stats.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// SetTraining toggles mask sampling; outside training the layer is the
+// identity.
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Dense) *tensor.Dense {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]bool, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range y.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = true
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = false
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	if d.mask == nil {
+		return gradOut
+	}
+	g := gradOut.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range g.Data {
+		if d.mask[i] {
+			g.Data[i] = 0
+		} else {
+			g.Data[i] *= scale
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Dense { return nil }
+
+// ZeroGrads implements Layer.
+func (d *Dropout) ZeroGrads() {}
+
+// Clone implements Layer.
+func (d *Dropout) Clone() Layer { return &Dropout{Rate: d.Rate, rng: d.rng} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.Rate) }
+
+// AvgPool2D is average pooling over flattened C×H×W rows with a square
+// window.
+type AvgPool2D struct {
+	Geom tensor.ConvGeom // Kernel is the pool window; Pad must be 0.
+
+	lastIn int
+}
+
+// NewAvgPool2D constructs an average-pooling layer. geom.Pad must be 0.
+func NewAvgPool2D(geom tensor.ConvGeom) *AvgPool2D {
+	geom.Validate()
+	if geom.Pad != 0 {
+		panic("nn: AvgPool2D does not support padding")
+	}
+	return &AvgPool2D{Geom: geom}
+}
+
+// OutSize returns the flattened per-image output length.
+func (p *AvgPool2D) OutSize() int { return p.Geom.Channels * p.Geom.OutHeight() * p.Geom.OutWidth() }
+
+// InSize returns the flattened per-image input length.
+func (p *AvgPool2D) InSize() int { return p.Geom.Channels * p.Geom.Height * p.Geom.Width }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Dense) *tensor.Dense {
+	batch := x.Rows()
+	if x.Cols() != p.InSize() {
+		panic(fmt.Sprintf("nn: AvgPool2D input width %d, want %d", x.Cols(), p.InSize()))
+	}
+	p.lastIn = x.Cols()
+	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
+	y := tensor.New(batch, p.OutSize())
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		out := y.Row(b)
+		for c := 0; c < p.Geom.Channels; c++ {
+			chanBase := c * p.Geom.Height * p.Geom.Width
+			outChan := c * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					sum, cnt := 0.0, 0
+					for ky := 0; ky < p.Geom.Kernel; ky++ {
+						iy := oy*p.Geom.Stride + ky
+						if iy >= p.Geom.Height {
+							continue
+						}
+						for kx := 0; kx < p.Geom.Kernel; kx++ {
+							ix := ox*p.Geom.Stride + kx
+							if ix >= p.Geom.Width {
+								continue
+							}
+							sum += in[chanBase+iy*p.Geom.Width+ix]
+							cnt++
+						}
+					}
+					out[outChan+oy*outW+ox] = sum / float64(cnt)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
+	batch := gradOut.Rows()
+	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
+	gradIn := tensor.New(batch, p.lastIn)
+	for b := 0; b < batch; b++ {
+		g := gradOut.Row(b)
+		gi := gradIn.Row(b)
+		for c := 0; c < p.Geom.Channels; c++ {
+			chanBase := c * p.Geom.Height * p.Geom.Width
+			outChan := c * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					// Count window size (handles edge truncation).
+					cnt := 0
+					for ky := 0; ky < p.Geom.Kernel; ky++ {
+						if oy*p.Geom.Stride+ky >= p.Geom.Height {
+							continue
+						}
+						for kx := 0; kx < p.Geom.Kernel; kx++ {
+							if ox*p.Geom.Stride+kx < p.Geom.Width {
+								cnt++
+							}
+						}
+					}
+					share := g[outChan+oy*outW+ox] / float64(cnt)
+					for ky := 0; ky < p.Geom.Kernel; ky++ {
+						iy := oy*p.Geom.Stride + ky
+						if iy >= p.Geom.Height {
+							continue
+						}
+						for kx := 0; kx < p.Geom.Kernel; kx++ {
+							ix := ox*p.Geom.Stride + kx
+							if ix >= p.Geom.Width {
+								continue
+							}
+							gi[chanBase+iy*p.Geom.Width+ix] += share
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (p *AvgPool2D) Grads() []*tensor.Dense { return nil }
+
+// ZeroGrads implements Layer.
+func (p *AvgPool2D) ZeroGrads() {}
+
+// Clone implements Layer.
+func (p *AvgPool2D) Clone() Layer { return &AvgPool2D{Geom: p.Geom} }
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string {
+	return fmt.Sprintf("AvgPool2D(k=%d,s=%d)", p.Geom.Kernel, p.Geom.Stride)
+}

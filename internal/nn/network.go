@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+
+	"haccs/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with softmax
+// cross-entropy. It owns parameter flattening for federated averaging:
+// ParamsVector/SetParamsVector view the whole model as one float64 slice.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from layers in forward order.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch through every layer and returns the logits.
+func (n *Network) Forward(x *tensor.Dense) *tensor.Dense {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient from the logits back through the
+// stack, accumulating parameter gradients.
+func (n *Network) Backward(gradLogits *tensor.Dense) {
+	g := gradLogits
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// ZeroGrads clears the accumulated gradients of every layer.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// Clone returns a deep copy with independent parameters.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.Clone()
+	}
+	return &Network{Layers: layers}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			total += p.Size()
+		}
+	}
+	return total
+}
+
+// ParamsVector flattens all parameters into a single new slice, in layer
+// order. The result is the unit of exchange in federated averaging and
+// also determines the simulated model transfer size.
+func (n *Network) ParamsVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			out = append(out, p.Data...)
+		}
+	}
+	return out
+}
+
+// SetParamsVector writes a flat parameter vector (as produced by
+// ParamsVector on a network of identical architecture) into the model.
+// It panics if the length does not match.
+func (n *Network) SetParamsVector(v []float64) {
+	if len(v) != n.NumParams() {
+		panic("nn: SetParamsVector length mismatch")
+	}
+	off := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			copy(p.Data, v[off:off+p.Size()])
+			off += p.Size()
+		}
+	}
+}
+
+// GradsVector flattens all parameter gradients into a single new slice,
+// parallel to ParamsVector.
+func (n *Network) GradsVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		for _, g := range l.Grads() {
+			out = append(out, g.Data...)
+		}
+	}
+	return out
+}
+
+// AddProximalGrad adds the gradient of the FedProx proximal term
+// (mu/2)·||w − w_ref||² to the accumulated parameter gradients:
+// grad += mu · (w − w_ref). ref must be a flat vector from an identical
+// architecture (as produced by ParamsVector). Used by clients running
+// FedProx-style local solvers (Li et al., MLSys'20), which bound local
+// drift on heterogeneous data.
+func (n *Network) AddProximalGrad(ref []float64, mu float64) {
+	if len(ref) != n.NumParams() {
+		panic("nn: AddProximalGrad reference length mismatch")
+	}
+	if mu == 0 {
+		return
+	}
+	off := 0
+	for _, l := range n.Layers {
+		params := l.Params()
+		grads := l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			for j := range p.Data {
+				g.Data[j] += mu * (p.Data[j] - ref[off+j])
+			}
+			off += p.Size()
+		}
+	}
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer labels and the gradient of that loss with respect to
+// the logits (softmax(logits) - onehot(labels), scaled by 1/batch).
+func SoftmaxCrossEntropy(logits *tensor.Dense, labels []int) (loss float64, grad *tensor.Dense) {
+	batch := logits.Rows()
+	if batch != len(labels) {
+		panic("nn: SoftmaxCrossEntropy batch/label mismatch")
+	}
+	probs := logits.SoftmaxRows()
+	grad = probs.Clone()
+	inv := 1.0 / float64(batch)
+	total := 0.0
+	for i := 0; i < batch; i++ {
+		y := labels[i]
+		if y < 0 || y >= logits.Cols() {
+			panic("nn: label out of range")
+		}
+		p := probs.At(i, y)
+		// Clamp to avoid -Inf on (numerically) zero probabilities.
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		total += -math.Log(p)
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	grad.Scale(inv)
+	return total * inv, grad
+}
+
+// Loss computes the mean cross-entropy of the network on a batch without
+// updating gradients or parameters.
+func (n *Network) Loss(x *tensor.Dense, labels []int) float64 {
+	logits := n.Forward(x)
+	loss, _ := SoftmaxCrossEntropy(logits, labels)
+	return loss
+}
+
+// Accuracy computes the fraction of correct argmax predictions on a
+// batch.
+func (n *Network) Accuracy(x *tensor.Dense, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	pred := n.Forward(x).ArgMaxRows()
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Evaluate returns both mean loss and accuracy in a single forward pass.
+func (n *Network) Evaluate(x *tensor.Dense, labels []int) (loss, acc float64) {
+	if len(labels) == 0 {
+		return 0, 0
+	}
+	logits := n.Forward(x)
+	loss, _ = SoftmaxCrossEntropy(logits, labels)
+	correct := 0
+	for i, p := range logits.ArgMaxRows() {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return loss, float64(correct) / float64(len(labels))
+}

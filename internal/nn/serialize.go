@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"haccs/internal/stats"
+)
+
+// Checkpoint is the serialized form of a model's parameters plus enough
+// architecture metadata to validate compatibility on load. Only
+// parameters travel — architecture is reconstructed from the Arch spec,
+// mirroring how federated deployments ship weights, not graphs.
+type Checkpoint struct {
+	// Arch describes the model family the parameters belong to.
+	Arch Arch
+	// Params is the flat parameter vector (see Network.ParamsVector).
+	Params []float64
+	// Round optionally records the federated round that produced the
+	// parameters.
+	Round int
+}
+
+// SaveCheckpoint writes the network's parameters (with its architecture
+// stamp) as a gob stream.
+func SaveCheckpoint(w io.Writer, arch Arch, n *Network, round int) error {
+	cp := Checkpoint{Arch: arch, Params: n.ParamsVector(), Round: round}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint and validates it against the
+// expected architecture; on success it returns a freshly built network
+// holding the stored parameters and the recorded round. The RNG seeds
+// the throwaway initialization that the stored parameters overwrite.
+func LoadCheckpoint(r io.Reader, expect Arch, seedRNG *stats.RNG) (*Network, int, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	if !archEqual(cp.Arch, expect) {
+		return nil, 0, fmt.Errorf("nn: checkpoint architecture %+v does not match expected %+v", cp.Arch, expect)
+	}
+	n := expect.Build(seedRNG)
+	if len(cp.Params) != n.NumParams() {
+		return nil, 0, fmt.Errorf("nn: checkpoint has %d params, architecture needs %d", len(cp.Params), n.NumParams())
+	}
+	n.SetParamsVector(cp.Params)
+	return n, cp.Round, nil
+}
+
+func archEqual(a, b Arch) bool {
+	if a.Kind != b.Kind || a.In != b.In || a.Channels != b.Channels ||
+		a.Height != b.Height || a.Width != b.Width || a.Classes != b.Classes ||
+		a.ConvFilters != b.ConvFilters || len(a.Hidden) != len(b.Hidden) {
+		return false
+	}
+	for i := range a.Hidden {
+		if a.Hidden[i] != b.Hidden[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"haccs/internal/stats"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	arch := Arch{Kind: "mlp", In: 6, Hidden: []int{5}, Classes: 3}
+	n := arch.Build(stats.NewRNG(1))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, arch, n, 42); err != nil {
+		t.Fatal(err)
+	}
+	loaded, round, err := LoadCheckpoint(&buf, arch, stats.NewRNG(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 42 {
+		t.Errorf("round = %d", round)
+	}
+	a, b := n.ParamsVector(), loaded.ParamsVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	arch := Arch{Kind: "mlp", In: 6, Hidden: []int{5}, Classes: 3}
+	n := arch.Build(stats.NewRNG(1))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, arch, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	other := Arch{Kind: "mlp", In: 6, Hidden: []int{7}, Classes: 3}
+	if _, _, err := LoadCheckpoint(&buf, other, stats.NewRNG(1)); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+}
+
+func TestCheckpointCorruptStream(t *testing.T) {
+	arch := Arch{Kind: "mlp", In: 2, Classes: 2}
+	if _, _, err := LoadCheckpoint(bytes.NewReader([]byte("garbage")), arch, stats.NewRNG(1)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckpointLeNet(t *testing.T) {
+	arch := Arch{Kind: "lenet", Channels: 1, Height: 16, Width: 16, Classes: 4, ConvFilters: [2]int{2, 3}}
+	n := arch.Build(stats.NewRNG(2))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, arch, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadCheckpoint(&buf, arch, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumParams() != n.NumParams() {
+		t.Fatal("param counts differ")
+	}
+}
+
+func TestArchEqual(t *testing.T) {
+	a := Arch{Kind: "mlp", In: 4, Hidden: []int{3, 2}, Classes: 2}
+	if !archEqual(a, a) {
+		t.Error("identical archs unequal")
+	}
+	b := a
+	b.Hidden = []int{3, 9}
+	if archEqual(a, b) {
+		t.Error("different hidden sizes equal")
+	}
+	c := a
+	c.Kind = "lenet"
+	if archEqual(a, c) {
+		t.Error("different kinds equal")
+	}
+}

@@ -1,0 +1,77 @@
+package nn
+
+import "haccs/internal/tensor"
+
+// SGD is minibatch stochastic gradient descent with classical momentum
+// and L2 weight decay — the optimizer used for local client updates in
+// the federated training loop.
+type SGD struct {
+	LR          float64 // learning rate
+	Momentum    float64 // classical momentum coefficient (0 disables)
+	WeightDecay float64 // L2 penalty coefficient (0 disables)
+
+	velocity map[*tensor.Dense]*tensor.Dense
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic("nn: SGD with non-positive learning rate")
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*tensor.Dense]*tensor.Dense)}
+}
+
+// Step applies one update to every parameter of the network using the
+// currently accumulated gradients, then leaves the gradients untouched
+// (callers ZeroGrads between batches).
+func (s *SGD) Step(n *Network) {
+	for _, l := range n.Layers {
+		params := l.Params()
+		grads := l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			if s.WeightDecay > 0 {
+				// g' = g + wd * p, applied without mutating the
+				// stored gradient.
+				for j := range p.Data {
+					s.update(p, j, g.Data[j]+s.WeightDecay*p.Data[j])
+				}
+				continue
+			}
+			for j := range p.Data {
+				s.update(p, j, g.Data[j])
+			}
+		}
+	}
+}
+
+func (s *SGD) update(p *tensor.Dense, j int, g float64) {
+	if s.Momentum > 0 {
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Shape...)
+			s.velocity[p] = v
+		}
+		v.Data[j] = s.Momentum*v.Data[j] + g
+		g = v.Data[j]
+	}
+	p.Data[j] -= s.LR * g
+}
+
+// Reset clears momentum state; used when the optimizer is reused across
+// federated rounds where the global parameters were replaced wholesale.
+func (s *SGD) Reset() {
+	s.velocity = make(map[*tensor.Dense]*tensor.Dense)
+}
+
+// TrainBatch runs one forward/backward/update cycle on a batch and
+// returns the batch loss before the update.
+func TrainBatch(n *Network, opt *SGD, x *tensor.Dense, labels []int) float64 {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	n.Backward(grad)
+	opt.Step(n)
+	return loss
+}

@@ -1,0 +1,135 @@
+package selection
+
+import (
+	"math"
+	"sort"
+
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// Oort implements the guided participant selection of Lai et al.
+// (OSDI'21). Each client carries a utility combining statistical value
+// (data size × observed loss — clients whose data still produces high
+// loss are more useful) with a system penalty for clients slower than the
+// preferred round duration:
+//
+//	U_i = n_i · loss_i · min(1, (T/t_i)^α)
+//
+// Selection is exploitation of the top-utility explored clients blended
+// with ε-greedy exploration of never-trained clients, with ε decaying
+// over rounds.
+type Oort struct {
+	// Alpha is the system-penalty exponent (Oort's default 2).
+	Alpha float64
+	// EpsilonStart/EpsilonMin/EpsilonDecay control exploration.
+	EpsilonStart, EpsilonMin, EpsilonDecay float64
+	// PreferredDurationPercentile sets T as this percentile of the
+	// client latency distribution (Oort's "developer-preferred" round
+	// duration; 80 by default).
+	PreferredDurationPercentile float64
+
+	rng        *stats.RNG
+	numSamples []int
+	latency    []float64
+	lastLoss   []float64
+	explored   []bool
+	epsilon    float64
+	preferredT float64
+}
+
+// NewOort returns an Oort strategy with the reference defaults.
+func NewOort() *Oort {
+	return &Oort{
+		Alpha:                       2,
+		EpsilonStart:                0.9,
+		EpsilonMin:                  0.2,
+		EpsilonDecay:                0.98,
+		PreferredDurationPercentile: 80,
+	}
+}
+
+// Name implements fl.Strategy.
+func (o *Oort) Name() string { return "oort" }
+
+// Init implements fl.Strategy.
+func (o *Oort) Init(clients []fl.ClientInfo, rng *stats.RNG) {
+	o.rng = rng
+	n := len(clients)
+	o.numSamples = make([]int, n)
+	o.latency = make([]float64, n)
+	o.lastLoss = make([]float64, n)
+	o.explored = make([]bool, n)
+	lats := make([]float64, n)
+	for _, c := range clients {
+		o.numSamples[c.ID] = c.NumSamples
+		o.latency[c.ID] = c.Latency
+		lats[c.ID] = c.Latency
+	}
+	o.preferredT = stats.Percentile(lats, o.PreferredDurationPercentile)
+	o.epsilon = o.EpsilonStart
+}
+
+// Utility returns the current utility of a client.
+func (o *Oort) Utility(id int) float64 {
+	u := float64(o.numSamples[id]) * o.lastLoss[id]
+	if o.latency[id] > o.preferredT {
+		u *= math.Pow(o.preferredT/o.latency[id], o.Alpha)
+	}
+	return u
+}
+
+// Select implements fl.Strategy.
+func (o *Oort) Select(epoch int, available []bool, k int) []int {
+	cands := fl.FilterAvailable(available)
+	if len(cands) <= k {
+		return cands
+	}
+	var unexplored, explored []int
+	for _, id := range cands {
+		if o.explored[id] {
+			explored = append(explored, id)
+		} else {
+			unexplored = append(unexplored, id)
+		}
+	}
+	nExplore := int(math.Round(o.epsilon * float64(k)))
+	if nExplore > len(unexplored) {
+		nExplore = len(unexplored)
+	}
+	nExploit := k - nExplore
+	if nExploit > len(explored) {
+		// Not enough explored clients yet: shift budget to exploration.
+		extra := nExploit - len(explored)
+		nExploit = len(explored)
+		nExplore = min(nExplore+extra, len(unexplored))
+	}
+
+	var selected []int
+	if nExplore > 0 {
+		idx := o.rng.SampleWithoutReplacement(len(unexplored), nExplore)
+		for _, j := range idx {
+			selected = append(selected, unexplored[j])
+		}
+	}
+	if nExploit > 0 {
+		sort.SliceStable(explored, func(a, b int) bool {
+			ua, ub := o.Utility(explored[a]), o.Utility(explored[b])
+			if ua != ub {
+				return ua > ub
+			}
+			return explored[a] < explored[b]
+		})
+		selected = append(selected, explored[:nExploit]...)
+	}
+	return selected
+}
+
+// Update implements fl.Strategy.
+func (o *Oort) Update(epoch int, selected []int, losses []float64) {
+	for i, id := range selected {
+		o.lastLoss[id] = losses[i]
+		o.explored[id] = true
+	}
+	o.epsilon = math.Max(o.EpsilonMin, o.epsilon*o.EpsilonDecay)
+}

@@ -1,0 +1,43 @@
+// Package selection implements the baseline client-selection strategies
+// HACCS is evaluated against: uniform random selection, TiFL's
+// latency-tiered credit scheme (Chai et al., HPDC'20), and Oort's
+// utility-guided exploration/exploitation (Lai et al., OSDI'21). All
+// implement fl.Strategy so the engine can drive them interchangeably.
+package selection
+
+import (
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// Random selects k available clients uniformly at random each round —
+// the paper's "Random Selection" baseline.
+type Random struct {
+	rng *stats.RNG
+}
+
+// NewRandom returns the uniform random strategy.
+func NewRandom() *Random { return &Random{} }
+
+// Name implements fl.Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Init implements fl.Strategy.
+func (r *Random) Init(clients []fl.ClientInfo, rng *stats.RNG) { r.rng = rng }
+
+// Select implements fl.Strategy.
+func (r *Random) Select(epoch int, available []bool, k int) []int {
+	cands := fl.FilterAvailable(available)
+	if len(cands) <= k {
+		return cands
+	}
+	idx := r.rng.SampleWithoutReplacement(len(cands), k)
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// Update implements fl.Strategy.
+func (r *Random) Update(epoch int, selected []int, losses []float64) {}

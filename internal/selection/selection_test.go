@@ -1,0 +1,279 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// roster builds n ClientInfos with latency equal to ID+1 and 100 samples.
+func roster(n int) []fl.ClientInfo {
+	out := make([]fl.ClientInfo, n)
+	for i := range out {
+		out[i] = fl.ClientInfo{ID: i, Latency: float64(i + 1), NumSamples: 100}
+	}
+	return out
+}
+
+func allUp(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func validSelection(t *testing.T, name string, sel []int, available []bool, k int) {
+	t.Helper()
+	if len(sel) > k {
+		t.Fatalf("%s selected %d > k=%d", name, len(sel), k)
+	}
+	seen := map[int]bool{}
+	for _, id := range sel {
+		if id < 0 || id >= len(available) || !available[id] {
+			t.Fatalf("%s selected invalid/unavailable client %d", name, id)
+		}
+		if seen[id] {
+			t.Fatalf("%s duplicate %d", name, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRandomSelectsKDistinct(t *testing.T) {
+	r := NewRandom()
+	r.Init(roster(20), stats.NewRNG(1))
+	for epoch := 0; epoch < 100; epoch++ {
+		sel := r.Select(epoch, allUp(20), 5)
+		if len(sel) != 5 {
+			t.Fatalf("selected %d", len(sel))
+		}
+		validSelection(t, "random", sel, allUp(20), 5)
+	}
+}
+
+func TestRandomUniformCoverage(t *testing.T) {
+	r := NewRandom()
+	r.Init(roster(10), stats.NewRNG(2))
+	counts := make([]int, 10)
+	rounds := 5000
+	for epoch := 0; epoch < rounds; epoch++ {
+		for _, id := range r.Select(epoch, allUp(10), 2) {
+			counts[id]++
+		}
+	}
+	for id, c := range counts {
+		want := float64(rounds) * 2 / 10
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("client %d selected %d times, want ~%v", id, c, want)
+		}
+	}
+}
+
+func TestRandomFewerAvailableThanK(t *testing.T) {
+	r := NewRandom()
+	r.Init(roster(5), stats.NewRNG(3))
+	avail := []bool{true, false, false, true, false}
+	sel := r.Select(0, avail, 4)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v", sel)
+	}
+	validSelection(t, "random", sel, avail, 4)
+}
+
+func TestTiFLTiersOrderedByLatency(t *testing.T) {
+	f := NewTiFL(5)
+	f.Init(roster(50), stats.NewRNG(4))
+	// With latencies = ID+1, tier must be non-decreasing in ID.
+	prev := 0
+	for id := 0; id < 50; id++ {
+		tier := f.TierOf(id)
+		if tier < prev {
+			t.Fatalf("tiers not monotone: client %d tier %d after tier %d", id, tier, prev)
+		}
+		prev = tier
+	}
+	if f.TierOf(0) != 0 || f.TierOf(49) != 4 {
+		t.Errorf("extreme tiers %d, %d", f.TierOf(0), f.TierOf(49))
+	}
+}
+
+func TestTiFLSelectionValidAndFillsBudget(t *testing.T) {
+	f := NewTiFL(5)
+	f.Init(roster(50), stats.NewRNG(5))
+	for epoch := 0; epoch < 200; epoch++ {
+		sel := f.Select(epoch, allUp(50), 10)
+		if len(sel) != 10 {
+			t.Fatalf("epoch %d: selected %d", epoch, len(sel))
+		}
+		validSelection(t, "tifl", sel, allUp(50), 10)
+		losses := make([]float64, len(sel))
+		for i := range losses {
+			losses[i] = 1.0
+		}
+		f.Update(epoch, sel, losses)
+	}
+}
+
+func TestTiFLSpillsWhenTierSmallerThanK(t *testing.T) {
+	f := NewTiFL(5)
+	f.Init(roster(10), stats.NewRNG(6)) // tiers of 2 clients
+	sel := f.Select(0, allUp(10), 6)
+	if len(sel) != 6 {
+		t.Fatalf("spill failed: %v", sel)
+	}
+	validSelection(t, "tifl", sel, allUp(10), 6)
+}
+
+func TestTiFLPrefersHighLossTiers(t *testing.T) {
+	f := NewTiFL(2)
+	f.Init(roster(10), stats.NewRNG(7))
+	// Report high loss for slow-tier clients (5..9), low for fast tier.
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	losses := []float64{0.01, 0.01, 0.01, 0.01, 0.01, 10, 10, 10, 10, 10}
+	f.Update(0, ids, losses)
+	slowPicks, total := 0, 0
+	for epoch := 1; epoch < 500; epoch++ {
+		for _, id := range f.Select(epoch, allUp(10), 2) {
+			if f.TierOf(id) == 1 {
+				slowPicks++
+			}
+			total++
+		}
+	}
+	frac := float64(slowPicks) / float64(total)
+	if frac < 0.8 {
+		t.Errorf("high-loss tier picked only %.0f%% of the time", frac*100)
+	}
+}
+
+func TestTiFLCreditsExhaustionFallsBack(t *testing.T) {
+	f := NewTiFL(2)
+	f.CreditsPerTier = 1
+	f.Init(roster(4), stats.NewRNG(8))
+	// Two selections consume both tiers' credits; the third must still
+	// produce a valid (fallback) selection.
+	for epoch := 0; epoch < 5; epoch++ {
+		sel := f.Select(epoch, allUp(4), 2)
+		if len(sel) != 2 {
+			t.Fatalf("epoch %d: selected %v", epoch, sel)
+		}
+		validSelection(t, "tifl", sel, allUp(4), 2)
+	}
+}
+
+func TestTiFLDropoutHandled(t *testing.T) {
+	f := NewTiFL(3)
+	f.Init(roster(9), stats.NewRNG(9))
+	avail := allUp(9)
+	avail[0], avail[1], avail[2] = false, false, false // whole fast tier down
+	for epoch := 0; epoch < 50; epoch++ {
+		sel := f.Select(epoch, avail, 4)
+		validSelection(t, "tifl", sel, avail, 4)
+		if len(sel) != 4 {
+			t.Fatalf("selected %d with 6 available", len(sel))
+		}
+	}
+}
+
+func TestOortExploresEveryoneEventually(t *testing.T) {
+	o := NewOort()
+	o.Init(roster(30), stats.NewRNG(10))
+	trained := map[int]bool{}
+	for epoch := 0; epoch < 100; epoch++ {
+		sel := o.Select(epoch, allUp(30), 5)
+		validSelection(t, "oort", sel, allUp(30), 5)
+		losses := make([]float64, len(sel))
+		for i := range losses {
+			losses[i] = 1
+		}
+		o.Update(epoch, sel, losses)
+		for _, id := range sel {
+			trained[id] = true
+		}
+	}
+	if len(trained) != 30 {
+		t.Errorf("only %d/30 clients ever explored", len(trained))
+	}
+}
+
+func TestOortExploitsHighLossClients(t *testing.T) {
+	o := NewOort()
+	o.EpsilonStart, o.EpsilonMin = 0, 0 // pure exploitation
+	o.Init(roster(10), stats.NewRNG(11))
+	// Mark everyone explored with low loss except clients 3 and 7.
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	losses := []float64{0.1, 0.1, 0.1, 5, 0.1, 0.1, 0.1, 5, 0.1, 0.1}
+	o.Update(0, ids, losses)
+	sel := o.Select(1, allUp(10), 2)
+	want := map[int]bool{3: true, 7: true}
+	for _, id := range sel {
+		if !want[id] {
+			t.Errorf("exploitation picked %d, want {3,7} (sel=%v)", id, sel)
+		}
+	}
+}
+
+func TestOortPenalizesSlowClients(t *testing.T) {
+	o := NewOort()
+	o.Init(roster(10), stats.NewRNG(12))
+	// Equal loss everywhere: utility ordering must follow the system
+	// penalty, so the slowest client (9) ranks below a fast one (0).
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ones := make([]float64, 10)
+	for i := range ones {
+		ones[i] = 1
+	}
+	o.Update(0, ids, ones)
+	if o.Utility(9) >= o.Utility(0) {
+		t.Errorf("slowest client utility %v >= fastest %v", o.Utility(9), o.Utility(0))
+	}
+	// Clients under the preferred duration carry no penalty: with the
+	// 80th-percentile threshold, clients 0 and 1 are both unpenalized
+	// and equal.
+	if o.Utility(0) != o.Utility(1) {
+		t.Errorf("unpenalized utilities differ: %v vs %v", o.Utility(0), o.Utility(1))
+	}
+}
+
+func TestOortEpsilonDecays(t *testing.T) {
+	o := NewOort()
+	o.Init(roster(10), stats.NewRNG(13))
+	start := o.epsilon
+	for epoch := 0; epoch < 200; epoch++ {
+		sel := o.Select(epoch, allUp(10), 3)
+		losses := make([]float64, len(sel))
+		o.Update(epoch, sel, losses)
+	}
+	if o.epsilon >= start {
+		t.Error("epsilon did not decay")
+	}
+	if o.epsilon < o.EpsilonMin-1e-12 {
+		t.Errorf("epsilon %v fell below floor %v", o.epsilon, o.EpsilonMin)
+	}
+}
+
+func TestOortFewerAvailableThanK(t *testing.T) {
+	o := NewOort()
+	o.Init(roster(5), stats.NewRNG(14))
+	avail := []bool{false, true, false, true, false}
+	sel := o.Select(0, avail, 4)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v", sel)
+	}
+	validSelection(t, "oort", sel, avail, 4)
+}
+
+func TestStrategyNames(t *testing.T) {
+	if NewRandom().Name() != "random" || NewTiFL(0).Name() != "tifl" || NewOort().Name() != "oort" {
+		t.Error("strategy name mismatch")
+	}
+}
+
+var (
+	_ fl.Strategy = (*Random)(nil)
+	_ fl.Strategy = (*TiFL)(nil)
+	_ fl.Strategy = (*Oort)(nil)
+)

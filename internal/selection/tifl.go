@@ -1,0 +1,168 @@
+package selection
+
+import (
+	"sort"
+
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// TiFL implements the tier-based selection of Chai et al. (HPDC'20):
+// clients are grouped into tiers by their system performance (round
+// latency); each epoch one tier is sampled with probability proportional
+// to its average observed loss, subject to per-tier credits that bound
+// how often a tier may be chosen; the round's clients are then drawn
+// uniformly from the sampled tier, spilling into neighbouring tiers when
+// the tier cannot fill the budget.
+type TiFL struct {
+	// NumTiers is the number of latency tiers (TiFL's default is 5).
+	NumTiers int
+	// CreditsPerTier bounds how many times each tier may be the primary
+	// selection (0 means unlimited).
+	CreditsPerTier int
+	// InitLoss seeds every client's unknown loss before it first trains;
+	// equal seeds make initial tier selection uniform.
+	InitLoss float64
+
+	rng      *stats.RNG
+	tierOf   []int   // client -> tier
+	tiers    [][]int // tier -> member client IDs (sorted by latency)
+	credits  []int
+	lastLoss []float64
+}
+
+// NewTiFL returns a TiFL strategy with the given tier count (<=0 picks
+// the TiFL default of 5).
+func NewTiFL(numTiers int) *TiFL {
+	if numTiers <= 0 {
+		numTiers = 5
+	}
+	return &TiFL{NumTiers: numTiers, InitLoss: 2.3}
+}
+
+// Name implements fl.Strategy.
+func (t *TiFL) Name() string { return "tifl" }
+
+// Init implements fl.Strategy: tiers are equal-size latency quantiles.
+func (t *TiFL) Init(clients []fl.ClientInfo, rng *stats.RNG) {
+	t.rng = rng
+	n := len(clients)
+	numTiers := t.NumTiers
+	if numTiers > n {
+		numTiers = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return clients[order[a]].Latency < clients[order[b]].Latency
+	})
+	t.tierOf = make([]int, n)
+	t.tiers = make([][]int, numTiers)
+	for rank, idx := range order {
+		tier := rank * numTiers / n
+		t.tierOf[clients[idx].ID] = tier
+		t.tiers[tier] = append(t.tiers[tier], clients[idx].ID)
+	}
+	t.credits = make([]int, numTiers)
+	for i := range t.credits {
+		t.credits[i] = t.CreditsPerTier
+	}
+	t.lastLoss = make([]float64, n)
+	for i := range t.lastLoss {
+		t.lastLoss[i] = t.InitLoss
+	}
+}
+
+// Select implements fl.Strategy.
+func (t *TiFL) Select(epoch int, available []bool, k int) []int {
+	// Average loss per tier over tiers that still have credits and at
+	// least one available member.
+	weights := make([]float64, len(t.tiers))
+	anyWeight := false
+	for tier, members := range t.tiers {
+		if t.CreditsPerTier > 0 && t.credits[tier] <= 0 {
+			continue
+		}
+		sum, cnt := 0.0, 0
+		for _, id := range members {
+			if available[id] {
+				sum += t.lastLoss[id]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			weights[tier] = sum / float64(cnt)
+			anyWeight = true
+		}
+	}
+	if !anyWeight {
+		// Credits exhausted or nothing available in credited tiers: fall
+		// back to uniform over whatever is available.
+		return t.fallback(available, k)
+	}
+	primary := t.rng.WeightedChoice(weights)
+	if t.CreditsPerTier > 0 {
+		t.credits[primary]--
+	}
+
+	selected := t.drawFromTier(primary, available, k, nil)
+	// Spill outward (faster tiers first) when the primary tier cannot
+	// fill the budget.
+	for dist := 1; len(selected) < k && dist < len(t.tiers); dist++ {
+		for _, tier := range []int{primary - dist, primary + dist} {
+			if tier < 0 || tier >= len(t.tiers) || len(selected) >= k {
+				continue
+			}
+			selected = t.drawFromTier(tier, available, k, selected)
+		}
+	}
+	return selected
+}
+
+// drawFromTier appends uniformly drawn available, not-yet-selected
+// members of the tier until the budget is reached.
+func (t *TiFL) drawFromTier(tier int, available []bool, k int, selected []int) []int {
+	taken := make(map[int]bool, len(selected))
+	for _, id := range selected {
+		taken[id] = true
+	}
+	var cands []int
+	for _, id := range t.tiers[tier] {
+		if available[id] && !taken[id] {
+			cands = append(cands, id)
+		}
+	}
+	t.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, id := range cands {
+		if len(selected) >= k {
+			break
+		}
+		selected = append(selected, id)
+	}
+	return selected
+}
+
+func (t *TiFL) fallback(available []bool, k int) []int {
+	cands := fl.FilterAvailable(available)
+	if len(cands) <= k {
+		return cands
+	}
+	idx := t.rng.SampleWithoutReplacement(len(cands), k)
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// Update implements fl.Strategy.
+func (t *TiFL) Update(epoch int, selected []int, losses []float64) {
+	for i, id := range selected {
+		t.lastLoss[id] = losses[i]
+	}
+}
+
+// TierOf exposes the tier assignment for tests and analyses.
+func (t *TiFL) TierOf(id int) int { return t.tierOf[id] }

@@ -1,0 +1,77 @@
+package simnet
+
+// DropoutModel decides which clients are unavailable in a given epoch.
+// The paper exercises three regimes: no dropout (scheduling experiments),
+// per-epoch transient dropout with recovery (§V-C), and permanent dropout
+// of individuals or whole groups (the §III motivation experiment).
+type DropoutModel interface {
+	// Unavailable returns the set of client indices (as a boolean mask
+	// over n clients) that are down during the given epoch.
+	Unavailable(epoch, n int) []bool
+}
+
+// NoDropout keeps every client available in every epoch.
+type NoDropout struct{}
+
+// Unavailable implements DropoutModel.
+func (NoDropout) Unavailable(epoch, n int) []bool { return make([]bool, n) }
+
+// bernoulliRNG is the RNG surface the transient model needs.
+type bernoulliRNG interface {
+	Float64() float64
+}
+
+// TransientDropout marks each client unavailable independently with
+// probability Rate at the start of each epoch; clients recover at the
+// end of the epoch (paper §V-C uses Rate = 0.10). The mask for an epoch
+// is drawn from a stream derived from Seed and the epoch number only, so
+// every selection strategy sees the identical dropout schedule — the
+// paper seeds its RNGs the same way across strategies.
+type TransientDropout struct {
+	Rate float64
+	Seed uint64
+	// NewRNG constructs the per-epoch stream; injected so the package
+	// does not depend on stats directly.
+	NewRNG func(seed uint64) interface{ Float64() float64 }
+}
+
+// Unavailable implements DropoutModel.
+func (t TransientDropout) Unavailable(epoch, n int) []bool {
+	if t.Rate < 0 || t.Rate > 1 {
+		panic("simnet: TransientDropout rate out of [0,1]")
+	}
+	r := t.NewRNG(t.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = r.Float64() < t.Rate
+	}
+	return mask
+}
+
+// PermanentDropout removes a fixed set of clients from a given epoch
+// onward, never recovering them — the §III motivation experiment drops
+// 80 of 100 devices permanently (randomly or by whole groups).
+type PermanentDropout struct {
+	Dropped   []int
+	FromEpoch int
+}
+
+// Unavailable implements DropoutModel.
+func (p PermanentDropout) Unavailable(epoch, n int) []bool {
+	mask := make([]bool, n)
+	if epoch < p.FromEpoch {
+		return mask
+	}
+	for _, i := range p.Dropped {
+		if i >= 0 && i < n {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+var (
+	_ DropoutModel = NoDropout{}
+	_ DropoutModel = TransientDropout{}
+	_ DropoutModel = PermanentDropout{}
+)

@@ -1,0 +1,142 @@
+// Package simnet models the system heterogeneity of the HACCS testbed.
+// The paper injects time-based delays to emulate differences in
+// computation, bandwidth and network latency across clients (Table II);
+// this package reproduces those distributions exactly and converts them
+// into deterministic virtual-time latencies, so experiments never sleep
+// and whole training runs are reproducible from a seed.
+package simnet
+
+import "fmt"
+
+// Category is a device performance tier from Table II of the paper.
+type Category int
+
+// Performance categories with assignment probabilities 60/20/15/5%.
+const (
+	Fast Category = iota
+	Medium
+	Slow
+	VerySlow
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Fast:
+		return "fast"
+	case Medium:
+		return "medium"
+	case Slow:
+		return "slow"
+	case VerySlow:
+		return "very-slow"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// CategoryProbabilities are the Table II assignment probabilities for
+// fast, medium, slow and very slow devices.
+var CategoryProbabilities = []float64{0.60, 0.20, 0.15, 0.05}
+
+// categoryRanges encodes Table II. Compute delay is a multiplier applied
+// on top of the baseline computation time ("no delay" = 1.0x); bandwidth
+// is in Mbps; network latency is one-way in milliseconds and identical
+// across categories.
+var categoryRanges = [numCategories]struct {
+	computeLo, computeHi     float64
+	bandwidthLo, bandwidthHi float64
+}{
+	Fast:     {1.0, 1.0, 75, 100},
+	Medium:   {1.5, 2.0, 50, 75},
+	Slow:     {2.0, 2.5, 25, 50},
+	VerySlow: {2.5, 3.0, 1, 25},
+}
+
+// Network latency bounds (ms), common to all categories (Table II).
+const (
+	netLatencyLoMS = 20
+	netLatencyHiMS = 200
+)
+
+// Profile is one client's sampled system characteristics.
+type Profile struct {
+	Category Category
+	// ComputeMultiplier scales baseline computation time (>= 1).
+	ComputeMultiplier float64
+	// BandwidthMbps is the link bandwidth in megabits per second.
+	BandwidthMbps float64
+	// NetLatencySec is the one-way network latency in seconds.
+	NetLatencySec float64
+}
+
+// rng is the subset of stats.RNG simnet needs; taking an interface keeps
+// the package decoupled and easy to drive from table-driven tests.
+type rng interface {
+	Float64() float64
+	Uniform(lo, hi float64) float64
+}
+
+// SampleCategory draws a performance category with the Table II
+// probabilities.
+func SampleCategory(r rng) Category {
+	u := r.Float64()
+	acc := 0.0
+	for c, p := range CategoryProbabilities {
+		acc += p
+		if u < acc {
+			return Category(c)
+		}
+	}
+	return VerySlow
+}
+
+// SampleProfile draws a full device profile: a category, then uniform
+// draws over that category's Table II intervals.
+func SampleProfile(r rng) Profile {
+	return ProfileForCategory(SampleCategory(r), r)
+}
+
+// ProfileForCategory draws the interval attributes for a fixed category.
+func ProfileForCategory(c Category, r rng) Profile {
+	if c < 0 || c >= numCategories {
+		panic(fmt.Sprintf("simnet: invalid category %d", int(c)))
+	}
+	rg := categoryRanges[c]
+	cm := rg.computeLo
+	if rg.computeHi > rg.computeLo {
+		cm = r.Uniform(rg.computeLo, rg.computeHi)
+	}
+	return Profile{
+		Category:          c,
+		ComputeMultiplier: cm,
+		BandwidthMbps:     r.Uniform(rg.bandwidthLo, rg.bandwidthHi),
+		NetLatencySec:     r.Uniform(netLatencyLoMS, netLatencyHiMS) / 1000,
+	}
+}
+
+// SampleProfiles draws n independent profiles.
+func SampleProfiles(n int, r rng) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = SampleProfile(r)
+	}
+	return out
+}
+
+// RoundLatency returns the virtual seconds a client needs to complete one
+// training round, as defined in the paper (§IV-D): "the expected time
+// required to transfer the model parameters to and from the client, plus
+// the time required to perform a single epoch."
+//
+//	latency = computeSec * ComputeMultiplier            (local epoch)
+//	        + 2 * modelBytes*8 / (BandwidthMbps * 1e6)  (down + up transfer)
+//	        + 2 * NetLatencySec                          (request/response RTT)
+func (p Profile) RoundLatency(computeSec float64, modelBytes int) float64 {
+	if computeSec < 0 || modelBytes < 0 {
+		panic("simnet: negative latency inputs")
+	}
+	transfer := 2 * float64(modelBytes) * 8 / (p.BandwidthMbps * 1e6)
+	return computeSec*p.ComputeMultiplier + transfer + 2*p.NetLatencySec
+}

@@ -1,0 +1,100 @@
+package stats
+
+import "math"
+
+// Alternative distribution distances. The paper selects the Hellinger
+// distance for summary comparison (eq. 3) citing bounded output and
+// tolerance of empty bins; these comparators exist so that choice can be
+// measured rather than assumed (see the distance-function ablation in
+// internal/experiments). All operate on probability vectors of equal
+// length, as produced by Histogram.Normalize, and are scaled to [0, 1].
+
+// TotalVariation returns half the L1 distance between two probability
+// vectors: TV(p, q) = (1/2) Σ |p_i - q_i|, in [0, 1].
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: TotalVariation on vectors of different lengths")
+	}
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	tv := s / 2
+	if tv > 1 {
+		tv = 1
+	}
+	return tv
+}
+
+// JensenShannon returns the Jensen-Shannon *distance* (the square root
+// of the JS divergence computed with base-2 logarithms), a bounded
+// metric in [0, 1]. Unlike raw KL divergence it is symmetric and finite
+// on zero entries.
+func JensenShannon(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JensenShannon on vectors of different lengths")
+	}
+	div := 0.0
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 {
+			div += 0.5 * p[i] * math.Log2(p[i]/m)
+		}
+		if q[i] > 0 {
+			div += 0.5 * q[i] * math.Log2(q[i]/m)
+		}
+	}
+	if div < 0 {
+		div = 0
+	}
+	d := math.Sqrt(div)
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// Bhattacharyya returns the Bhattacharyya distance mapped into [0, 1)
+// via 1 - BC(p, q), where BC = Σ sqrt(p_i q_i) is the Bhattacharyya
+// coefficient. It relates to Hellinger by H² = 1 - BC; the paper cites
+// Kailath's treatment of both.
+func Bhattacharyya(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: Bhattacharyya on vectors of different lengths")
+	}
+	bc := 0.0
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			bc += math.Sqrt(p[i] * q[i])
+		}
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return 1 - bc
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p||q) in nats.
+// It is asymmetric, unbounded, and infinite when p puts mass where q has
+// none — exactly the failure modes that make it unsuitable for comparing
+// sparse label histograms (the ablation demonstrates this); exposed for
+// completeness and for smoothed inputs.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence on vectors of different lengths")
+	}
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

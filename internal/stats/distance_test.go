@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalVariationKnown(t *testing.T) {
+	if d := TotalVariation([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Errorf("disjoint TV = %v", d)
+	}
+	if d := TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Errorf("identical TV = %v", d)
+	}
+	if d := TotalVariation([]float64{0.8, 0.2}, []float64{0.6, 0.4}); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("TV = %v, want 0.2", d)
+	}
+}
+
+func TestJensenShannonKnown(t *testing.T) {
+	if d := JensenShannon([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint JS = %v, want 1", d)
+	}
+	if d := JensenShannon([]float64{0.3, 0.7}, []float64{0.3, 0.7}); d > 1e-9 {
+		t.Errorf("identical JS = %v", d)
+	}
+}
+
+func TestBhattacharyyaRelatesToHellinger(t *testing.T) {
+	// H² = 1 - BC, i.e. Bhattacharyya() == Hellinger()².
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.1, 0.3, 0.6}
+	h := Hellinger(p, q)
+	b := Bhattacharyya(p, q)
+	if math.Abs(b-h*h) > 1e-12 {
+		t.Errorf("Bhattacharyya %v != Hellinger² %v", b, h*h)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	if d := KLDivergence([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Errorf("identical KL = %v", d)
+	}
+	// Mass where q has none: infinite.
+	if d := KLDivergence([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(d, 1) {
+		t.Errorf("KL onto zero support = %v, want +Inf", d)
+	}
+	// Asymmetric in general.
+	p := []float64{0.9, 0.1}
+	q := []float64{0.5, 0.5}
+	if math.Abs(KLDivergence(p, q)-KLDivergence(q, p)) < 1e-9 {
+		t.Error("KL unexpectedly symmetric")
+	}
+}
+
+func TestDistancesPropertyBoundsSymmetry(t *testing.T) {
+	type distFn struct {
+		name string
+		fn   func(p, q []float64) float64
+	}
+	fns := []distFn{
+		{"tv", TotalVariation},
+		{"js", JensenShannon},
+		{"bhattacharyya", Bhattacharyya},
+		{"hellinger", Hellinger},
+	}
+	f := func(a, b [5]float64) bool {
+		p := randomSimplex(a[:], 5)
+		q := randomSimplex(b[:], 5)
+		for _, d := range fns {
+			v1 := d.fn(p, q)
+			v2 := d.fn(q, p)
+			if v1 < 0 || v1 > 1 {
+				return false
+			}
+			if math.Abs(v1-v2) > 1e-12 {
+				return false
+			}
+			if d.fn(p, p) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceOrderingConsistency(t *testing.T) {
+	// All bounded distances should agree on gross ordering: a near copy
+	// is closer than a disjoint distribution.
+	base := []float64{0.7, 0.2, 0.1, 0}
+	near := []float64{0.65, 0.25, 0.1, 0}
+	far := []float64{0, 0, 0.1, 0.9}
+	for name, fn := range map[string]func(p, q []float64) float64{
+		"tv": TotalVariation, "js": JensenShannon, "bhattacharyya": Bhattacharyya, "hellinger": Hellinger,
+	} {
+		if fn(base, near) >= fn(base, far) {
+			t.Errorf("%s: near (%v) not closer than far (%v)", name, fn(base, near), fn(base, far))
+		}
+	}
+}
+
+func TestDistancesLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(p, q []float64) float64{
+		"tv": TotalVariation, "js": JensenShannon, "bhattacharyya": Bhattacharyya, "kl": KLDivergence,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn([]float64{1}, []float64{0.5, 0.5})
+		}()
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import "math"
+
+// The Laplace mechanism (Dwork & Roth) releases a histogram under
+// (epsilon, 0)-differential privacy by adding independent
+// Laplace(0, sensitivity/epsilon) noise to every bin. For counting
+// histograms the L1 sensitivity is 1 (adding or removing one training
+// point changes exactly one bin by one), matching the paper's
+// Laplace(0, 1/epsilon) noise (eq. 5 gives its variance 2/epsilon^2).
+
+// LaplaceMechanism returns a copy of h with independent Laplace(0, 1/eps)
+// noise added to every bin. Smaller eps means stronger privacy and
+// noisier summaries. It panics if eps <= 0; use the un-noised histogram
+// directly when no privacy is required.
+func LaplaceMechanism(h *Histogram, eps float64, rng *RNG) *Histogram {
+	return LaplaceMechanismSensitivity(h, eps, 1, rng)
+}
+
+// LaplaceMechanismSensitivity is LaplaceMechanism with an explicit L1
+// sensitivity, for summaries where one data point can move more than one
+// unit of bin mass (e.g. histograms normalized before release).
+func LaplaceMechanismSensitivity(h *Histogram, eps, sensitivity float64, rng *RNG) *Histogram {
+	if eps <= 0 {
+		panic("stats: LaplaceMechanism with non-positive epsilon")
+	}
+	if sensitivity <= 0 {
+		panic("stats: LaplaceMechanism with non-positive sensitivity")
+	}
+	out := h.Clone()
+	scale := sensitivity / eps
+	for i := range out.Counts {
+		out.Counts[i] += rng.Laplace(0, scale)
+	}
+	return out
+}
+
+// LaplaceNoiseVariance returns the variance of the noise added per bin for
+// a given epsilon at sensitivity 1: Var = 2*(1/eps)^2 (paper eq. 5).
+func LaplaceNoiseVariance(eps float64) float64 {
+	return 2 / (eps * eps)
+}
+
+// PrivacyForVariance inverts LaplaceNoiseVariance: the epsilon that yields
+// the given per-bin noise variance.
+func PrivacyForVariance(variance float64) float64 {
+	if variance <= 0 {
+		panic("stats: PrivacyForVariance with non-positive variance")
+	}
+	return math.Sqrt(2 / variance)
+}

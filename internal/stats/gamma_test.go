@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaMoments(t *testing.T) {
+	r := NewRNG(21)
+	for _, tc := range []struct{ shape, scale float64 }{
+		{1, 1}, {2.5, 1}, {0.5, 2}, {9, 0.5},
+	} {
+		n := 200000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) returned negative %v", tc.shape, tc.scale, x)
+			}
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean+0.01 {
+			t.Errorf("Gamma(%v,%v) mean %v, want ~%v", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.08*wantVar+0.02 {
+			t.Errorf("Gamma(%v,%v) variance %v, want ~%v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Gamma(0, 1)
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := NewRNG(22)
+	for _, alpha := range []float64{0.1, 1, 10} {
+		for trial := 0; trial < 200; trial++ {
+			p := r.Dirichlet(6, alpha)
+			sum := 0.0
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("negative component %v", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("Dirichlet sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Small alpha concentrates mass; large alpha spreads it. Measure via
+	// the mean maximum component.
+	r := NewRNG(23)
+	meanMax := func(alpha float64) float64 {
+		total := 0.0
+		for i := 0; i < 2000; i++ {
+			total += Max(r.Dirichlet(10, alpha))
+		}
+		return total / 2000
+	}
+	small := meanMax(0.05)
+	large := meanMax(50)
+	if small < 0.7 {
+		t.Errorf("alpha=0.05 mean max component %v, want > 0.7 (high skew)", small)
+	}
+	if large > 0.25 {
+		t.Errorf("alpha=50 mean max component %v, want < 0.25 (near uniform)", large)
+	}
+}
+
+func TestDirichletPanicsOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dim":   func() { NewRNG(1).Dirichlet(0, 1) },
+		"alpha": func() { NewRNG(1).Dirichlet(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,271 @@
+// Package stats provides the statistical substrate for HACCS: a
+// deterministic random number generator, probability distributions,
+// histogram summaries, the Hellinger distance, and the Laplace mechanism
+// for differential privacy.
+//
+// Every stochastic component in the repository draws from this package so
+// that experiments are reproducible from a single root seed. The generator
+// is xoshiro256** seeded via splitmix64, the combination recommended by
+// Blackman & Vigna; it is small, fast, and has no shared global state, so
+// concurrent simulations can each own an independent stream.
+package stats
+
+import "math"
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is used both as a standalone mixer (fanning one root seed out into
+// independent subsystem seeds) and to seed xoshiro256**.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives the i-th child seed from a root
+// seed. Subsystems (dataset generation, network heterogeneity, each
+// selection strategy, dropout processes) use distinct indices so changing
+// one subsystem's draws never perturbs another's.
+func DeriveSeed(root uint64, index uint64) uint64 {
+	state := root ^ (0x517cc1b727220a95 * (index + 1))
+	return SplitMix64(&state)
+}
+
+// RNG is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is not valid; construct with NewRNG.
+type RNG struct {
+	s [4]uint64
+	// cached spare normal deviate for Box-Muller
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be faster, but
+	// simple rejection keeps the stream layout obvious and is plenty fast
+	// for simulation workloads.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + stddev*u*m
+}
+
+// Laplace returns a draw from the Laplace(mu, b) distribution, where b is
+// the scale parameter. This is the noise distribution of the Laplace
+// mechanism used to make histogram summaries differentially private.
+func (r *RNG) Laplace(mu, b float64) float64 {
+	// Inverse CDF sampling: U ~ Uniform(-1/2, 1/2),
+	// X = mu - b * sign(U) * ln(1 - 2|U|).
+	u := r.Float64() - 0.5
+	if u >= 0 {
+		return mu - b*math.Log(1-2*u)
+	}
+	return mu + b*math.Log(1+2*u)
+}
+
+// Exponential returns a draw from the exponential distribution with the
+// given rate (lambda).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the provided
+// swap function (same contract as math/rand.Shuffle).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n or k < 0.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleWithoutReplacement with k out of range")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// WeightedChoice samples one index from the categorical distribution given
+// by weights. Non-positive weights are treated as zero. If all weights are
+// zero it falls back to a uniform draw. Used by the cluster scheduler's
+// weighted simple random sampling with replacement (Weighted-SRSWR).
+func (r *RNG) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Gamma returns a draw from the Gamma distribution with the given shape
+// and scale, using the Marsaglia-Tsang squeeze method (with the standard
+// boost for shape < 1). Used to sample Dirichlet label distributions for
+// the Dirichlet non-IID partitioner.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Gamma with non-positive parameters")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Dirichlet returns a draw from the symmetric Dirichlet distribution
+// with concentration alpha over dim categories: a probability vector.
+// Small alpha concentrates mass on few categories (high skew); large
+// alpha approaches uniform (near IID).
+func (r *RNG) Dirichlet(dim int, alpha float64) []float64 {
+	if dim <= 0 || alpha <= 0 {
+		panic("stats: Dirichlet with non-positive parameters")
+	}
+	out := make([]float64, dim)
+	total := 0.0
+	for i := range out {
+		out[i] = r.Gamma(alpha, 1)
+		total += out[i]
+	}
+	if total <= 0 {
+		// Numerically degenerate draw (all ~0): put everything on one
+		// uniformly chosen category, the alpha->0 limit.
+		out[r.Intn(dim)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}

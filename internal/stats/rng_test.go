@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsIndependent(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 1000; i++ {
+		s := DeriveSeed(7, i)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("DeriveSeed collision: indices %d and %d both map to %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64MeanAndVariance(t *testing.T) {
+	r := NewRNG(4)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sumsq += f * f
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12.0) > 0.005 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12.0)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) value %d drawn %d times out of 70000, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(3, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Errorf("normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := NewRNG(7)
+	n := 400000
+	b := 1.5
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Laplace(0, b)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * b * b
+	if math.Abs(variance-want) > 0.15 {
+		t.Errorf("laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestLaplaceVarianceMatchesEquation5(t *testing.T) {
+	// Paper eq. 5: Var = 2*(1/eps)^2 for the privacy-noise distribution.
+	for _, eps := range []float64{0.001, 0.01, 0.1, 1} {
+		got := LaplaceNoiseVariance(eps)
+		want := 2 / (eps * eps)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("LaplaceNoiseVariance(%v) = %v, want %v", eps, got, want)
+		}
+		back := PrivacyForVariance(got)
+		if math.Abs(back-eps) > 1e-9 {
+			t.Errorf("PrivacyForVariance round trip: %v -> %v", eps, back)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(8)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exponential(4)
+		if x < 0 {
+			t.Fatalf("Exponential returned negative %v", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("exponential mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	r := NewRNG(10)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(50) + 1
+		k := r.Intn(n + 1)
+		s := r.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			t.Fatalf("sample length %d, want %d", len(s), k)
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid or duplicate sample %d (n=%d)", v, n)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedChoiceProportions(t *testing.T) {
+	r := NewRNG(11)
+	weights := []float64{1, 0, 3, 6}
+	counts := make([]int, len(weights))
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := w / 10 * float64(n)
+		if math.Abs(float64(counts[i])-want) > 0.05*float64(n) {
+			t.Errorf("index %d drawn %d times, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestWeightedChoiceAllZeroFallsBackToUniform(t *testing.T) {
+	r := NewRNG(12)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedChoice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("all-zero weights: index %d drawn %d times, want ~10000", i, c)
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of single element != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	mean, hw := MeanCI95(xs)
+	if math.Abs(mean-49.5) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+	if hw <= 0 {
+		t.Errorf("half width = %v, want positive", hw)
+	}
+	// Single observation: zero half-width.
+	if _, hw := MeanCI95([]float64{1}); hw != 0 {
+		t.Errorf("single obs half width = %v", hw)
+	}
+}
+
+func TestEMAConvergesToConstant(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 7
+	}
+	out := EMA(xs, 0.3)
+	for i, v := range out {
+		if math.Abs(v-7) > 1e-9 {
+			t.Fatalf("EMA of constant series diverged at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEMASmoothes(t *testing.T) {
+	xs := []float64{0, 10, 0, 10, 0, 10}
+	out := EMA(xs, 0.5)
+	// Smoothed series should have smaller max jump than raw.
+	maxJump := 0.0
+	for i := 1; i < len(out); i++ {
+		if d := math.Abs(out[i] - out[i-1]); d > maxJump {
+			maxJump = d
+		}
+	}
+	if maxJump >= 10 {
+		t.Errorf("EMA did not smooth: max jump %v", maxJump)
+	}
+}
+
+func TestEMAPropertyBounded(t *testing.T) {
+	f := func(raw [12]float64, alphaRaw uint8) bool {
+		alpha := float64(alphaRaw%99+1) / 100
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range EMA(xs, alpha) {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgMaxMinFloat(t *testing.T) {
+	xs := []float64{3, 9, 9, -2}
+	if ArgMaxFloat(xs) != 1 {
+		t.Errorf("ArgMaxFloat = %d, want first max index 1", ArgMaxFloat(xs))
+	}
+	if ArgMinFloat(xs) != 3 {
+		t.Errorf("ArgMinFloat = %d", ArgMinFloat(xs))
+	}
+}

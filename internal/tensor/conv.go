@@ -1,0 +1,109 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling over an
+// input of Channels × Height × Width with square kernels.
+type ConvGeom struct {
+	Channels int // input channels
+	Height   int // input height
+	Width    int // input width
+	Kernel   int // kernel side length
+	Stride   int
+	Pad      int
+}
+
+// OutHeight returns the output height of the convolution.
+func (g ConvGeom) OutHeight() int { return (g.Height+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// OutWidth returns the output width of the convolution.
+func (g ConvGeom) OutWidth() int { return (g.Width+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// Validate panics if the geometry is degenerate.
+func (g ConvGeom) Validate() {
+	if g.Channels <= 0 || g.Height <= 0 || g.Width <= 0 || g.Kernel <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry %+v", g))
+	}
+	if g.OutHeight() <= 0 || g.OutWidth() <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v yields empty output", g))
+	}
+}
+
+// Im2Col unrolls one image (flattened C×H×W in img) into a matrix of
+// shape (C*K*K) × (outH*outW) so that convolution with F filters becomes
+// a single (F × C*K*K) · (C*K*K × outH*outW) matrix multiply. Out-of-pad
+// positions contribute zeros.
+func Im2Col(img []float64, g ConvGeom) *Dense {
+	g.Validate()
+	if len(img) != g.Channels*g.Height*g.Width {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d != %d", len(img), g.Channels*g.Height*g.Width))
+	}
+	outH, outW := g.OutHeight(), g.OutWidth()
+	rows := g.Channels * g.Kernel * g.Kernel
+	cols := outH * outW
+	out := New(rows, cols)
+	for c := 0; c < g.Channels; c++ {
+		chanBase := c * g.Height * g.Width
+		for ky := 0; ky < g.Kernel; ky++ {
+			for kx := 0; kx < g.Kernel; kx++ {
+				row := (c*g.Kernel+ky)*g.Kernel + kx
+				dst := out.Data[row*cols : (row+1)*cols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.Height {
+						continue // row of zeros
+					}
+					srcRow := chanBase + iy*g.Width
+					dstRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.Width {
+							continue
+						}
+						dst[dstRow+ox] = img[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*K*K) × (outH*outW)
+// gradient matrix back into an image-shaped gradient, accumulating where
+// kernel windows overlap. It is used by the convolution backward pass.
+func Col2Im(cols *Dense, g ConvGeom) []float64 {
+	g.Validate()
+	outH, outW := g.OutHeight(), g.OutWidth()
+	wantRows := g.Channels * g.Kernel * g.Kernel
+	if cols.Rows() != wantRows || cols.Cols() != outH*outW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v, want (%d, %d)", cols.Shape, wantRows, outH*outW))
+	}
+	img := make([]float64, g.Channels*g.Height*g.Width)
+	nCols := outH * outW
+	for c := 0; c < g.Channels; c++ {
+		chanBase := c * g.Height * g.Width
+		for ky := 0; ky < g.Kernel; ky++ {
+			for kx := 0; kx < g.Kernel; kx++ {
+				row := (c*g.Kernel+ky)*g.Kernel + kx
+				src := cols.Data[row*nCols : (row+1)*nCols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.Height {
+						continue
+					}
+					dstRow := chanBase + iy*g.Width
+					srcRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.Width {
+							continue
+						}
+						img[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return img
+}

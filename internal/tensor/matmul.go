@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds before MatMul
+// fans work out to multiple goroutines; below it the goroutine and
+// synchronization overhead dominates.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a × b for 2-D tensors, using a cache-blocked ikj loop
+// order and, for large products, parallelism across row bands. The inner
+// kernel is the classic "saxpy row" formulation: for each (i, k) it
+// streams b's row k into the output row, which keeps all three access
+// patterns sequential.
+func MatMul(a, b *Dense) *Dense {
+	a.must2D()
+	b.must2D()
+	m, ka := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	out := New(m, n)
+	matMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a × b, reusing dst's storage. dst must have
+// shape (a.Rows, b.Cols) and must not alias a or b.
+func MatMulInto(dst, a, b *Dense) {
+	a.must2D()
+	b.must2D()
+	dst.must2D()
+	if a.Shape[1] != b.Shape[0] || dst.Shape[0] != a.Shape[0] || dst.Shape[1] != b.Shape[1] {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	dst.Zero()
+	matMulInto(dst, a, b)
+}
+
+func matMulInto(out, a, b *Dense) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	work := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || m == 1 {
+		matMulRange(out, a, b, 0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := min(lo+band, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	_ = k
+	_ = n
+}
+
+// matMulRange computes output rows [lo, hi).
+func matMulRange(out, a, b *Dense, lo, hi int) {
+	k := a.Shape[1]
+	n := b.Shape[1]
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			aip := ai[p]
+			if aip == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				oi[j] += aip * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a × bᵀ without materializing the transpose;
+// useful in backward passes where the weight gradient pattern is
+// (m×n)·(k×n)ᵀ.
+func MatMulTransB(a, b *Dense) *Dense {
+	a.must2D()
+	b.must2D()
+	m, ka := a.Shape[0], a.Shape[1]
+	n, kb := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if m*n*ka < parallelThreshold || workers <= 1 || m == 1 {
+		matMulTransBRange(out, a, b, 0, m)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := min(lo+band, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulTransBRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulTransBRange(out, a, b *Dense, lo, hi int) {
+	k := a.Shape[1]
+	n := b.Shape[0]
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ × b without materializing the transpose; this
+// is the (k×m)ᵀ·(k×n) pattern of dense-layer weight gradients.
+func MatMulTransA(a, b *Dense) *Dense {
+	a.must2D()
+	b.must2D()
+	ka, m := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		panic("tensor: MatMulTransA inner dimension mismatch")
+	}
+	out := New(m, n)
+	// Accumulate rank-1 updates; output rows are streamed per k-row of a.
+	for p := 0; p < ka; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
