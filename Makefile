@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-guard bench
+
+## check: the tier-1 gate — vet, build, and the full test suite under -race.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments suite is training-heavy; under -race it runs ~30
+# minutes, past go test's default 10-minute per-package timeout.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+## bench-guard: compile and run every benchmark exactly once so a broken
+## benchmark fails CI without paying full measurement time.
+bench-guard:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench: full benchmark pass (slow; for local measurement only).
+bench:
+	$(GO) test -run '^$$' -bench . ./...

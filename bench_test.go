@@ -17,7 +17,9 @@ import (
 	"haccs/internal/experiments"
 	"haccs/internal/fl"
 	"haccs/internal/nn"
+	"haccs/internal/simnet"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 	"haccs/internal/tensor"
 )
 
@@ -335,5 +337,83 @@ func BenchmarkAblation_Gradient(b *testing.B) {
 		b.ReportMetric(ab.GradRecoveryRound0, "gradient_recovery")
 		b.ReportMetric(ab.CrossRoundAgreement, "cross_round_rand_index")
 		b.ReportMetric(float64(ab.GradientBytes)/float64(ab.PYBytes), "gradient_over_py_bytes")
+	}
+}
+
+// telemetryBenchWorkload builds a small fixed roster + config for the
+// engine-overhead benchmarks below.
+func telemetryBenchWorkload(b *testing.B) ([]*fl.Client, fl.Config, func() fl.Strategy) {
+	b.Helper()
+	spec := dataset.SyntheticCIFAR().Compact(8, 8)
+	planRNG := stats.NewRNG(stats.DeriveSeed(benchSeed, 14))
+	plan := dataset.MajorityNoisePlan(12, 10, 60, 80, planRNG)
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(benchSeed, 10))
+	dataRNG := stats.NewRNG(stats.DeriveSeed(benchSeed, 110))
+	profRNG := stats.NewRNG(stats.DeriveSeed(benchSeed, 11))
+	clientData := plan.Materialize(gen, 0.8, dataRNG)
+	roster := make([]*fl.Client, len(clientData))
+	trainSets := make([]*dataset.Dataset, len(clientData))
+	for i, cd := range clientData {
+		roster[i] = &fl.Client{ID: i, Data: cd, Profile: simnet.SampleProfile(profRNG)}
+		trainSets[i] = cd.Train
+	}
+	cfg := fl.Config{
+		Arch:                nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{16}, Classes: 10},
+		Seed:                benchSeed,
+		Local:               fl.LocalTrainConfig{Epochs: 1, BatchSize: 32, LR: 0.05},
+		ClientsPerRound:     4,
+		MaxRounds:           5,
+		EvalEvery:           5,
+		PerSampleComputeSec: 0.01,
+	}
+	strat := func() fl.Strategy {
+		sums := core.BuildSummaries(trainSets, core.PY, 0, 0, stats.NewRNG(7))
+		return core.NewScheduler(core.Config{Kind: core.PY, Rho: 0.75}, sums)
+	}
+	return roster, cfg, strat
+}
+
+// BenchmarkEngineRun_NilTelemetry measures a full 5-round HACCS run
+// with the telemetry hooks compiled in but disabled (Tracer and
+// Metrics nil). Comparing against BenchmarkEngineRun_Traced — and
+// against the pre-instrumentation engine via git history — shows the
+// nil fast path costs only dead branches.
+func BenchmarkEngineRun_NilTelemetry(b *testing.B) {
+	roster, cfg, strat := telemetryBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.NewEngine(cfg, roster, strat()).Run()
+	}
+}
+
+// BenchmarkEngineRun_Traced is the same run with a live in-memory
+// trace and metrics registry, bounding the cost of full
+// instrumentation.
+func BenchmarkEngineRun_Traced(b *testing.B) {
+	roster, cfg, strat := telemetryBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sink := &telemetry.MemorySink{}
+		reg := telemetry.NewRegistry()
+		cfg.Tracer = sink
+		cfg.Metrics = reg
+		b.StartTimer()
+		fl.NewEngine(cfg, roster, strat()).Run()
+	}
+}
+
+// BenchmarkRegistryHotPath measures the per-event cost of the three
+// collector types on the instrumented hot path.
+func BenchmarkRegistryHotPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i % 100))
 	}
 }

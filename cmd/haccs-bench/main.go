@@ -20,6 +20,7 @@ import (
 
 	"haccs/internal/core"
 	"haccs/internal/experiments"
+	"haccs/internal/telemetry"
 )
 
 // experimentFunc runs one experiment and returns its printed report.
@@ -99,6 +100,9 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment id ("+strings.Join(names(), ", ")+", all) or alias (table1, table2, fig11)")
 		scaleFlag  = flag.String("scale", "quick", "quick (minutes) or full (paper-scale client counts; much slower)")
 		seed       = flag.Uint64("seed", 1, "root random seed")
+
+		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round traces of every instrumented run as JSONL to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/trace on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -106,6 +110,40 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "haccs-bench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	// Observability is opt-in: the runners consult the experiments
+	// package's process-wide hook, so one flag instruments every engine
+	// and HACCS scheduler the suite constructs.
+	if *jsonlPath != "" || *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		var sinks []telemetry.Tracer
+		if *jsonlPath != "" {
+			jsonl, err := telemetry.NewJSONLFile(*jsonlPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer func() {
+				if err := jsonl.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+			sinks = append(sinks, jsonl)
+		}
+		var ring *telemetry.RingSink
+		if *metricsAddr != "" {
+			ring = telemetry.NewRingSink(4096)
+			sinks = append(sinks, ring)
+			srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry: serving /metrics and /debug/trace on http://%s\n", srv.Addr())
+		}
+		experiments.EnableTelemetry(reg, telemetry.Combine(sinks...))
 	}
 
 	run := func(name string) {

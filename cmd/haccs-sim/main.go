@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"haccs/internal/core"
 	"haccs/internal/dataset"
@@ -22,6 +23,7 @@ import (
 	"haccs/internal/selection"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +46,12 @@ func main() {
 		policy   = flag.String("policy", "fastest", "HACCS intra-cluster device policy: fastest | weighted")
 		csvPath  = flag.String("csv", "", "write the accuracy curve as CSV to this path")
 		jsonPath = flag.String("json", "", "write the run summary as JSON to this path")
+
+		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/trace on this address during the run")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
+		statsdAddr  = flag.String("statsd-addr", "", "flush metrics to this UDP statsd endpoint")
+		statsdEvery = flag.Duration("statsd-interval", 10*time.Second, "statsd flush interval")
 	)
 	flag.Parse()
 
@@ -73,7 +81,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "haccs-sim: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
-	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed)
+	// Telemetry: registry + trace sinks are only allocated when a flag
+	// asks for them; engines treat nil as "off".
+	var (
+		reg    *telemetry.Registry
+		tracer telemetry.Tracer
+		jsonl  *telemetry.JSONLSink
+		ring   *telemetry.RingSink
+	)
+	if *jsonlPath != "" || *metricsAddr != "" || *statsdAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *jsonlPath != "" {
+		jsonl, err = telemetry.NewJSONLFile(*jsonlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsAddr != "" {
+		ring = telemetry.NewRingSink(4096)
+	}
+	// Append only live sinks: a typed-nil *JSONLSink inside a Tracer
+	// interface would defeat Combine's nil filtering.
+	var sinks []telemetry.Tracer
+	if jsonl != nil {
+		sinks = append(sinks, jsonl)
+	}
+	if ring != nil {
+		sinks = append(sinks, ring)
+	}
+	tracer = telemetry.Combine(sinks...)
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics and /debug/trace on http://%s\n", srv.Addr())
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Printf("telemetry: holding the endpoint for %s\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
+	}
+	if *statsdAddr != "" {
+		sd, err := telemetry.NewStatsd(*statsdAddr, "haccs")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer sd.Start(reg, *statsdEvery)()
+	}
+	if jsonl != nil {
+		defer func() {
+			if err := jsonl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("trace written to %s\n", *jsonlPath)
+			}
+		}()
+	}
+
+	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed, tracer, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -87,6 +159,8 @@ func main() {
 		MaxRounds:           *rounds,
 		EvalEvery:           5,
 		PerSampleComputeSec: 0.01,
+		Tracer:              tracer,
+		Metrics:             reg,
 	}
 	if *dropout > 0 {
 		cfg.Dropout = simnet.TransientDropout{
@@ -164,7 +238,7 @@ func modelFor(spec dataset.Spec) nn.Arch {
 	return nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{32}, Classes: spec.Classes}
 }
 
-func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, intra core.IntraClusterPolicy, seed uint64) (fl.Strategy, error) {
+func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, intra core.IntraClusterPolicy, seed uint64, tracer telemetry.Tracer, reg *telemetry.Registry) (fl.Strategy, error) {
 	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, 15))
 	switch name {
 	case "random":
@@ -175,10 +249,10 @@ func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, 
 		return selection.NewOort(), nil
 	case "haccs-py":
 		sums := core.BuildSummaries(trainSets, core.PY, 0, eps, noiseRNG)
-		return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: intra}, sums), nil
+		return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: intra, Tracer: tracer, Metrics: reg}, sums), nil
 	case "haccs-pxy":
 		sums := core.BuildSummaries(trainSets, core.PXY, 0, eps, noiseRNG)
-		return core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, IntraCluster: intra}, sums), nil
+		return core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, IntraCluster: intra, Tracer: tracer, Metrics: reg}, sums), nil
 	default:
 		return nil, fmt.Errorf("haccs-sim: unknown strategy %q", name)
 	}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"time"
+
+	"haccs/internal/telemetry"
+)
+
+// Instrumented clustering entry points: identical results to the plain
+// functions, plus run count, duration and output-size gauges recorded
+// into a telemetry registry under one "algo" label. A nil registry is
+// a pure passthrough, so callers thread their (possibly nil) registry
+// through unconditionally. Re-clustering cost is the paper's §IV-C
+// concern — summary updates trigger OPTICS reruns whose cost must stay
+// visible per run.
+
+// observeRun records one clustering pass under the algorithm's label.
+func observeRun(reg *telemetry.Registry, algo string, points int, seconds float64) {
+	reg.CounterVec("haccs_clustering_runs_total", "Clustering passes executed.", "algo").With(algo).Inc()
+	reg.GaugeVec("haccs_clustering_points", "Points fed into the latest clustering pass.", "algo").With(algo).Set(float64(points))
+	reg.GaugeVec("haccs_clustering_duration_seconds", "Host wall-clock duration of the latest clustering pass.", "algo").With(algo).Set(seconds)
+}
+
+// InstrumentedOPTICS runs OPTICS and records its cost into reg.
+func InstrumentedOPTICS(reg *telemetry.Registry, m *Matrix, minPts int, maxEps float64) *OPTICSResult {
+	if reg == nil {
+		return OPTICS(m, minPts, maxEps)
+	}
+	start := time.Now()
+	res := OPTICS(m, minPts, maxEps)
+	observeRun(reg, "optics", m.Len(), time.Since(start).Seconds())
+	return res
+}
+
+// InstrumentedAgglomerative runs hierarchical clustering and records
+// its cost into reg.
+func InstrumentedAgglomerative(reg *telemetry.Registry, m *Matrix, linkage Linkage) *Dendrogram {
+	if reg == nil {
+		return Agglomerative(m, linkage)
+	}
+	start := time.Now()
+	d := Agglomerative(m, linkage)
+	observeRun(reg, "agglomerative", m.Len(), time.Since(start).Seconds())
+	return d
+}
+
+// ObserveClusterCount records how many clusters an extraction produced
+// (noise labels excluded) for the given algorithm label.
+func ObserveClusterCount(reg *telemetry.Registry, algo string, labels []int) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVec("haccs_clustering_clusters", "Clusters extracted by the latest pass.", "algo").With(algo).Set(float64(NumClusters(labels)))
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"haccs/internal/telemetry"
+)
+
+// twoBlobMatrix builds a distance matrix with two well-separated
+// groups of three points each.
+func twoBlobMatrix() *Matrix {
+	coords := []float64{0, 0.01, 0.02, 1, 1.01, 1.02}
+	m := NewMatrix(len(coords))
+	for i := range coords {
+		for j := range coords {
+			m.Set(i, j, math.Abs(coords[i]-coords[j]))
+		}
+	}
+	return m
+}
+
+// TestInstrumentedOPTICSRecordsAndMatches checks both halves of the
+// contract: identical output to the plain call, and the run recorded
+// under the optics label.
+func TestInstrumentedOPTICSRecordsAndMatches(t *testing.T) {
+	m := twoBlobMatrix()
+	plain := OPTICS(m, 2, math.Inf(1))
+
+	reg := telemetry.NewRegistry()
+	inst := InstrumentedOPTICS(reg, m, 2, math.Inf(1))
+	if !reflect.DeepEqual(plain.Order, inst.Order) || !reflect.DeepEqual(plain.Reach, inst.Reach) {
+		t.Fatal("instrumented OPTICS diverged from the plain run")
+	}
+
+	if got := reg.CounterVec("haccs_clustering_runs_total", "", "algo").With("optics").Value(); got != 1 {
+		t.Errorf("runs counter = %v, want 1", got)
+	}
+	if got := reg.GaugeVec("haccs_clustering_points", "", "algo").With("optics").Value(); got != 6 {
+		t.Errorf("points gauge = %v, want 6", got)
+	}
+	if got := reg.GaugeVec("haccs_clustering_duration_seconds", "", "algo").With("optics").Value(); got < 0 {
+		t.Errorf("duration gauge negative: %v", got)
+	}
+
+	labels := inst.ExtractDBSCAN(0.1)
+	ObserveClusterCount(reg, "optics", labels)
+	if got := reg.GaugeVec("haccs_clustering_clusters", "", "algo").With("optics").Value(); got != float64(NumClusters(labels)) {
+		t.Errorf("clusters gauge = %v, want %d", got, NumClusters(labels))
+	}
+	if NumClusters(labels) != 2 {
+		t.Errorf("expected 2 clusters in the fixture, got %d (%v)", NumClusters(labels), labels)
+	}
+}
+
+// TestInstrumentedNilRegistryPassthrough checks the nil path for both
+// wrappers (a nil registry must not allocate or panic).
+func TestInstrumentedNilRegistryPassthrough(t *testing.T) {
+	m := twoBlobMatrix()
+	if res := InstrumentedOPTICS(nil, m, 2, math.Inf(1)); len(res.Order) != 6 {
+		t.Error("nil-registry OPTICS broken")
+	}
+	if d := InstrumentedAgglomerative(nil, m, CompleteLinkage); d.NumMerges() != 5 {
+		t.Error("nil-registry agglomerative broken")
+	}
+	ObserveClusterCount(nil, "optics", []int{0, 1})
+}
+
+// TestInstrumentedAgglomerativeRecords mirrors the OPTICS check for
+// the hierarchical path.
+func TestInstrumentedAgglomerativeRecords(t *testing.T) {
+	m := twoBlobMatrix()
+	reg := telemetry.NewRegistry()
+	d := InstrumentedAgglomerative(reg, m, CompleteLinkage)
+	labels := d.CutK(2)
+	ObserveClusterCount(reg, "agglomerative", labels)
+	if got := reg.CounterVec("haccs_clustering_runs_total", "", "algo").With("agglomerative").Value(); got != 1 {
+		t.Errorf("runs counter = %v, want 1", got)
+	}
+	if got := reg.GaugeVec("haccs_clustering_clusters", "", "algo").With("agglomerative").Value(); got != 2 {
+		t.Errorf("clusters gauge = %v, want 2", got)
+	}
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"time"
 
 	"haccs/internal/cluster"
 	"haccs/internal/fl"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
 
 // IntraClusterPolicy selects how a device is chosen inside a sampled
@@ -44,6 +47,14 @@ type Config struct {
 	// IntraCluster picks the device-within-cluster policy (default
 	// PickFastest, the published algorithm).
 	IntraCluster IntraClusterPolicy
+	// Tracer receives the scheduler's decision events (cluster sampled
+	// with its θ/τ/ACL decomposition, device picked, re-clustering);
+	// nil disables tracing.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, receives the scheduler's gauges: one θ
+	// gauge per cluster, the cluster count, and the clustering-cost
+	// series recorded through internal/cluster's instrumented wrappers.
+	Metrics *telemetry.Registry
 	// MinSilhouette is the structure threshold for automatic extraction
 	// (0 picks a kind-dependent default). P(y) distances are well spread
 	// and use cluster.DefaultMinSilhouette; P(X|y) distances live on a
@@ -131,14 +142,16 @@ func (s *Scheduler) Init(clients []fl.ClientInfo, rng *stats.RNG) {
 
 // recluster recomputes the cluster assignment from current summaries.
 func (s *Scheduler) recluster() {
+	start := time.Now()
 	m := DistanceMatrix(s.summaries)
-	res := cluster.OPTICS(m, s.cfg.MinPts, math.Inf(1))
+	res := cluster.InstrumentedOPTICS(s.cfg.Metrics, m, s.cfg.MinPts, math.Inf(1))
 	var labels []int
 	if s.cfg.EpsPrime > 0 {
 		labels = res.ExtractDBSCAN(s.cfg.EpsPrime)
 	} else {
 		labels = res.ExtractBestSilhouette(m, s.cfg.MinSilhouette)
 	}
+	cluster.ObserveClusterCount(s.cfg.Metrics, "optics", labels)
 	// Noise points become singleton clusters: the paper values OPTICS
 	// precisely because it can refuse to force dissimilar clients into a
 	// cluster, but every device must remain schedulable, and a singleton
@@ -157,6 +170,14 @@ func (s *Scheduler) recluster() {
 	}
 	s.labels = labels
 	s.clusters = cluster.Members(labels)
+	if s.cfg.Tracer != nil {
+		// Round -1: clustering happens at Init and on summary updates,
+		// outside any specific round.
+		s.cfg.Tracer.Emit(telemetry.Reclustered(-1, len(s.clusters), time.Since(start).Seconds()))
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("haccs_clusters", "Schedulable clusters after noise singletonization.").Set(float64(len(s.clusters)))
+	}
 }
 
 // UpdateSummaries replaces one or more clients' summaries (clients
@@ -193,6 +214,16 @@ func (s *Scheduler) Clusters() [][]int {
 // NumClusters returns the number of clusters identified.
 func (s *Scheduler) NumClusters() int { return len(s.clusters) }
 
+// clusterWeight is the eq. 7 weight of one cluster with its
+// decomposition, kept so the trace can explain every sampling draw.
+type clusterWeight struct {
+	Theta    float64 // ρ·τ + (1−ρ)·ACLShare, floored at 1e-9 when schedulable
+	Tau      float64 // 1 − Latency_i / Latency_max
+	ACL      float64 // average loss of the cluster's available members
+	ACLShare float64 // ACL_i / Σ_j ACL_j
+	Alive    bool    // cluster has at least one available member
+}
+
 // clusterWeights computes the eq. 7 sampling weight for every cluster
 // over its currently available members:
 //
@@ -202,7 +233,7 @@ func (s *Scheduler) NumClusters() int { return len(s.clusters) }
 // where Latency_i and ACL_i are the average latency and loss of the
 // cluster's available members. Clusters with no available members get
 // weight 0.
-func (s *Scheduler) clusterWeights(available []bool) []float64 {
+func (s *Scheduler) clusterWeights(available []bool) ([]float64, []clusterWeight) {
 	n := len(s.clusters)
 	avgLat := make([]float64, n)
 	avgLoss := make([]float64, n)
@@ -230,6 +261,7 @@ func (s *Scheduler) clusterWeights(available []bool) []float64 {
 		totalLoss += avgLoss[i]
 	}
 	weights := make([]float64, n)
+	parts := make([]clusterWeight, n)
 	for i := range s.clusters {
 		if !hasMembers[i] {
 			continue
@@ -251,8 +283,26 @@ func (s *Scheduler) clusterWeights(available []bool) []float64 {
 			w = 1e-9
 		}
 		weights[i] = w
+		parts[i] = clusterWeight{Theta: w, Tau: tau, ACL: avgLoss[i], ACLShare: lossTerm, Alive: true}
 	}
-	return weights
+	return weights, parts
+}
+
+// publishWeights exports every cluster's θ (and the cluster count) as
+// labelled gauges — the per-cluster view the /metrics acceptance check
+// scrapes. Clusters without available members export θ = 0.
+func (s *Scheduler) publishWeights(parts []clusterWeight) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	thetas := s.cfg.Metrics.GaugeVec("haccs_cluster_theta", "Eq. 7 sampling weight of each cluster over its available members.", "cluster")
+	for i, p := range parts {
+		theta := 0.0
+		if p.Alive {
+			theta = p.Theta
+		}
+		thetas.With(strconv.Itoa(i)).Set(theta)
+	}
 }
 
 // Select implements fl.Strategy (Algorithm 1): Weighted-SRSWR over
@@ -260,7 +310,8 @@ func (s *Scheduler) clusterWeights(available []bool) []float64 {
 // sampled cluster, removing picked devices for the remainder of the
 // round.
 func (s *Scheduler) Select(epoch int, available []bool, k int) []int {
-	weights := s.clusterWeights(available)
+	weights, parts := s.clusterWeights(available)
+	s.publishWeights(parts)
 	picked := make(map[int]bool, k)
 	var selected []int
 	// remaining[i] counts available, unpicked members of cluster i.
@@ -295,6 +346,11 @@ func (s *Scheduler) Select(epoch int, available []bool, k int) []int {
 		picked[best] = true
 		selected = append(selected, best)
 		remaining[c]--
+		if s.cfg.Tracer != nil {
+			p := parts[c]
+			s.cfg.Tracer.Emit(telemetry.ClusterSampled(epoch, c, p.Theta, p.Tau, p.ACL, p.ACLShare))
+			s.cfg.Tracer.Emit(telemetry.ClientPicked(epoch, c, best, s.latency[best]))
+		}
 	}
 	return selected
 }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+	"haccs/internal/telemetry"
+)
+
+// telemetryFixture is testFixture with an instrumented scheduler.
+func telemetryFixture(t *testing.T) (*Scheduler, *telemetry.Registry, *telemetry.MemorySink) {
+	t.Helper()
+	spec := dataset.Spec{Name: "t", Channels: 1, Height: 8, Width: 8, Classes: 8, NoiseStd: 0.1, Blobs: 3}
+	gen := dataset.NewGenerator(spec, 21)
+	rng := stats.NewRNG(22)
+	var sums []Summary
+	var infos []fl.ClientInfo
+	id := 0
+	for major := 0; major < 4; major++ {
+		for k := 0; k < 3; k++ {
+			noise := []int{(major + 4) % 8, (major + 5) % 8, (major + 6) % 8}
+			ld := dataset.MajorityNoise(major, 0.75, noise, dataset.DefaultMajorityFractions)
+			d := gen.Generate(ld.Draw(300, rng), rng)
+			sums = append(sums, Summarize(d, PY, 16))
+			infos = append(infos, fl.ClientInfo{ID: id, Latency: float64(1 + id), NumSamples: 300})
+			id++
+		}
+	}
+	reg := telemetry.NewRegistry()
+	sink := &telemetry.MemorySink{}
+	sched := NewScheduler(Config{Kind: PY, Rho: 0.5, Tracer: sink, Metrics: reg}, sums)
+	sched.Init(infos, stats.NewRNG(23))
+	return sched, reg, sink
+}
+
+// TestSchedulerPublishesThetaGauges checks the per-cluster θ gauges:
+// one per cluster, nonnegative, and consistent with eq. 7 (sum of
+// ρ·τ + (1−ρ)·ACLShare over alive clusters ≈ ρ·Στ + (1−ρ)).
+func TestSchedulerPublishesThetaGauges(t *testing.T) {
+	s, reg, sink := telemetryFixture(t)
+	sel := s.Select(0, allAvailable(12), 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d", len(sel))
+	}
+
+	vec := reg.GaugeVec("haccs_cluster_theta", "", "cluster")
+	for _, e := range sink.Filter(telemetry.KindClusterSampled) {
+		if e.Theta <= 0 || e.Tau < 0 || e.Tau > 1 || e.ACL <= 0 {
+			t.Errorf("implausible decomposition: %+v", e)
+		}
+		want := 0.5*e.Tau + 0.5*e.ACLShare
+		if math.Abs(e.Theta-want) > 1e-12 && e.Theta != 1e-9 {
+			t.Errorf("theta %v != rho*tau+(1-rho)*share %v", e.Theta, want)
+		}
+	}
+
+	total := 0.0
+	for i := 0; i < s.NumClusters(); i++ {
+		v := vec.With(strconv.Itoa(i)).Value()
+		if v < 0 {
+			t.Errorf("theta gauge %d negative: %v", i, v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no theta mass exported")
+	}
+
+	// The gauges appear in the scrape output under one family.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `haccs_cluster_theta{cluster="0"}`) {
+		t.Errorf("scrape missing theta gauge:\n%s", sb.String())
+	}
+}
+
+// TestSchedulerEmitsDecisionEvents checks the per-draw event pairing
+// and the Init-time recluster trail.
+func TestSchedulerEmitsDecisionEvents(t *testing.T) {
+	s, reg, sink := telemetryFixture(t)
+
+	recl := sink.Filter(telemetry.KindReclustered)
+	if len(recl) != 1 {
+		t.Fatalf("reclustered events = %d, want 1 (from Init)", len(recl))
+	}
+	if recl[0].Clusters != s.NumClusters() {
+		t.Errorf("reclustered clusters = %d, want %d", recl[0].Clusters, s.NumClusters())
+	}
+	if got := reg.Gauge("haccs_clusters", "").Value(); got != float64(s.NumClusters()) {
+		t.Errorf("clusters gauge = %v, want %d", got, s.NumClusters())
+	}
+	if got := reg.CounterVec("haccs_clustering_runs_total", "", "algo").With("optics").Value(); got != 1 {
+		t.Errorf("optics runs counter = %v, want 1", got)
+	}
+
+	sel := s.Select(3, allAvailable(12), 4)
+	samples := sink.Filter(telemetry.KindClusterSampled)
+	picks := sink.Filter(telemetry.KindClientPicked)
+	if len(samples) != len(sel) || len(picks) != len(sel) {
+		t.Fatalf("events: %d samples, %d picks, want %d each", len(samples), len(picks), len(sel))
+	}
+	labels := s.ClusterLabels()
+	for i, p := range picks {
+		if p.Round != 3 {
+			t.Errorf("pick %d round = %d", i, p.Round)
+		}
+		if p.Client != sel[i] {
+			t.Errorf("pick %d client = %d, want %d", i, p.Client, sel[i])
+		}
+		if p.Cluster != labels[p.Client] {
+			t.Errorf("pick %d cluster = %d, want %d", i, p.Cluster, labels[p.Client])
+		}
+		if samples[i].Cluster != p.Cluster {
+			t.Errorf("draw %d cluster %d != pick cluster %d", i, samples[i].Cluster, p.Cluster)
+		}
+	}
+}
+
+// TestSchedulerTelemetryDoesNotChangeDecisions runs the same roster
+// with and without instrumentation and demands identical selections.
+func TestSchedulerTelemetryDoesNotChangeDecisions(t *testing.T) {
+	plain, _ := testFixture(t, PY)
+	traced, _, _ := telemetryFixture(t)
+	for round := 0; round < 5; round++ {
+		a := plain.Select(round, allAvailable(12), 5)
+		b := traced.Select(round, allAvailable(12), 5)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: %v vs %v", round, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: %v vs %v", round, a, b)
+			}
+		}
+	}
+}

@@ -83,6 +83,8 @@ func runFig1Policy(spec dataset.Spec, plan *dataset.PartitionPlan, arch nn.Arch,
 		EvalEvery:           rounds, // only the final model matters here
 		PerSampleComputeSec: 0.01,
 		Dropout:             simnet.PermanentDropout{Dropped: dropped},
+		Tracer:              telem.tracer,
+		Metrics:             telem.reg,
 	}
 	res := fl.NewEngine(cfg, w.Clients, selection.NewRandom()).Run()
 	numGroups := len(dataset.TableIGroups)

@@ -14,7 +14,25 @@ import (
 	"haccs/internal/selection"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
+
+// telem is the optional process-wide instrumentation every engine and
+// HACCS scheduler the runners construct records into. It exists for
+// cmd/haccs-bench's -metrics-addr / -telemetry-jsonl flags; tests and
+// library users leave it unset, which costs nothing. Set it once,
+// before any runner starts — the runners read it concurrently.
+var telem struct {
+	reg    *telemetry.Registry
+	tracer telemetry.Tracer
+}
+
+// EnableTelemetry installs a registry and tracer into every experiment
+// runner in this process. Not safe to call while runs are in flight.
+func EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Tracer) {
+	telem.reg = reg
+	telem.tracer = tracer
+}
 
 // Scale selects experiment size.
 type Scale int
@@ -126,6 +144,8 @@ func (c EngineConfig) ToFL(w *Workload, seed uint64) fl.Config {
 		PerSampleComputeSec: c.PerSampleSec,
 		Dropout:             c.Dropout,
 		RecordSelections:    c.Record,
+		Tracer:              telem.tracer,
+		Metrics:             telem.reg,
 	}
 }
 
@@ -140,8 +160,8 @@ func StrategySet(w *Workload, eps, rho float64, seed uint64) []fl.Strategy {
 		selection.NewRandom(),
 		selection.NewTiFL(5),
 		selection.NewOort(),
-		core.NewScheduler(core.Config{Kind: core.PY, Rho: rho}, py),
-		core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho}, pxy),
+		core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, Tracer: telem.tracer, Metrics: telem.reg}, py),
+		core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, Tracer: telem.tracer, Metrics: telem.reg}, pxy),
 	}
 }
 
@@ -149,7 +169,7 @@ func StrategySet(w *Workload, eps, rho float64, seed uint64) []fl.Strategy {
 func HACCSOnly(w *Workload, kind core.SummaryKind, eps, rho float64, seed uint64) *core.Scheduler {
 	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
 	sums := core.BuildSummaries(w.TrainSets, kind, 0, eps, noiseRNG)
-	return core.NewScheduler(core.Config{Kind: kind, Rho: rho}, sums)
+	return core.NewScheduler(core.Config{Kind: kind, Rho: rho, Tracer: telem.tracer, Metrics: telem.reg}, sums)
 }
 
 // HACCSOnlyWeighted is HACCSOnly with the §V-D5 intra-cluster weighted

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"haccs/internal/nn"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
 
 // Config parameterizes one federated training run.
@@ -40,6 +42,14 @@ type Config struct {
 	// RecordSelections keeps the per-round selected-client lists in the
 	// Result (needed by the Table III / Fig 11 analyses).
 	RecordSelections bool
+	// Tracer receives the structured round-trace event stream; nil
+	// disables tracing at the cost of one branch per emission site.
+	// Implementations must tolerate concurrent Emit calls (client
+	// training events come from worker goroutines).
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, receives engine-level counters, gauges and
+	// histograms (see DESIGN.md "Observability" for the name contract).
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) validate() {
@@ -111,6 +121,49 @@ type Engine struct {
 	// Per-worker scratch models for parallel local training and
 	// evaluation; allocated once.
 	scratch []*nn.Network
+
+	// met caches the engine's telemetry collectors (nil when metrics
+	// are off) so the hot loop never touches the registry maps.
+	met *engineMetrics
+}
+
+// engineMetrics holds the collectors the engine records into; looked
+// up once at construction.
+type engineMetrics struct {
+	rounds      *telemetry.Counter
+	selected    *telemetry.Counter
+	unavailable *telemetry.Counter
+	trainWall   *telemetry.Histogram
+	trainVirt   *telemetry.Histogram
+	roundVirt   *telemetry.Histogram
+	clock       *telemetry.Gauge
+	evalAcc     *telemetry.Gauge
+	evalLoss    *telemetry.Gauge
+}
+
+// trainWallBuckets cover host-side local-training times: sub-ms MLP
+// steps at Quick scale up to seconds for paper-scale CNNs.
+var trainWallBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// virtualBuckets cover the simulator's per-round latencies (Table II
+// profiles land in tens to hundreds of virtual seconds).
+var virtualBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		rounds:      reg.Counter("haccs_rounds_total", "Training rounds completed by the engine."),
+		selected:    reg.Counter("haccs_clients_selected_total", "Client training jobs dispatched."),
+		unavailable: reg.Counter("haccs_clients_unavailable_total", "Per-round client dropout occurrences."),
+		trainWall:   reg.Histogram("haccs_client_train_seconds", "Host wall-clock duration of one local training job.", trainWallBuckets),
+		trainVirt:   reg.Histogram("haccs_client_virtual_latency_seconds", "Simulated per-client round latency.", virtualBuckets),
+		roundVirt:   reg.Histogram("haccs_round_virtual_seconds", "Simulated round makespan (slowest selected client).", virtualBuckets),
+		clock:       reg.Gauge("haccs_virtual_clock_seconds", "Virtual time elapsed in the run."),
+		evalAcc:     reg.Gauge("haccs_eval_accuracy", "Latest mean per-client test accuracy of the global model."),
+		evalLoss:    reg.Gauge("haccs_eval_loss", "Latest mean per-client test loss of the global model."),
+	}
 }
 
 // NewEngine validates the configuration and initializes the global model
@@ -135,6 +188,7 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		strategy:   strategy,
 		global:     template.ParamsVector(),
 		modelBytes: template.WireBytes(),
+		met:        newEngineMetrics(cfg.Metrics),
 	}
 	e.scratch = make([]*nn.Network, cfg.Parallelism)
 	for i := range e.scratch {
@@ -176,6 +230,13 @@ func (e *Engine) Run() *Result {
 			acc, loss, perClient := e.Evaluate()
 			res.History = append(res.History, Point{Round: round + 1, Time: e.clock, Acc: acc, Loss: loss})
 			res.PerClientAcc = perClient
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Emit(telemetry.Evaluated(round, acc, loss, e.clock))
+			}
+			if e.met != nil {
+				e.met.evalAcc.Set(acc)
+				e.met.evalLoss.Set(loss)
+			}
 			if e.cfg.TargetAccuracy > 0 && acc >= e.cfg.TargetAccuracy {
 				break
 			}
@@ -189,17 +250,39 @@ func (e *Engine) Run() *Result {
 // runRound executes one selection + local training + aggregation round
 // and returns the selected client IDs.
 func (e *Engine) runRound(round int) []int {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(telemetry.RoundStart(round))
+	}
 	mask := e.cfg.Dropout.Unavailable(round, len(e.clients))
 	available := make([]bool, len(e.clients))
+	var down []int
 	for i := range available {
 		available[i] = !mask[i]
+		if mask[i] {
+			down = append(down, i)
+		}
+	}
+	if len(down) > 0 {
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.Emit(telemetry.Unavailable(round, down))
+		}
+		if e.met != nil {
+			e.met.unavailable.Add(float64(len(down)))
+		}
 	}
 	selected := e.strategy.Select(round, available, e.cfg.ClientsPerRound)
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(telemetry.Selection(round, append([]int(nil), selected...)))
+	}
 	if len(selected) == 0 {
 		// Nothing available: the server idles briefly and retries next
 		// round. One virtual second models the scheduler's retry tick.
 		e.clock++
 		e.strategy.Update(round, nil, nil)
+		if e.met != nil {
+			e.met.rounds.Inc()
+			e.met.clock.Set(e.clock)
+		}
 		return nil
 	}
 	seen := make(map[int]bool, len(selected))
@@ -233,6 +316,15 @@ func (e *Engine) runRound(round int) []int {
 		losses[i] = results[i].Loss
 	}
 	e.clock += roundTime
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(telemetry.Aggregated(round, append([]int(nil), selected...), roundTime, e.clock))
+	}
+	if e.met != nil {
+		e.met.rounds.Inc()
+		e.met.selected.Add(float64(len(selected)))
+		e.met.roundVirt.Observe(roundTime)
+		e.met.clock.Set(e.clock)
+	}
 	e.strategy.Update(round, selected, losses)
 	return selected
 }
@@ -255,7 +347,22 @@ func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
 			// Each (client, round) pair owns an independent stream so
 			// results do not depend on scheduling order.
 			rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(id)*1_000_003+uint64(round)))
+			var start time.Time
+			if e.cfg.Tracer != nil || e.met != nil {
+				start = time.Now()
+			}
 			results[i] = e.clients[id].LocalTrain(e.scratch[w], e.global, e.cfg.Local, rng)
+			if e.cfg.Tracer != nil || e.met != nil {
+				wall := time.Since(start).Seconds()
+				virt := e.ClientLatency(id)
+				if e.cfg.Tracer != nil {
+					e.cfg.Tracer.Emit(telemetry.ClientTrained(round, id, results[i].Loss, results[i].NumSamples, wall, virt))
+				}
+				if e.met != nil {
+					e.met.trainWall.Observe(wall)
+					e.met.trainVirt.Observe(virt)
+				}
+			}
 		}(i, id)
 	}
 	wg.Wait()

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
 
 // Register is the client's first message: its identity, summary and
@@ -155,6 +157,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[int]*session
+	closed   bool
+
+	// Telemetry (all optional; see EnableTelemetry).
+	reg    *telemetry.Registry
+	tracer telemetry.Tracer
+	http   *telemetry.HTTPServer
 }
 
 // NewServer listens on addr (use "127.0.0.1:0" for an ephemeral port).
@@ -168,6 +176,32 @@ func NewServer(addr string) (*Server, error) {
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// EnableTelemetry attaches a metrics registry and tracer to the
+// coordinator and, when httpAddr is non-empty, mounts the /metrics
+// (Prometheus text format) and /debug/trace (JSONL tail of ring)
+// endpoints on it, returning the bound address ("" when no endpoint
+// was requested). Pass the ring both here and inside tracer (via
+// telemetry.Combine) when the tail endpoint should see the
+// coordinator's events. Call before AcceptClients; Shutdown stops the
+// endpoint.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Tracer, ring *telemetry.RingSink, httpAddr string) (string, error) {
+	s.mu.Lock()
+	s.reg = reg
+	s.tracer = tracer
+	s.mu.Unlock()
+	if httpAddr == "" {
+		return "", nil
+	}
+	srv, err := telemetry.Serve(httpAddr, reg, ring)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.http = srv
+	s.mu.Unlock()
+	return srv.Addr(), nil
+}
 
 // AcceptClients blocks until n clients have registered (or an accept
 // fails) and returns their registrations.
@@ -191,7 +225,12 @@ func (s *Server) AcceptClients(n int) ([]Register, error) {
 		sess.reg = *env.Register
 		s.mu.Lock()
 		s.sessions[sess.reg.ClientID] = sess
+		n := len(s.sessions)
+		reg := s.reg
 		s.mu.Unlock()
+		if reg != nil {
+			reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(float64(n))
+		}
 		regs = append(regs, sess.reg)
 	}
 	return regs, nil
@@ -211,6 +250,7 @@ func (s *Server) Registrations() []Register {
 // RunRound pushes params to the selected clients, waits for all
 // replies, and returns them. Transport errors abort the round.
 func (s *Server) RunRound(round int, selected []int, params []float64) ([]TrainReply, error) {
+	start := time.Now()
 	s.mu.Lock()
 	sessions := make([]*session, 0, len(selected))
 	for _, id := range selected {
@@ -221,6 +261,7 @@ func (s *Server) RunRound(round int, selected []int, params []float64) ([]TrainR
 		}
 		sessions = append(sessions, sess)
 	}
+	reg, tracer := s.reg, s.tracer
 	s.mu.Unlock()
 
 	replies := make([]TrainReply, len(sessions))
@@ -252,19 +293,56 @@ func (s *Server) RunRound(round int, selected []int, params []float64) ([]TrainR
 			return nil, err
 		}
 	}
+	wall := time.Since(start).Seconds()
+	if tracer != nil {
+		tracer.Emit(telemetry.NetRound(round, append([]int(nil), selected...), wall))
+	}
+	if reg != nil {
+		reg.Counter("haccs_net_rounds_total", "Coordinator rounds completed.").Inc()
+		reg.Histogram("haccs_net_round_seconds", "Wall-clock duration of one coordinator round (push + all replies).", nil).Observe(wall)
+	}
 	return replies, nil
 }
 
-// Close shuts down every session and the listener.
-func (s *Server) Close() error {
+// Close shuts down every session and the listener; see Shutdown.
+func (s *Server) Close() error { return s.ShutdownReason("done") }
+
+// Shutdown gracefully stops the coordinator: every registered client
+// receives a Shutdown message (so Client.Run returns nil instead of a
+// receive error) before its connection closes, the listener stops, and
+// the telemetry HTTP endpoint (if any) drains and exits. Safe to call
+// more than once. No coordinator goroutines survive the call — the
+// shutdown-audit test counts them.
+func (s *Server) Shutdown() error { return s.ShutdownReason("shutdown") }
+
+// ShutdownReason is Shutdown with an explicit reason forwarded to the
+// clients.
+func (s *Server) ShutdownReason(reason string) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
 	for _, sess := range s.sessions {
-		_ = sess.enc.Encode(Envelope{Shutdown: &Shutdown{Reason: "done"}})
+		_ = sess.enc.Encode(Envelope{Shutdown: &Shutdown{Reason: reason}})
 		sess.conn.Close()
 	}
 	s.sessions = map[int]*session{}
+	httpSrv := s.http
+	s.http = nil
+	reg := s.reg
 	s.mu.Unlock()
-	return s.ln.Close()
+	if reg != nil {
+		reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(0)
+	}
+	err := s.ln.Close()
+	if httpSrv != nil {
+		if herr := httpSrv.Close(); err == nil {
+			err = herr
+		}
+	}
+	return err
 }
 
 // RegisterFromSummary converts a core-style summary (label counts or

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the observability endpoints:
+//
+//	/metrics      — Prometheus text exposition of reg
+//	/debug/trace  — JSONL tail of the ring buffer (?n=100 limits it)
+//
+// Either argument may be nil; the corresponding endpoint then reports
+// 404.
+func Handler(reg *Registry, ring *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if reg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "telemetry: bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range ring.Tail(n) {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint with a graceful
+// shutdown handle.
+type HTTPServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *HTTPServer) Addr() string { return s.addr }
+
+// Close gracefully shuts the server down, waiting up to a second for
+// in-flight scrapes.
+func (s *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve starts an HTTP server for Handler(reg, ring) on addr and
+// returns once the listener is bound, so scrapes succeed immediately.
+func Serve(addr string, reg *Registry, ring *RingSink) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, ring)}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{srv: srv, addr: ln.Addr().String()}, nil
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeEndpoints boots the real HTTP server on an ephemeral port
+// and exercises both endpoints end to end.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("haccs_rounds_total", "Rounds.").Add(7)
+	ring := NewRingSink(8)
+	for i := 0; i < 5; i++ {
+		ring.Emit(RoundStart(i))
+	}
+
+	srv, err := Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, "haccs_rounds_total 7") {
+		t.Errorf("metrics body missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "# TYPE haccs_rounds_total counter") {
+		t.Errorf("metrics body missing TYPE header:\n%s", metrics)
+	}
+
+	trace, _ := get("/debug/trace?n=2")
+	events, err := ReadJSONL(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("trace not valid JSONL: %v\n%s", err, trace)
+	}
+	if len(events) != 2 || events[0].Round != 3 || events[1].Round != 4 {
+		t.Errorf("trace tail = %+v", events)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace?n=bogus", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHandlerNilParts(t *testing.T) {
+	h := Handler(nil, nil)
+	for _, path := range []string{"/metrics", "/debug/trace"} {
+		req, _ := http.NewRequest("GET", path, nil)
+		rec := newRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.status != http.StatusNotFound {
+			t.Errorf("%s with nil backing: status %d, want 404", path, rec.status)
+		}
+	}
+}
+
+// newRecorder is a minimal ResponseWriter; net/http/httptest is
+// avoided to keep the package's import surface small.
+type recorder struct {
+	status int
+	header http.Header
+	body   strings.Builder
+}
+
+func newRecorder() *recorder { return &recorder{status: 200, header: http.Header{}} }
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) { r.status = code }
+
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers,
+// cumulative histogram buckets with the implicit +Inf bound, _sum and
+// _count series. Families appear in name order, children in label
+// order, so output is deterministic and diffable (the golden test
+// relies on this).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	var lastName string
+	for _, s := range samples {
+		if s.Name != lastName {
+			lastName = s.Name
+			// HELP/TYPE use the family name; histogram children add
+			// the _bucket/_sum/_count suffixes below.
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.Name, r.helpFor(s.Name), s.Name, s.Type); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// helpFor fetches a family's help string.
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f.help
+	}
+	return ""
+}
+
+// labelSuffix renders `{key="value"}` (with an optional extra le pair
+// for histogram buckets), or "" when the sample is unlabelled.
+func labelSuffix(s Sample, le string) string {
+	var pairs []string
+	if s.LabelKey != "" {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", s.LabelKey, escapeLabel(s.LabelValue)))
+	}
+	if le != "" {
+		pairs = append(pairs, fmt.Sprintf("le=%q", le))
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// escapeLabel applies the exposition-format label escaping rules.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a float the way Prometheus expects (no
+// exponent-free mangling needed; strconv 'g' round-trips).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	if s.Hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSuffix(s, ""), formatValue(s.Value))
+		return err
+	}
+	cum := uint64(0)
+	for i, upper := range s.Hist.Upper {
+		cum += s.Hist.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, formatValue(upper)), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Hist.Counts[len(s.Hist.Upper)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelSuffix(s, ""), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelSuffix(s, ""), s.Hist.Count)
+	return err
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte-for-byte: the
+// scrape output is a contract with external collectors, so any change
+// here is a breaking change.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("haccs_rounds_total", "Training rounds completed by the engine.").Add(3)
+	reg.Gauge("haccs_clusters", "Schedulable clusters.").Set(5)
+	tv := reg.GaugeVec("haccs_cluster_theta", "Eq. 7 sampling weight.", "cluster")
+	tv.With("0").Set(0.25)
+	tv.With("1").Set(0.75)
+	h := reg.Histogram("haccs_client_train_seconds", "Local training wall time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP haccs_client_train_seconds Local training wall time.
+# TYPE haccs_client_train_seconds histogram
+haccs_client_train_seconds_bucket{le="0.1"} 2
+haccs_client_train_seconds_bucket{le="1"} 3
+haccs_client_train_seconds_bucket{le="+Inf"} 4
+haccs_client_train_seconds_sum 30.6
+haccs_client_train_seconds_count 4
+# HELP haccs_cluster_theta Eq. 7 sampling weight.
+# TYPE haccs_cluster_theta gauge
+haccs_cluster_theta{cluster="0"} 0.25
+haccs_cluster_theta{cluster="1"} 0.75
+# HELP haccs_clusters Schedulable clusters.
+# TYPE haccs_clusters gauge
+haccs_clusters 5
+# HELP haccs_rounds_total Training rounds completed by the engine.
+# TYPE haccs_rounds_total counter
+haccs_rounds_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

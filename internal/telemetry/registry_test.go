@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers every collector type from many
+// goroutines; run with -race, correctness is the exact final totals.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Collectors are looked up inside the loop on purpose:
+			// lookup itself must be race-free and idempotent.
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("c", "").Inc()
+				reg.Gauge("g", "").Add(1)
+				reg.Histogram("h", "", []float64{0.5}).Observe(float64(i%2) * 0.75)
+				reg.CounterVec("cv", "", "k").With("a").Add(2)
+				reg.GaugeVec("gv", "", "k").With("b").Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := float64(workers * perWorker)
+	if got := reg.Counter("c", "").Value(); got != total {
+		t.Errorf("counter = %v, want %v", got, total)
+	}
+	if got := reg.Gauge("g", "").Value(); got != total {
+		t.Errorf("gauge = %v, want %v", got, total)
+	}
+	if got := reg.CounterVec("cv", "", "k").With("a").Value(); got != 2*total {
+		t.Errorf("counter vec = %v, want %v", got, 2*total)
+	}
+	snap := reg.Histogram("h", "", []float64{0.5}).Snapshot()
+	if snap.Count != uint64(total) {
+		t.Errorf("histogram count = %d, want %v", snap.Count, total)
+	}
+	// Half the observations are 0 (<= 0.5), half are 0.75 (> 0.5).
+	if snap.Counts[0] != uint64(total)/2 || snap.Counts[1] != uint64(total)/2 {
+		t.Errorf("histogram buckets = %v, want even split", snap.Counts)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: a value
+// lands in the first bucket whose upper bound is >= the value
+// (Prometheus le semantics), and out-of-range values hit the +Inf
+// overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1, 2, 5})
+	for _, v := range []float64{0, 1, 1.0000001, 2, 4.9, 5, 5.1, 100, math.Inf(1)} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []uint64{
+		2, // 0, 1       (le 1)
+		2, // 1.0…1, 2   (le 2)
+		2, // 4.9, 5     (le 5)
+		3, // 5.1, 100, +Inf
+	}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 9 {
+		t.Errorf("count = %d, want 9", snap.Count)
+	}
+}
+
+func TestHistogramUnsortedBucketsAreSorted(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{5, 1, 2})
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	if snap.Upper[0] != 1 || snap.Upper[1] != 2 || snap.Upper[2] != 5 {
+		t.Fatalf("buckets not sorted: %v", snap.Upper)
+	}
+	if snap.Counts[1] != 1 {
+		t.Errorf("1.5 should land in le=2, got %v", snap.Counts)
+	}
+}
+
+func TestRegistryShapeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x", "")
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("zz", "").Set(1)
+	reg.Counter("aa", "").Inc()
+	v := reg.GaugeVec("mm", "", "cluster")
+	v.With("2").Set(2)
+	v.With("0").Set(0)
+	v.With("1").Set(1)
+	var names []string
+	for _, s := range reg.Snapshot() {
+		names = append(names, s.Name+"/"+s.LabelValue)
+	}
+	want := []string{"aa/", "mm/0", "mm/1", "mm/2", "zz/"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// MemorySink records every event in order; the sink tests and the
+// end-to-end engine tests assert against it.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Filter returns the recorded events of one kind, in order.
+func (m *MemorySink) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// JSONLSink streams events as one JSON object per line. Writes are
+// serialized; encoding errors are sticky and reported by Close so hot
+// paths never handle I/O errors.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	buf *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifetime; call Close to
+// flush buffering.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	buf := bufio.NewWriter(w)
+	return &JSONLSink{enc: json.NewEncoder(buf), buf: buf}
+}
+
+// NewJSONLFile creates (truncates) path and returns a sink that owns
+// the file handle.
+func NewJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: jsonl sink: %w", err)
+	}
+	s := NewJSONLSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Emit implements Tracer.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes and (when the sink owns its file) closes the
+// underlying writer, returning the first error the sink hit.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// ReadJSONL decodes a JSONL event stream written by JSONLSink.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: decode jsonl: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// RingSink keeps the most recent events in a fixed-capacity ring; the
+// /debug/trace endpoint tails it.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRingSink returns a ring holding the last capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Tail returns up to n of the most recent events, oldest first. n <= 0
+// returns everything retained.
+func (r *RingSink) Tail(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := r.total
+	if have > len(r.buf) {
+		have = len(r.buf)
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Event, 0, n)
+	for i := r.next - n; i < r.next; i++ {
+		out = append(out, r.buf[(i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns how many events the ring has ever seen.
+func (r *RingSink) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Statsd flushes registry snapshots in the statsd line protocol
+// (`<bucket>:<value>|<type>`, one metric per line — the same framing
+// yastatsd parses). Counters are emitted as deltas since the previous
+// flush (statsd counters accumulate server-side), gauges as absolute
+// `|g` values, histograms as `.sum`/`.count` counter deltas plus a
+// `.mean|ms` timing for the flush window.
+type Statsd struct {
+	prefix string
+
+	mu   sync.Mutex
+	conn net.Conn
+	// last remembers the previous flush's counter readings so deltas
+	// can be computed; keyed by the rendered bucket name.
+	last map[string]float64
+}
+
+// NewStatsd dials a UDP statsd endpoint. prefix (may be empty) is
+// prepended to every bucket name with a trailing dot.
+func NewStatsd(addr, prefix string) (*Statsd, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: statsd dial %s: %w", addr, err)
+	}
+	return &Statsd{prefix: prefix, conn: conn, last: map[string]float64{}}, nil
+}
+
+// NewStatsdWriter returns an emitter that formats to an arbitrary
+// writer instead of the network — the testable core of the sink.
+func NewStatsdWriter(prefix string) *Statsd {
+	return &Statsd{prefix: prefix, last: map[string]float64{}}
+}
+
+// bucketName joins prefix, metric name and label value with dots,
+// sanitizing the statsd reserved characters.
+func (s *Statsd) bucketName(sample Sample) string {
+	name := sample.Name
+	if sample.LabelValue != "" {
+		name += "." + sample.LabelValue
+	}
+	if s.prefix != "" {
+		name = s.prefix + "." + name
+	}
+	r := strings.NewReplacer(":", "_", "|", "_", "@", "_", " ", "_")
+	return r.Replace(name)
+}
+
+// EmitTo renders the registry's current state as statsd lines into w.
+// Counter deltas are tracked per-Statsd, so one emitter should own one
+// destination.
+func (s *Statsd) EmitTo(w io.Writer, reg *Registry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sample := range reg.Snapshot() {
+		bucket := s.bucketName(sample)
+		switch sample.Type {
+		case "counter":
+			delta := sample.Value - s.last[bucket]
+			s.last[bucket] = sample.Value
+			if delta == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s:%v|c\n", bucket, delta); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s:%v|g\n", bucket, sample.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			h := sample.Hist
+			sumB, cntB := bucket+".sum", bucket+".count"
+			dSum := h.Sum - s.last[sumB]
+			dCnt := float64(h.Count) - s.last[cntB]
+			s.last[sumB], s.last[cntB] = h.Sum, float64(h.Count)
+			if dCnt == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s:%v|c\n%s:%v|c\n", sumB, dSum, cntB, dCnt); err != nil {
+				return err
+			}
+			// Statsd timers are in milliseconds; the registry records
+			// seconds.
+			if _, err := fmt.Fprintf(w, "%s.mean:%v|ms\n", bucket, dSum/dCnt*1000); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush sends one snapshot over the dialled connection.
+func (s *Statsd) Flush(reg *Registry) error {
+	var sb strings.Builder
+	if err := s.EmitTo(&sb, reg); err != nil {
+		return err
+	}
+	if sb.Len() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return fmt.Errorf("telemetry: statsd emitter has no connection")
+	}
+	_, err := io.WriteString(s.conn, sb.String())
+	return err
+}
+
+// Start flushes the registry every interval until the returned stop
+// function is called (which performs one final flush and closes the
+// connection).
+func (s *Statsd) Start(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = s.Flush(reg)
+			case <-done:
+				_ = s.Flush(reg)
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			s.mu.Lock()
+			if s.conn != nil {
+				s.conn.Close()
+				s.conn = nil
+			}
+			s.mu.Unlock()
+		})
+	}
+}

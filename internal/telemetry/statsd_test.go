@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatsdLines checks the line protocol rendering and the
+// counter-delta behaviour across flushes.
+func TestStatsdLines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("haccs_rounds_total", "").Add(3)
+	reg.Gauge("haccs_clusters", "").Set(4)
+	reg.CounterVec("haccs_clustering_runs_total", "", "algo").With("optics").Inc()
+	h := reg.Histogram("haccs_round_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	sd := NewStatsdWriter("haccs")
+	var sb strings.Builder
+	if err := sd.EmitTo(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"haccs.haccs_rounds_total:3|c\n",
+		"haccs.haccs_clusters:4|g\n",
+		"haccs.haccs_clustering_runs_total.optics:1|c\n",
+		"haccs.haccs_round_seconds.sum:2|c\n",
+		"haccs.haccs_round_seconds.count:2|c\n",
+		"haccs.haccs_round_seconds.mean:1000|ms\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing line %q in:\n%s", want, got)
+		}
+	}
+
+	// Nothing changed: the second flush must emit no counter lines and
+	// keep exporting the gauge.
+	sb.Reset()
+	if err := sd.EmitTo(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	got = sb.String()
+	if strings.Contains(got, "|c") {
+		t.Errorf("idle flush emitted counter deltas:\n%s", got)
+	}
+	if !strings.Contains(got, "haccs.haccs_clusters:4|g\n") {
+		t.Errorf("idle flush dropped the gauge:\n%s", got)
+	}
+
+	// A counter increment flushes only its delta.
+	reg.Counter("haccs_rounds_total", "").Add(2)
+	sb.Reset()
+	if err := sd.EmitTo(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "haccs.haccs_rounds_total:2|c\n") {
+		t.Errorf("delta flush wrong:\n%s", sb.String())
+	}
+}

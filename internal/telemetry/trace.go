@@ -1,0 +1,188 @@
+package telemetry
+
+// The round trace is a structured event stream: one typed event per
+// scheduler/engine decision, emitted through the Tracer interface. A
+// nil Tracer is the documented "off" state — every instrumentation
+// site guards with `if tracer != nil`, so the fast path costs one
+// predictable branch (see BenchmarkEngineRun_NilTelemetry).
+
+// Event kinds. The set (and the fields each kind fills) is part of the
+// documented observability contract — see DESIGN.md "Observability".
+const (
+	// KindRoundStart opens a round: Round.
+	KindRoundStart = "round_start"
+	// KindUnavailable reports the clients dropped out this round:
+	// Round, Clients.
+	KindUnavailable = "unavailable"
+	// KindClusterSampled is one Weighted-SRSWR draw by the HACCS
+	// scheduler: Round, Cluster, Theta, Tau, ACL, ACLShare.
+	KindClusterSampled = "cluster_sampled"
+	// KindClientPicked is the device chosen within a sampled cluster:
+	// Round, Cluster, Client, Latency.
+	KindClientPicked = "client_picked"
+	// KindSelection is the engine-level view of the full round
+	// selection: Round, Clients (selection order).
+	KindSelection = "selection"
+	// KindClientTrained is one finished local training job: Round,
+	// Client, Loss, NumSamples, WallSec (host time), VirtualSec
+	// (simulated round latency).
+	KindClientTrained = "client_trained"
+	// KindAggregated closes the FedAvg step: Round, Clients (count via
+	// len), VirtualSec (round makespan), Clock.
+	KindAggregated = "aggregated"
+	// KindEvaluated is a global-model evaluation: Round, Acc, Loss,
+	// Clock.
+	KindEvaluated = "evaluated"
+	// KindReclustered reports a (re-)clustering pass: Clusters,
+	// WallSec. Round is -1 for the Init-time pass.
+	KindReclustered = "reclustered"
+	// KindNetRound is one flnet coordinator round completing: Round,
+	// Clients, WallSec.
+	KindNetRound = "net_round"
+)
+
+// Event is one record in the round trace. It is a flat union: Kind
+// says which fields are meaningful (documented on the Kind*
+// constants). Index fields that may legitimately be zero (Cluster,
+// Client) use -1 for "not applicable" so the JSONL form stays
+// round-trippable without pointer fields.
+type Event struct {
+	Kind  string `json:"kind"`
+	Round int    `json:"round"`
+
+	Cluster int   `json:"cluster"`
+	Client  int   `json:"client"`
+	Clients []int `json:"clients,omitempty"`
+
+	// Theta = Rho*Tau + (1-Rho)*ACLShare is the eq. 7 cluster sampling
+	// weight; Tau is the latency term, ACL the average cluster loss,
+	// ACLShare its normalized share.
+	Theta    float64 `json:"theta,omitempty"`
+	Tau      float64 `json:"tau,omitempty"`
+	ACL      float64 `json:"acl,omitempty"`
+	ACLShare float64 `json:"acl_share,omitempty"`
+
+	Latency    float64 `json:"latency,omitempty"`     // virtual seconds
+	WallSec    float64 `json:"wall_sec,omitempty"`    // host seconds
+	VirtualSec float64 `json:"virtual_sec,omitempty"` // simulated seconds
+	Clock      float64 `json:"clock,omitempty"`       // virtual clock after the step
+
+	Loss       float64 `json:"loss,omitempty"`
+	Acc        float64 `json:"acc,omitempty"`
+	NumSamples int     `json:"num_samples,omitempty"`
+	Clusters   int     `json:"clusters,omitempty"`
+}
+
+// newEvent returns an event with the index fields neutralized.
+func newEvent(kind string, round int) Event {
+	return Event{Kind: kind, Round: round, Cluster: -1, Client: -1}
+}
+
+// RoundStart builds a round-opening event.
+func RoundStart(round int) Event { return newEvent(KindRoundStart, round) }
+
+// Unavailable builds a dropout event listing the unavailable clients.
+func Unavailable(round int, clients []int) Event {
+	e := newEvent(KindUnavailable, round)
+	e.Clients = clients
+	return e
+}
+
+// ClusterSampled builds one SRSWR draw event with the eq. 7 weight
+// decomposition.
+func ClusterSampled(round, cluster int, theta, tau, acl, aclShare float64) Event {
+	e := newEvent(KindClusterSampled, round)
+	e.Cluster = cluster
+	e.Theta, e.Tau, e.ACL, e.ACLShare = theta, tau, acl, aclShare
+	return e
+}
+
+// ClientPicked builds an intra-cluster device choice event.
+func ClientPicked(round, cluster, client int, latency float64) Event {
+	e := newEvent(KindClientPicked, round)
+	e.Cluster, e.Client, e.Latency = cluster, client, latency
+	return e
+}
+
+// Selection builds the engine-level whole-round selection event.
+func Selection(round int, clients []int) Event {
+	e := newEvent(KindSelection, round)
+	e.Clients = clients
+	return e
+}
+
+// ClientTrained builds a local-training completion event.
+func ClientTrained(round, client int, loss float64, numSamples int, wallSec, virtualSec float64) Event {
+	e := newEvent(KindClientTrained, round)
+	e.Client = client
+	e.Loss, e.NumSamples, e.WallSec, e.VirtualSec = loss, numSamples, wallSec, virtualSec
+	return e
+}
+
+// Aggregated builds the FedAvg completion event.
+func Aggregated(round int, clients []int, roundVirtualSec, clock float64) Event {
+	e := newEvent(KindAggregated, round)
+	e.Clients = clients
+	e.VirtualSec, e.Clock = roundVirtualSec, clock
+	return e
+}
+
+// Evaluated builds a global evaluation event.
+func Evaluated(round int, acc, loss, clock float64) Event {
+	e := newEvent(KindEvaluated, round)
+	e.Acc, e.Loss, e.Clock = acc, loss, clock
+	return e
+}
+
+// Reclustered builds a clustering-pass event (round -1 = Init).
+func Reclustered(round, clusters int, wallSec float64) Event {
+	e := newEvent(KindReclustered, round)
+	e.Clusters, e.WallSec = clusters, wallSec
+	return e
+}
+
+// NetRound builds a coordinator round-completion event.
+func NetRound(round int, clients []int, wallSec float64) Event {
+	e := newEvent(KindNetRound, round)
+	e.Clients, e.WallSec = clients, wallSec
+	return e
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use: the engine emits ClientTrained from its worker
+// goroutines. A nil Tracer disables tracing; callers guard, sinks
+// never see nil receivers.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// MultiTracer fans an event out to several sinks, skipping nils.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(e)
+		}
+	}
+}
+
+// Combine returns a single Tracer over the non-nil arguments: nil when
+// none remain, the sink itself when exactly one does, a MultiTracer
+// otherwise.
+func Combine(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return MultiTracer(live)
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// sampleEvents exercises every constructor once.
+func sampleEvents() []Event {
+	return []Event{
+		RoundStart(0),
+		Unavailable(0, []int{3, 7}),
+		ClusterSampled(0, 2, 0.4, 0.6, 1.9, 0.25),
+		ClientPicked(0, 2, 11, 42.5),
+		Selection(0, []int{11, 4}),
+		ClientTrained(0, 11, 1.7, 120, 0.004, 42.5),
+		Aggregated(0, []int{11, 4}, 55.5, 55.5),
+		Evaluated(0, 0.31, 2.1, 55.5),
+		Reclustered(-1, 6, 0.002),
+		NetRound(0, []int{11, 4}, 0.01),
+	}
+}
+
+// TestJSONLRoundTrip writes the full event vocabulary through the
+// JSONL sink and decodes it back unchanged.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	events := sampleEvents()
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestMemorySinkFilter(t *testing.T) {
+	var m MemorySink
+	for _, e := range sampleEvents() {
+		m.Emit(e)
+	}
+	if m.Len() != len(sampleEvents()) {
+		t.Fatalf("len = %d, want %d", m.Len(), len(sampleEvents()))
+	}
+	picks := m.Filter(KindClientPicked)
+	if len(picks) != 1 || picks[0].Client != 11 || picks[0].Cluster != 2 {
+		t.Errorf("filter = %+v", picks)
+	}
+}
+
+func TestRingSinkTail(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(RoundStart(i))
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+	tail := r.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("tail len = %d, want 4", len(tail))
+	}
+	for i, e := range tail {
+		if e.Round != 6+i {
+			t.Errorf("tail[%d].Round = %d, want %d", i, e.Round, 6+i)
+		}
+	}
+	two := r.Tail(2)
+	if len(two) != 2 || two[0].Round != 8 || two[1].Round != 9 {
+		t.Errorf("tail(2) = %+v", two)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine() != nil || Combine(nil, nil) != nil {
+		t.Error("Combine of nothing should be nil")
+	}
+	var m MemorySink
+	if got := Combine(nil, &m); got != &m {
+		t.Error("Combine of one sink should return it unwrapped")
+	}
+	var m2 MemorySink
+	multi := Combine(&m, nil, &m2)
+	multi.Emit(RoundStart(1))
+	if m.Len() != 1 || m2.Len() != 1 {
+		t.Error("MultiTracer did not fan out")
+	}
+}
