@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench
+.PHONY: check vet build test race bench-guard bench bench-json
 
 ## check: the tier-1 gate — vet, build, and the full test suite under -race.
 check: vet build race
@@ -27,3 +27,11 @@ bench-guard:
 ## bench: full benchmark pass (slow; for local measurement only).
 bench:
 	$(GO) test -run '^$$' -bench . ./...
+
+## bench-json: run the tracked benchmark suite and write
+## BENCH_<rev>.json, comparing against the committed baseline. See
+## README "Benchmarks" for how to read the report.
+bench-json:
+	$(GO) run ./cmd/haccs-bench -bench \
+		-bench-out BENCH_$$(git rev-parse --short HEAD).json \
+		-bench-baseline BENCH_baseline.json

@@ -1,0 +1,257 @@
+// Package benchrun defines the repository's tracked benchmark suite: a
+// fixed set of micro benchmarks (hot tensor/nn kernels) and macro
+// benchmarks (one client's local round, a short federated run) measured
+// with testing.Benchmark and serialized to BENCH_<rev>.json files that
+// live in the repository root.
+//
+// The same benchmark bodies back the `go test -bench` entry points in
+// bench_test.go and the `haccs-bench -bench` runner, so numbers from CI,
+// local `make bench-json` runs and the committed trajectory files are
+// produced by identical workloads. Every workload is seeded, sized
+// deliberately (CIFAR-shaped conv geometry, LeNet train steps, a
+// 100-client Hellinger matrix) and uses only the package's stable public
+// APIs so the suite keeps compiling across hot-path rewrites — that is
+// what makes the JSON trajectory comparable between revisions.
+package benchrun
+
+import (
+	"testing"
+
+	"haccs/internal/cluster"
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/nn"
+	"haccs/internal/simnet"
+	"haccs/internal/stats"
+	"haccs/internal/tensor"
+)
+
+// seed keeps every tracked benchmark deterministic.
+const seed = 1
+
+// Entry is one named benchmark of the tracked suite.
+type Entry struct {
+	// Name is the stable identifier results are keyed by across
+	// revisions; renaming an entry breaks the trajectory.
+	Name string
+	// Bench is the benchmark body, written against testing.B exactly
+	// like a normal benchmark function.
+	Bench func(b *testing.B)
+	// RoundsPerOp, when non-zero, declares that one benchmark op spans
+	// that many federated rounds, so the report can derive a per-round
+	// wall time for macro entries.
+	RoundsPerOp int
+}
+
+// Suite returns the tracked benchmark suite in report order.
+func Suite() []Entry {
+	return []Entry{
+		{Name: "conv_forward", Bench: ConvForward},
+		{Name: "conv_train", Bench: ConvTrain},
+		{Name: "train_step_lenet", Bench: TrainStepLeNet},
+		{Name: "train_step_mlp", Bench: TrainStepMLP},
+		{Name: "matmul_128x256x128", Bench: MatMul},
+		{Name: "local_train_round", Bench: LocalTrainRound},
+		{Name: "engine_run_5rounds", Bench: EngineRun, RoundsPerOp: engineRounds},
+		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
+	}
+}
+
+// cifarConvGeom is the first-layer geometry of the synthetic-CIFAR LeNet:
+// a 3×32×32 image under a 5×5 valid convolution.
+func cifarConvGeom() tensor.ConvGeom {
+	return tensor.ConvGeom{Channels: 3, Height: 32, Width: 32, Kernel: 5, Stride: 1, Pad: 0}
+}
+
+// convBatch is the minibatch size used by the conv and train-step
+// benchmarks, matching the experiments' local batch size of 32.
+const convBatch = 32
+
+// ConvForward measures the forward pass of the synthetic-CIFAR first
+// conv layer over one 32-image minibatch — the single hottest kernel of
+// local training.
+func ConvForward(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	layer := nn.NewConv2D(cifarConvGeom(), 6, rng)
+	x := tensor.New(convBatch, cifarConvGeom().Channels*32*32)
+	x.RandNormal(0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x)
+	}
+}
+
+// ConvTrain measures a full forward+backward pass of the same conv
+// layer, covering the im2col, GEMM, weight-gradient and col2im paths.
+func ConvTrain(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	g := cifarConvGeom()
+	layer := nn.NewConv2D(g, 6, rng)
+	x := tensor.New(convBatch, g.Channels*g.Height*g.Width)
+	x.RandNormal(0, 1, rng)
+	grad := tensor.New(convBatch, layer.OutSize())
+	grad.RandNormal(0, 0.1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x)
+		layer.Backward(grad)
+		layer.ZeroGrads()
+	}
+}
+
+// TrainStepLeNet measures one SGD training step (forward, loss,
+// backward, update) of the synthetic-CIFAR LeNet on a 32-image batch.
+// Its allocs/op is the tracked "allocation-free hot path" signal.
+func TrainStepLeNet(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	net := nn.NewLeNet(3, 32, 32, 10, 6, 16, rng)
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	x := tensor.New(convBatch, 3*32*32)
+	x.RandNormal(0, 1, rng)
+	y := make([]int, convBatch)
+	for i := range y {
+		y[i] = rng.Intn(10)
+	}
+	// Warm the scratch arenas and momentum state so the measured loop
+	// reflects steady-state rounds.
+	nn.TrainBatch(net, opt, x, y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.TrainBatch(net, opt, x, y)
+	}
+}
+
+// TrainStepMLP measures one SGD training step of the MLP family the
+// Quick-scale experiments train.
+func TrainStepMLP(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	net := nn.NewMLP(192, []int{64}, 10, rng)
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	x := tensor.New(convBatch, 192)
+	x.RandNormal(0, 1, rng)
+	y := make([]int, convBatch)
+	for i := range y {
+		y[i] = rng.Intn(10)
+	}
+	nn.TrainBatch(net, opt, x, y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.TrainBatch(net, opt, x, y)
+	}
+}
+
+// MatMul measures the GEMM kernel on a training-shaped 128×256×128
+// product.
+func MatMul(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	x := tensor.New(128, 256)
+	w := tensor.New(256, 128)
+	x.RandNormal(0, 1, rng)
+	w.RandNormal(0, 1, rng)
+	dst := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, w)
+	}
+	b.SetBytes(int64(8 * (x.Size() + w.Size() + dst.Size())))
+}
+
+// LocalTrainRound measures one client's full local update — the
+// engine's inner loop including batch staging.
+func LocalTrainRound(b *testing.B) {
+	spec := dataset.SyntheticCIFAR().Compact(8, 8)
+	gen := dataset.NewGenerator(spec, seed)
+	rng := stats.NewRNG(2)
+	ld := dataset.MajorityNoise(0, 0.75, []int{1, 2, 3}, dataset.DefaultMajorityFractions)
+	train := gen.Generate(ld.Draw(200, rng), rng)
+	client := &fl.Client{ID: 0, Data: dataset.ClientData{Train: train, Test: train}}
+	arch := nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{32}, Classes: 10}
+	model := arch.Build(stats.NewRNG(3))
+	global := model.ParamsVector()
+	cfg := fl.LocalTrainConfig{Epochs: 2, BatchSize: 32, LR: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.LocalTrain(model, global, cfg, stats.NewRNG(uint64(i)))
+	}
+}
+
+// engineRounds is the round count of the EngineRun macro benchmark.
+const engineRounds = 5
+
+// EngineRun measures a full 5-round federated run (selection, parallel
+// local training, aggregation, evaluation) on a 12-client MLP workload.
+// Dividing its ns/op by engineRounds gives the tracked round wall time.
+func EngineRun(b *testing.B) {
+	spec := dataset.SyntheticCIFAR().Compact(8, 8)
+	planRNG := stats.NewRNG(stats.DeriveSeed(seed, 14))
+	plan := dataset.MajorityNoisePlan(12, 10, 60, 80, planRNG)
+	gen := dataset.NewGenerator(spec, stats.DeriveSeed(seed, 10))
+	dataRNG := stats.NewRNG(stats.DeriveSeed(seed, 110))
+	profRNG := stats.NewRNG(stats.DeriveSeed(seed, 11))
+	clientData := plan.Materialize(gen, 0.8, dataRNG)
+	roster := make([]*fl.Client, len(clientData))
+	for i, cd := range clientData {
+		roster[i] = &fl.Client{ID: i, Data: cd, Profile: simnet.SampleProfile(profRNG)}
+	}
+	cfg := fl.Config{
+		Arch:                nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{16}, Classes: 10},
+		Seed:                seed,
+		Local:               fl.LocalTrainConfig{Epochs: 1, BatchSize: 32, LR: 0.05},
+		ClientsPerRound:     4,
+		MaxRounds:           engineRounds,
+		EvalEvery:           engineRounds,
+		PerSampleComputeSec: 0.01,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.NewEngine(cfg, roster, newRoundRobin()).Run()
+	}
+}
+
+// roundRobin is a minimal deterministic strategy for the engine macro
+// benchmark: it rotates through the roster without any scheduler cost,
+// so the measurement isolates the engine + training hot path.
+type roundRobin struct {
+	n    int
+	next int
+}
+
+func newRoundRobin() fl.Strategy { return &roundRobin{} }
+
+func (r *roundRobin) Name() string { return "roundrobin" }
+
+func (r *roundRobin) Init(infos []fl.ClientInfo, _ *stats.RNG) { r.n = len(infos) }
+
+func (r *roundRobin) Select(_ int, available []bool, k int) []int {
+	out := make([]int, 0, k)
+	for scanned := 0; scanned < r.n && len(out) < k; scanned++ {
+		id := r.next
+		r.next = (r.next + 1) % r.n
+		if available[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *roundRobin) Update(int, []int, []float64) {}
+
+// HellingerMatrix100 measures the server's pairwise distance matrix for
+// a 100-client roster — the O(n²) input to clustering.
+func HellingerMatrix100(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	hists := make([]*stats.Histogram, 100)
+	for i := range hists {
+		h := stats.NewLabelHistogram(10)
+		for j := 0; j < 500; j++ {
+			h.AddLabel(rng.Intn(10))
+		}
+		hists[i] = h
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.FromFunc(len(hists), func(i, j int) float64 {
+			return stats.HistogramHellinger(hists[i], hists[j])
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// RoundWallNs is the derived per-federated-round wall time for
+	// macro entries (0 for micro benchmarks).
+	RoundWallNs float64 `json:"round_wall_ns,omitempty"`
+}
+
+// Report is the serialized form of one full suite run — the unit of the
+// in-repo BENCH_<rev>.json trajectory.
+type Report struct {
+	Schema     int      `json:"schema"`
+	Rev        string   `json:"rev"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	When       string   `json:"when"`
+	Results    []Result `json:"results"`
+}
+
+// Run executes the tracked suite with testing.Benchmark and returns the
+// report stamped with rev.
+func Run(rev string) *Report {
+	rep := &Report{
+		Schema:     1,
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, e := range Suite() {
+		br := testing.Benchmark(e.Bench)
+		r := Result{
+			Name:        e.Name,
+			N:           br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if e.RoundsPerOp > 0 {
+			r.RoundWallNs = r.NsPerOp / float64(e.RoundsPerOp)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path with stable formatting.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrun: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchrun: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a previously written report.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: read report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchrun: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== benchmark suite (rev %s, %s, GOMAXPROCS=%d) ==\n",
+		r.Rev, r.GoVersion, r.GOMAXPROCS)
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-24s %14.0f ns/op %10d B/op %6d allocs/op",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.RoundWallNs > 0 {
+			fmt.Fprintf(&b, "  (%.2f ms/round)", res.RoundWallNs/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Compare renders a speedup table of r against a baseline report,
+// matching results by name; entries present in only one report are
+// listed without a ratio.
+func (r *Report) Compare(base *Report) string {
+	byName := make(map[string]Result, len(base.Results))
+	for _, res := range base.Results {
+		byName[res.Name] = res
+	}
+	names := make([]string, 0, len(r.Results))
+	for _, res := range r.Results {
+		names = append(names, res.Name)
+	}
+	sort.Strings(names)
+	cur := make(map[string]Result, len(r.Results))
+	for _, res := range r.Results {
+		cur[res.Name] = res
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s vs baseline %s ==\n", r.Rev, base.Rev)
+	for _, name := range names {
+		now := cur[name]
+		old, ok := byName[name]
+		if !ok || now.NsPerOp == 0 {
+			fmt.Fprintf(&b, "%-24s (no baseline)\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %8.2fx faster  (%.0f -> %.0f ns/op, allocs %d -> %d)\n",
+			name, old.NsPerOp/now.NsPerOp, old.NsPerOp, now.NsPerOp,
+			old.AllocsPerOp, now.AllocsPerOp)
+	}
+	return b.String()
+}
+
+// GitRev returns the short HEAD revision of the working tree, or
+// "unknown" when git is unavailable.
+func GitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

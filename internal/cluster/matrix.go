@@ -5,7 +5,11 @@
 // metrics used in the paper's privacy experiment (Fig. 8a).
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Matrix is a symmetric pairwise distance matrix over n points.
 type Matrix struct {
@@ -21,11 +25,63 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{n: n, d: make([]float64, n*n)}
 }
 
+// fromFuncSerialPairs is the pair count below which FromFunc stays
+// serial: for small matrices (a 50-client roster is 1225 pairs) goroutine
+// fan-out costs more than it saves.
+const fromFuncSerialPairs = 2048
+
 // FromFunc builds a symmetric matrix by evaluating dist(i, j) for every
 // pair i < j; the diagonal is zero.
+//
+// For large matrices the pairs are evaluated in parallel across
+// GOMAXPROCS workers, each owning a strided set of rows (row i carries
+// n-1-i pairs, so striding balances the triangular workload). dist must
+// therefore be safe for concurrent calls — every call site passes a
+// read-only closure over precomputed per-point data, which is safe by
+// construction. Each (i, j) pair is still evaluated exactly once and
+// written to both mirror cells by the worker owning row i, so the result
+// is identical to the serial build. A panic inside dist (including the
+// negative-distance panic) is re-raised on the calling goroutine.
 func FromFunc(n int, dist func(i, j int) float64) *Matrix {
 	m := NewMatrix(n)
-	for i := 0; i < n; i++ {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/2 {
+		workers = n / 2
+	}
+	if workers <= 1 || n*(n-1)/2 < fromFuncSerialPairs {
+		m.fillRows(0, 1, dist)
+		return m
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		go func(start int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			m.fillRows(start, workers, dist)
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+	return m
+}
+
+// fillRows evaluates every pair (i, j), j > i, for rows start, start+
+// stride, start+2·stride, …. Mirror writes m.d[j*n+i] land in column i of
+// later rows; distinct rows own distinct columns there, so strided
+// workers never write the same cell.
+func (m *Matrix) fillRows(start, stride int, dist func(i, j int) float64) {
+	n := m.n
+	for i := start; i < n; i += stride {
 		for j := i + 1; j < n; j++ {
 			v := dist(i, j)
 			if v < 0 {
@@ -35,7 +91,6 @@ func FromFunc(n int, dist func(i, j int) float64) *Matrix {
 			m.d[j*n+i] = v
 		}
 	}
-	return m
 }
 
 // Len returns the number of points.

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// pairDist is a deterministic pure function of the pair — what every
+// real FromFunc call site looks like (a read-only closure over
+// precomputed per-point data).
+func pairDist(i, j int) float64 {
+	return math.Abs(math.Sin(float64(i*131+j*7)))*2 + float64(i+j)*1e-3
+}
+
+// TestFromFuncParallelMatchesSerial builds matrices straddling the
+// serial/parallel threshold and checks every cell against a serial
+// reference build, plus symmetry and a zero diagonal. With 128 points
+// (8128 pairs) the parallel path runs whenever GOMAXPROCS > 1.
+func TestFromFuncParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 50, 64, 65, 128} {
+		m := FromFunc(n, pairDist)
+		want := NewMatrix(n)
+		want.fillRows(0, 1, pairDist)
+		for i := 0; i < n; i++ {
+			if m.At(i, i) != 0 {
+				t.Fatalf("n=%d: diagonal (%d,%d) = %v, want 0", n, i, i, m.At(i, i))
+			}
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: cell (%d,%d) = %v, want %v", n, i, j, m.At(i, j), want.At(i, j))
+				}
+				if m.At(i, j) != m.At(j, i) {
+					t.Fatalf("n=%d: asymmetric at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFromFuncCallsEachPairOnce counts dist invocations: exactly one per
+// unordered pair regardless of the serial/parallel split.
+func TestFromFuncCallsEachPairOnce(t *testing.T) {
+	for _, n := range []int{3, 50, 90} {
+		var calls atomic.Int64
+		FromFunc(n, func(i, j int) float64 {
+			calls.Add(1)
+			if j <= i {
+				t.Errorf("n=%d: dist called with j=%d <= i=%d", n, j, i)
+			}
+			return 1
+		})
+		if got, want := calls.Load(), int64(n*(n-1)/2); got != want {
+			t.Fatalf("n=%d: dist called %d times, want %d", n, got, want)
+		}
+	}
+}
+
+// TestFromFuncNegativePanicParallel pins the negative-distance panic on
+// a matrix large enough to take the parallel path.
+func TestFromFuncNegativePanicParallel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative distance")
+		}
+	}()
+	FromFunc(128, func(i, j int) float64 {
+		if i == 100 && j == 101 {
+			return -0.5
+		}
+		return 1
+	})
+}

@@ -76,15 +76,38 @@ func (d *Dataset) Split(trainFrac float64, rng *stats.RNG) (train, test *Dataset
 // deterministic shuffled order, invoking fn with each batch's features
 // and labels. The final short batch is included.
 func (d *Dataset) Batches(batchSize int, rng *stats.RNG, fn func(x *tensor.Dense, y []int)) {
+	d.BatchesScratch(batchSize, rng, nil, fn)
+}
+
+// BatchesScratch is Batches with the per-batch buffers drawn from the
+// caller's scratch arena (keys "batch_perm", "batch_x", "batch_y"): the
+// batch order and contents are identical — the RNG is consumed exactly
+// as in Batches — but each fn invocation reuses the previous batch's
+// storage, so fn must not retain x or y past its return. A nil scratch
+// falls back to freshly allocated buffers per batch.
+func (d *Dataset) BatchesScratch(batchSize int, rng *stats.RNG, scratch *tensor.Scratch, fn func(x *tensor.Dense, y []int)) {
 	if batchSize <= 0 {
 		panic("dataset: non-positive batch size")
 	}
-	perm := rng.Perm(d.Len())
+	var perm []int
+	if scratch != nil {
+		perm = scratch.Ints("batch_perm", d.Len())
+		rng.PermInto(perm)
+	} else {
+		perm = rng.Perm(d.Len())
+	}
 	for start := 0; start < len(perm); start += batchSize {
 		end := min(start+batchSize, len(perm))
 		idx := perm[start:end]
-		x := tensor.New(len(idx), d.X.Cols())
-		y := make([]int, len(idx))
+		var x *tensor.Dense
+		var y []int
+		if scratch != nil {
+			x = scratch.Dense2D("batch_x", len(idx), d.X.Cols())
+			y = scratch.Ints("batch_y", len(idx))
+		} else {
+			x = tensor.New(len(idx), d.X.Cols())
+			y = make([]int, len(idx))
+		}
 		for i, p := range idx {
 			copy(x.Row(i), d.X.Row(p))
 			y[i] = d.Y[p]

@@ -498,3 +498,47 @@ func TestDirichletPlanBadBoundsPanics(t *testing.T) {
 	}()
 	DirichletPlan(5, 5, 1, 0, 10, stats.NewRNG(1))
 }
+
+// TestBatchesScratchMatchesBatches checks that the arena-backed batch
+// iterator yields the identical batch sequence (order, features,
+// labels) as the allocating one, consuming the same RNG stream.
+func TestBatchesScratchMatchesBatches(t *testing.T) {
+	g := NewGenerator(smallSpec(), 41)
+	labels := make([]int, 25)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	d := g.Generate(labels, stats.NewRNG(42))
+	type batch struct {
+		x []float64
+		y []int
+	}
+	collect := func(scratch *tensor.Scratch, seed uint64) []batch {
+		var out []batch
+		d.BatchesScratch(4, stats.NewRNG(seed), scratch, func(x *tensor.Dense, y []int) {
+			// Copy: scratch-backed buffers are reused between calls.
+			out = append(out, batch{append([]float64(nil), x.Data...), append([]int(nil), y...)})
+		})
+		return out
+	}
+	want := collect(nil, 3)
+	got := collect(tensor.NewScratch(), 3)
+	if len(want) != len(got) {
+		t.Fatalf("batch count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i].x) != len(got[i].x) || len(want[i].y) != len(got[i].y) {
+			t.Fatalf("batch %d: size mismatch", i)
+		}
+		for j := range want[i].x {
+			if want[i].x[j] != got[i].x[j] {
+				t.Fatalf("batch %d: feature %d differs", i, j)
+			}
+		}
+		for j := range want[i].y {
+			if want[i].y[j] != got[i].y[j] {
+				t.Fatalf("batch %d: label %d differs", i, j)
+			}
+		}
+	}
+}

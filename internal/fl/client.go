@@ -59,27 +59,64 @@ type LocalTrainConfig struct {
 	ProxMu float64
 }
 
+// TrainContext bundles the per-worker state one local-training job
+// needs: a scratch model (parameters overwritten per job), a persistent
+// optimizer (velocity reset per job so each job still starts cold), and
+// a scratch arena backing minibatch assembly. One context serves one
+// goroutine at a time; a long-lived worker reuses its context across
+// rounds so steady-state training allocates nothing.
+type TrainContext struct {
+	Model *nn.Network
+	Opt   *nn.SGD
+	// Scratch backs minibatch buffers (may be nil: buffers are then
+	// allocated per batch, matching the original LocalTrain behavior).
+	Scratch *tensor.Scratch
+}
+
+// NewTrainContext builds a context around a fresh clone of the given
+// template network, with its own scratch arena.
+func NewTrainContext(template *nn.Network) *TrainContext {
+	return &TrainContext{Model: template.Clone(), Scratch: tensor.NewScratch()}
+}
+
 // LocalTrain runs local SGD from the given global parameters and returns
 // the updated parameters with the observed loss. The model is a scratch
 // network owned by the caller (reused across rounds to avoid
 // reallocation); its parameters are overwritten. The RNG drives batch
 // shuffling only.
 func (c *Client) LocalTrain(model *nn.Network, globalParams []float64, cfg LocalTrainConfig, rng *stats.RNG) TrainResult {
+	return c.LocalTrainCtx(&TrainContext{Model: model}, globalParams, nil, cfg, rng)
+}
+
+// LocalTrainCtx is LocalTrain against a reusable TrainContext: numerics
+// and RNG consumption are identical, but the optimizer, minibatch
+// buffers and (when paramsDst is non-nil) the result vector are all
+// reused, making the steady-state round loop allocation-free. paramsDst,
+// when given, must have NumParams entries and becomes TrainResult.Params.
+func (c *Client) LocalTrainCtx(tc *TrainContext, globalParams []float64, paramsDst []float64, cfg LocalTrainConfig, rng *stats.RNG) TrainResult {
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
 		panic(fmt.Sprintf("fl: bad local train config %+v", cfg))
 	}
+	model := tc.Model
 	model.SetParamsVector(globalParams)
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	if tc.Opt == nil || tc.Opt.LR != cfg.LR || tc.Opt.Momentum != cfg.Momentum {
+		tc.Opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	} else {
+		// A fresh job starts with zero velocity, exactly like the fresh
+		// optimizer the one-shot path builds.
+		tc.Opt.Reset()
+	}
+	opt := tc.Opt
 	firstEpochLoss := 0.0
 	firstEpochBatches := 0
 	for e := 0; e < cfg.Epochs; e++ {
-		c.Data.Train.Batches(cfg.BatchSize, rng, func(x *tensor.Dense, y []int) {
+		c.Data.Train.BatchesScratch(cfg.BatchSize, rng, tc.Scratch, func(x *tensor.Dense, y []int) {
 			var loss float64
 			if cfg.ProxMu > 0 {
 				model.ZeroGrads()
 				logits := model.Forward(x)
 				var grad *tensor.Dense
-				loss, grad = nn.SoftmaxCrossEntropy(logits, y)
+				loss, grad = model.LossGrad(logits, y)
 				model.Backward(grad)
 				model.AddProximalGrad(globalParams, cfg.ProxMu)
 				opt.Step(model)
@@ -96,9 +133,15 @@ func (c *Client) LocalTrain(model *nn.Network, globalParams []float64, cfg Local
 	if firstEpochBatches > 0 {
 		loss = firstEpochLoss / float64(firstEpochBatches)
 	}
+	params := paramsDst
+	if params == nil {
+		params = model.ParamsVector()
+	} else {
+		model.ParamsVectorInto(params)
+	}
 	return TrainResult{
 		ClientID:   c.ID,
-		Params:     model.ParamsVector(),
+		Params:     params,
 		NumSamples: c.NumTrainSamples(),
 		Loss:       loss,
 	}

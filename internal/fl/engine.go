@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"haccs/internal/nn"
@@ -118,9 +119,19 @@ type Engine struct {
 	modelBytes int
 	clock      float64
 
-	// Per-worker scratch models for parallel local training and
-	// evaluation; allocated once.
-	scratch []*nn.Network
+	// Per-worker training contexts for parallel local training and
+	// evaluation; allocated once and reused every round so the
+	// steady-state round loop allocates nothing.
+	workers []*TrainContext
+
+	// Round-loop buffers, sized once and reused across rounds.
+	results   []TrainResult
+	paramsBuf [][]float64 // one parameter vector per selection slot
+	losses    []float64
+	available []bool
+	seen      []bool
+	down      []int
+	evalLoss  []float64
 
 	// met caches the engine's telemetry collectors (nil when metrics
 	// are off) so the hot loop never touches the registry maps.
@@ -190,10 +201,19 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		modelBytes: template.WireBytes(),
 		met:        newEngineMetrics(cfg.Metrics),
 	}
-	e.scratch = make([]*nn.Network, cfg.Parallelism)
-	for i := range e.scratch {
-		e.scratch[i] = template.Clone()
+	e.workers = make([]*TrainContext, cfg.Parallelism)
+	for i := range e.workers {
+		e.workers[i] = NewTrainContext(template)
 	}
+	e.results = make([]TrainResult, 0, cfg.ClientsPerRound)
+	e.paramsBuf = make([][]float64, cfg.ClientsPerRound)
+	for i := range e.paramsBuf {
+		e.paramsBuf[i] = make([]float64, len(e.global))
+	}
+	e.losses = make([]float64, 0, cfg.ClientsPerRound)
+	e.available = make([]bool, len(clients))
+	e.seen = make([]bool, len(clients))
+	e.evalLoss = make([]float64, len(clients))
 	infos := make([]ClientInfo, len(clients))
 	for i, c := range clients {
 		infos[i] = ClientInfo{
@@ -254,14 +274,15 @@ func (e *Engine) runRound(round int) []int {
 		e.cfg.Tracer.Emit(telemetry.RoundStart(round))
 	}
 	mask := e.cfg.Dropout.Unavailable(round, len(e.clients))
-	available := make([]bool, len(e.clients))
-	var down []int
+	available := e.available
+	down := e.down[:0]
 	for i := range available {
 		available[i] = !mask[i]
 		if mask[i] {
 			down = append(down, i)
 		}
 	}
+	e.down = down
 	if len(down) > 0 {
 		if e.cfg.Tracer != nil {
 			e.cfg.Tracer.Emit(telemetry.Unavailable(round, down))
@@ -285,7 +306,7 @@ func (e *Engine) runRound(round int) []int {
 		}
 		return nil
 	}
-	seen := make(map[int]bool, len(selected))
+	clear(e.seen)
 	for _, id := range selected {
 		if id < 0 || id >= len(e.clients) {
 			panic(fmt.Sprintf("fl: strategy selected invalid client %d", id))
@@ -293,28 +314,29 @@ func (e *Engine) runRound(round int) []int {
 		if !available[id] {
 			panic(fmt.Sprintf("fl: strategy selected unavailable client %d", id))
 		}
-		if seen[id] {
+		if e.seen[id] {
 			panic(fmt.Sprintf("fl: strategy selected client %d twice", id))
 		}
-		seen[id] = true
+		e.seen[id] = true
 	}
 	if len(selected) > e.cfg.ClientsPerRound {
 		panic("fl: strategy selected more clients than the budget")
 	}
 
 	results := e.trainSelected(round, selected)
-	e.global = FedAvg(results)
+	FedAvgInto(e.global, results)
 
 	// Synchronous FedAvg: the round takes as long as its slowest
 	// participant.
 	roundTime := 0.0
-	losses := make([]float64, len(selected))
+	losses := e.losses[:0]
 	for i, id := range selected {
 		if lat := e.ClientLatency(id); lat > roundTime {
 			roundTime = lat
 		}
-		losses[i] = results[i].Loss
+		losses = append(losses, results[i].Loss)
 	}
+	e.losses = losses
 	e.clock += roundTime
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.Emit(telemetry.Aggregated(round, append([]int(nil), selected...), roundTime, e.clock))
@@ -330,40 +352,49 @@ func (e *Engine) runRound(round int) []int {
 }
 
 // trainSelected trains the selected clients in parallel, each from the
-// current global parameters, returning results in selection order.
+// current global parameters, returning results in selection order. The
+// fan-out spawns min(workers, jobs) goroutines per round — each pinned
+// to one persistent TrainContext — that pull job indices from an atomic
+// counter; no semaphore churn and no per-job closure allocations.
+// Results are independent of scheduling because every (client, round)
+// pair owns a derived RNG stream and each selection slot owns its
+// parameter buffer.
 func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
-	results := make([]TrainResult, len(selected))
+	results := e.results[:len(selected)]
+	workers := min(len(e.workers), len(selected))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan int, len(e.scratch))
-	for w := range e.scratch {
-		sem <- w
-	}
-	for i, id := range selected {
-		wg.Add(1)
-		go func(i, id int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(tc *TrainContext) {
 			defer wg.Done()
-			w := <-sem
-			defer func() { sem <- w }()
-			// Each (client, round) pair owns an independent stream so
-			// results do not depend on scheduling order.
-			rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(id)*1_000_003+uint64(round)))
-			var start time.Time
-			if e.cfg.Tracer != nil || e.met != nil {
-				start = time.Now()
-			}
-			results[i] = e.clients[id].LocalTrain(e.scratch[w], e.global, e.cfg.Local, rng)
-			if e.cfg.Tracer != nil || e.met != nil {
-				wall := time.Since(start).Seconds()
-				virt := e.ClientLatency(id)
-				if e.cfg.Tracer != nil {
-					e.cfg.Tracer.Emit(telemetry.ClientTrained(round, id, results[i].Loss, results[i].NumSamples, wall, virt))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
 				}
-				if e.met != nil {
-					e.met.trainWall.Observe(wall)
-					e.met.trainVirt.Observe(virt)
+				id := selected[i]
+				// Each (client, round) pair owns an independent stream so
+				// results do not depend on scheduling order.
+				rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(id)*1_000_003+uint64(round)))
+				var start time.Time
+				if e.cfg.Tracer != nil || e.met != nil {
+					start = time.Now()
+				}
+				results[i] = e.clients[id].LocalTrainCtx(tc, e.global, e.paramsBuf[i], e.cfg.Local, rng)
+				if e.cfg.Tracer != nil || e.met != nil {
+					wall := time.Since(start).Seconds()
+					virt := e.ClientLatency(id)
+					if e.cfg.Tracer != nil {
+						e.cfg.Tracer.Emit(telemetry.ClientTrained(round, id, results[i].Loss, results[i].NumSamples, wall, virt))
+					}
+					if e.met != nil {
+						e.met.trainWall.Observe(wall)
+						e.met.trainVirt.Observe(virt)
+					}
 				}
 			}
-		}(i, id)
+		}(e.workers[w])
 	}
 	wg.Wait()
 	return results
@@ -372,26 +403,29 @@ func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
 // Evaluate measures the current global model against every client's
 // local test set, returning the unweighted mean accuracy and loss across
 // clients (the paper's "average test accuracy on all devices") plus the
-// per-client accuracies.
+// per-client accuracies. perClient is freshly allocated (callers retain
+// it in Result); the loss buffer is engine-owned and reused.
 func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
 	perClient = make([]float64, len(e.clients))
-	losses := make([]float64, len(e.clients))
+	losses := e.evalLoss
+	workers := min(len(e.workers), len(e.clients))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan int, len(e.scratch))
-	for w := range e.scratch {
-		sem <- w
-	}
-	for i := range e.clients {
-		wg.Add(1)
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(tc *TrainContext) {
 			defer wg.Done()
-			w := <-sem
-			defer func() { sem <- w }()
-			model := e.scratch[w]
+			model := tc.Model
 			model.SetParamsVector(e.global)
-			test := e.clients[i].Data.Test
-			losses[i], perClient[i] = model.Evaluate(test.X, test.Y)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.clients) {
+					return
+				}
+				test := e.clients[i].Data.Test
+				losses[i], perClient[i] = model.Evaluate(test.X, test.Y)
+			}
+		}(e.workers[w])
 	}
 	wg.Wait()
 	return stats.Mean(perClient), stats.Mean(losses), perClient

@@ -8,7 +8,22 @@ func FedAvg(results []TrainResult) []float64 {
 	if len(results) == 0 {
 		panic("fl: FedAvg with no results")
 	}
+	out := make([]float64, len(results[0].Params))
+	FedAvgInto(out, results)
+	return out
+}
+
+// FedAvgInto is FedAvg written into a caller-owned vector (the engine
+// reuses its global vector across rounds). dst must have the parameter
+// dimension and must not alias any result's Params; it is overwritten.
+func FedAvgInto(dst []float64, results []TrainResult) {
+	if len(results) == 0 {
+		panic("fl: FedAvg with no results")
+	}
 	dim := len(results[0].Params)
+	if len(dst) != dim {
+		panic("fl: FedAvgInto destination dimension mismatch")
+	}
 	total := 0
 	for _, r := range results {
 		if len(r.Params) != dim {
@@ -19,12 +34,13 @@ func FedAvg(results []TrainResult) []float64 {
 		}
 		total += r.NumSamples
 	}
-	out := make([]float64, dim)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, r := range results {
 		w := float64(r.NumSamples) / float64(total)
 		for i, v := range r.Params {
-			out[i] += w * v
+			dst[i] += w * v
 		}
 	}
-	return out
 }

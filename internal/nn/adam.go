@@ -68,18 +68,24 @@ func (a *Adam) Step(n *Network) {
 	}
 }
 
-// Reset clears moment estimates and the step counter.
+// Reset clears moment estimates and the step counter. Moment tensors
+// are zeroed in place so a long-lived optimizer does not reallocate
+// them every round.
 func (a *Adam) Reset() {
 	a.step = 0
-	a.m = map[*tensor.Dense]*tensor.Dense{}
-	a.v = map[*tensor.Dense]*tensor.Dense{}
+	for _, m := range a.m {
+		m.Zero()
+	}
+	for _, v := range a.v {
+		v.Zero()
+	}
 }
 
 // TrainBatchAdam mirrors TrainBatch for the Adam optimizer.
 func TrainBatchAdam(n *Network, opt *Adam, x *tensor.Dense, labels []int) float64 {
 	n.ZeroGrads()
 	logits := n.Forward(x)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	loss, grad := n.LossGrad(logits, labels)
 	n.Backward(grad)
 	opt.Step(n)
 	return loss

@@ -9,9 +9,15 @@ import (
 )
 
 // Conv2D is a 2-D convolution over inputs laid out as flattened C×H×W
-// rows of a (batch × C*H*W) tensor. It is implemented as im2col followed
-// by a single GEMM per image, the standard formulation that turns the
-// convolution into dense matrix math.
+// rows of a (batch × C*H*W) tensor. The whole minibatch is unrolled into
+// one im2col matrix so each Forward issues a single
+// (F × C·K·K) · (C·K·K × batch·outH·outW) GEMM instead of one small GEMM
+// per image, and every intermediate lives in a layer-owned scratch arena,
+// so steady-state passes allocate nothing.
+//
+// The per-element floating-point accumulation order is identical to the
+// per-image formulation (see Conv2DRef), so both produce bit-equal
+// outputs and gradients.
 type Conv2D struct {
 	Geom    tensor.ConvGeom
 	Filters int
@@ -19,7 +25,10 @@ type Conv2D struct {
 	W, B   *tensor.Dense
 	dW, dB *tensor.Dense
 
-	lastCols []*tensor.Dense // cached im2col matrices, one per image
+	arena    tensor.Scratch
+	lastCols *tensor.Dense // batched im2col matrix, arena-owned
+
+	params, grads []*tensor.Dense // lazily built Params/Grads views
 }
 
 // NewConv2D constructs a convolution layer with He-uniform init.
@@ -28,7 +37,7 @@ func NewConv2D(geom tensor.ConvGeom, filters int, rng *stats.RNG) *Conv2D {
 	if filters <= 0 {
 		panic("nn: Conv2D with non-positive filter count")
 	}
-	fan := geom.Channels * geom.Kernel * geom.Kernel
+	fan := geom.ColRows()
 	c := &Conv2D{
 		Geom:    geom,
 		Filters: filters,
@@ -48,23 +57,27 @@ func (c *Conv2D) OutSize() int { return c.Filters * c.Geom.OutHeight() * c.Geom.
 // InSize returns the flattened per-image input length, C*H*W.
 func (c *Conv2D) InSize() int { return c.Geom.Channels * c.Geom.Height * c.Geom.Width }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// this layer's next Forward.
 func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 	batch := x.Rows()
 	if x.Cols() != c.InSize() {
 		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Cols(), c.InSize()))
 	}
 	outHW := c.Geom.OutHeight() * c.Geom.OutWidth()
-	y := tensor.New(batch, c.OutSize())
-	c.lastCols = make([]*tensor.Dense, batch)
+	width := batch * outHW
+	cols := c.arena.Dense2D("cols", c.Geom.ColRows(), width)
+	tensor.Im2ColBatchedInto(cols, x, c.Geom)
+	c.lastCols = cols
+	prod := c.arena.Dense2D("prod", c.Filters, width)
+	tensor.MatMulInto(prod, c.W, cols) // one GEMM convolves the whole batch
+	// Scatter (F × batch·outHW) into per-image rows, adding the bias.
+	y := c.arena.Dense2D("y", batch, c.OutSize())
 	for b := 0; b < batch; b++ {
-		cols := tensor.Im2Col(x.Row(b), c.Geom)
-		c.lastCols[b] = cols
-		prod := tensor.MatMul(c.W, cols) // (F × outHW)
 		dst := y.Row(b)
 		for f := 0; f < c.Filters; f++ {
 			bias := c.B.Data[f]
-			src := prod.Data[f*outHW : (f+1)*outHW]
+			src := prod.Data[f*width+b*outHW : f*width+(b+1)*outHW]
 			out := dst[f*outHW : (f+1)*outHW]
 			for i, v := range src {
 				out[i] = v + bias
@@ -74,42 +87,64 @@ func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until this layer's next Backward.
 func (c *Conv2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if c.lastCols == nil {
 		panic("nn: Conv2D.Backward before Forward")
 	}
 	batch := gradOut.Rows()
-	if batch != len(c.lastCols) {
+	outHW := c.Geom.OutHeight() * c.Geom.OutWidth()
+	width := batch * outHW
+	if c.lastCols.Cols() != width {
 		panic("nn: Conv2D.Backward batch mismatch with last Forward")
 	}
-	outHW := c.Geom.OutHeight() * c.Geom.OutWidth()
-	gradIn := tensor.New(batch, c.InSize())
+	// Gather per-image (F × outHW) gradients into one (F × batch·outHW)
+	// matrix matching the im2col column layout.
+	g := c.arena.Dense2D("g", c.Filters, width)
 	for b := 0; b < batch; b++ {
-		// View this image's output gradient as (F × outHW).
-		g := tensor.FromSlice(gradOut.Row(b), c.Filters, outHW)
-		// dW += g · colsᵀ ; dB += row sums of g.
-		c.dW.Add(tensor.MatMulTransB(g, c.lastCols[b]))
+		src := gradOut.Row(b)
 		for f := 0; f < c.Filters; f++ {
+			copy(g.Data[f*width+b*outHW:f*width+(b+1)*outHW], src[f*outHW:(f+1)*outHW])
+		}
+	}
+	// dW += g · colsᵀ, summed image by image (chunk = outHW) so the
+	// accumulation order matches the per-image reference bit for bit.
+	tensor.AddMatMulTransBChunked(c.dW, g, c.lastCols, outHW)
+	// dB += per-image row sums of g, images in ascending order.
+	for f := 0; f < c.Filters; f++ {
+		row := g.Data[f*width : (f+1)*width]
+		for b := 0; b < batch; b++ {
 			s := 0.0
-			for _, v := range g.Row(f) {
+			for _, v := range row[b*outHW : (b+1)*outHW] {
 				s += v
 			}
 			c.dB.Data[f] += s
 		}
-		// dCols = Wᵀ · g, scattered back to image space.
-		dcols := tensor.MatMulTransA(c.W, g)
-		img := tensor.Col2Im(dcols, c.Geom)
-		copy(gradIn.Row(b), img)
 	}
+	// dCols = Wᵀ · g, scattered back to image space.
+	dcols := c.arena.Dense2D("dcols", c.Geom.ColRows(), width)
+	tensor.MatMulTransAInto(dcols, c.W, g)
+	gradIn := c.arena.Dense2D("gradin", batch, c.InSize())
+	tensor.Col2ImBatchedInto(gradIn, dcols, c.Geom)
 	return gradIn
 }
 
 // Params implements Layer.
-func (c *Conv2D) Params() []*tensor.Dense { return []*tensor.Dense{c.W, c.B} }
+func (c *Conv2D) Params() []*tensor.Dense {
+	if c.params == nil {
+		c.params = []*tensor.Dense{c.W, c.B}
+	}
+	return c.params
+}
 
 // Grads implements Layer.
-func (c *Conv2D) Grads() []*tensor.Dense { return []*tensor.Dense{c.dW, c.dB} }
+func (c *Conv2D) Grads() []*tensor.Dense {
+	if c.grads == nil {
+		c.grads = []*tensor.Dense{c.dW, c.dB}
+	}
+	return c.grads
+}
 
 // ZeroGrads implements Layer.
 func (c *Conv2D) ZeroGrads() { c.dW.Zero(); c.dB.Zero() }
@@ -137,6 +172,7 @@ func (c *Conv2D) Name() string {
 type MaxPool2D struct {
 	Geom tensor.ConvGeom // Kernel is the pool window; Pad must be 0.
 
+	arena   tensor.Scratch
 	lastArg []int // flat input index chosen per output element, per batch row
 	lastIn  int   // input width cached from Forward
 }
@@ -156,15 +192,19 @@ func (p *MaxPool2D) OutSize() int { return p.Geom.Channels * p.Geom.OutHeight() 
 // InSize returns the flattened per-image input length.
 func (p *MaxPool2D) InSize() int { return p.Geom.Channels * p.Geom.Height * p.Geom.Width }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// this layer's next Forward.
 func (p *MaxPool2D) Forward(x *tensor.Dense) *tensor.Dense {
 	batch := x.Rows()
 	if x.Cols() != p.InSize() {
 		panic(fmt.Sprintf("nn: MaxPool2D input width %d, want %d", x.Cols(), p.InSize()))
 	}
 	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
-	y := tensor.New(batch, p.OutSize())
-	p.lastArg = make([]int, batch*p.OutSize())
+	y := p.arena.Dense2D("y", batch, p.OutSize())
+	if cap(p.lastArg) < batch*p.OutSize() {
+		p.lastArg = make([]int, batch*p.OutSize())
+	}
+	p.lastArg = p.lastArg[:batch*p.OutSize()]
 	p.lastIn = x.Cols()
 	for b := 0; b < batch; b++ {
 		in := x.Row(b)
@@ -204,13 +244,15 @@ func (p *MaxPool2D) Forward(x *tensor.Dense) *tensor.Dense {
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until this layer's next Backward.
 func (p *MaxPool2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if p.lastArg == nil {
 		panic("nn: MaxPool2D.Backward before Forward")
 	}
 	batch := gradOut.Rows()
-	gradIn := tensor.New(batch, p.lastIn)
+	gradIn := p.arena.Dense2D("gradin", batch, p.lastIn)
+	gradIn.Zero() // scratch is not zeroed, and the scatter accumulates
 	for b := 0; b < batch; b++ {
 		g := gradOut.Row(b)
 		gi := gradIn.Row(b)

@@ -29,6 +29,12 @@ import (
 // Layers are stateful across a Forward/Backward pair (they cache
 // activations) and are therefore not safe for concurrent use; each
 // simulated client owns its own model clone.
+//
+// Tensors returned by Forward and Backward are owned by the layer's
+// scratch arena: a Forward result is valid until that layer's next
+// Forward, a Backward result until its next Backward. Callers that need
+// a result to outlive the next pass must copy it. Clone starts with a
+// fresh, empty arena.
 type Layer interface {
 	// Forward computes the layer output for a batch.
 	Forward(x *tensor.Dense) *tensor.Dense
@@ -53,7 +59,10 @@ type Layer interface {
 type Dense struct {
 	W, B   *tensor.Dense
 	dW, dB *tensor.Dense
+	arena  tensor.Scratch
 	lastX  *tensor.Dense
+
+	params, grads []*tensor.Dense // lazily built Params/Grads views
 }
 
 // NewDense constructs a fully connected layer with He-uniform initialized
@@ -70,10 +79,12 @@ func NewDense(in, out int, rng *stats.RNG) *Dense {
 	return d
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// the next Forward.
 func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
 	d.lastX = x
-	y := tensor.MatMul(x, d.W)
+	y := d.arena.Dense2D("y", x.Rows(), d.W.Cols())
+	tensor.MatMulInto(y, x, d.W)
 	rows, cols := y.Rows(), y.Cols()
 	for i := 0; i < rows; i++ {
 		row := y.Row(i)
@@ -84,13 +95,16 @@ func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until the next Backward.
 func (d *Dense) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
 	// dW += xᵀ · gradOut ; dB += column sums ; dX = gradOut · Wᵀ.
-	d.dW.Add(tensor.MatMulTransA(d.lastX, gradOut))
+	dw := d.arena.Dense2D("dw", d.W.Rows(), d.W.Cols())
+	tensor.MatMulTransAInto(dw, d.lastX, gradOut)
+	d.dW.Add(dw)
 	rows, cols := gradOut.Rows(), gradOut.Cols()
 	for i := 0; i < rows; i++ {
 		row := gradOut.Row(i)
@@ -98,14 +112,26 @@ func (d *Dense) Backward(gradOut *tensor.Dense) *tensor.Dense {
 			d.dB.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(gradOut, d.W)
+	dx := d.arena.Dense2D("dx", rows, d.W.Rows())
+	tensor.MatMulTransBInto(dx, gradOut, d.W)
+	return dx
 }
 
 // Params implements Layer.
-func (d *Dense) Params() []*tensor.Dense { return []*tensor.Dense{d.W, d.B} }
+func (d *Dense) Params() []*tensor.Dense {
+	if d.params == nil {
+		d.params = []*tensor.Dense{d.W, d.B}
+	}
+	return d.params
+}
 
 // Grads implements Layer.
-func (d *Dense) Grads() []*tensor.Dense { return []*tensor.Dense{d.dW, d.dB} }
+func (d *Dense) Grads() []*tensor.Dense {
+	if d.grads == nil {
+		d.grads = []*tensor.Dense{d.dW, d.dB}
+	}
+	return d.grads
+}
 
 // ZeroGrads implements Layer.
 func (d *Dense) ZeroGrads() { d.dW.Zero(); d.dB.Zero() }
@@ -127,22 +153,25 @@ func (d *Dense) Name() string {
 
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
-	mask []bool
+	arena tensor.Scratch
+	mask  []bool
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// the next Forward.
 func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
-	y := x.Clone()
+	y := r.arena.Dense2D("y", x.Rows(), x.Cols())
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
 	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			y.Data[i] = v
 		} else {
 			r.mask[i] = false
 			y.Data[i] = 0
@@ -151,14 +180,17 @@ func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until the next Backward.
 func (r *ReLU) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if len(r.mask) != len(gradOut.Data) {
 		panic("nn: ReLU.Backward shape mismatch with last Forward")
 	}
-	g := gradOut.Clone()
-	for i := range g.Data {
-		if !r.mask[i] {
+	g := r.arena.Dense2D("g", gradOut.Rows(), gradOut.Cols())
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			g.Data[i] = v
+		} else {
 			g.Data[i] = 0
 		}
 	}

@@ -10,31 +10,34 @@ import (
 
 // Sigmoid is the logistic activation, applied element-wise.
 type Sigmoid struct {
+	arena   tensor.Scratch
 	lastOut *tensor.Dense
 }
 
 // NewSigmoid returns a sigmoid activation layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// the next Forward.
 func (s *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
-	y := x.Clone()
-	for i, v := range y.Data {
+	y := s.arena.Dense2D("y", x.Rows(), x.Cols())
+	for i, v := range x.Data {
 		y.Data[i] = 1 / (1 + math.Exp(-v))
 	}
 	s.lastOut = y
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until the next Backward.
 func (s *Sigmoid) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if s.lastOut == nil {
 		panic("nn: Sigmoid.Backward before Forward")
 	}
-	g := gradOut.Clone()
-	for i := range g.Data {
+	g := s.arena.Dense2D("g", gradOut.Rows(), gradOut.Cols())
+	for i, v := range gradOut.Data {
 		o := s.lastOut.Data[i]
-		g.Data[i] *= o * (1 - o)
+		g.Data[i] = v * (o * (1 - o))
 	}
 	return g
 }
@@ -56,31 +59,34 @@ func (s *Sigmoid) Name() string { return "Sigmoid" }
 
 // Tanh is the hyperbolic-tangent activation, applied element-wise.
 type Tanh struct {
+	arena   tensor.Scratch
 	lastOut *tensor.Dense
 }
 
 // NewTanh returns a tanh activation layer.
 func NewTanh() *Tanh { return &Tanh{} }
 
-// Forward implements Layer.
+// Forward implements Layer. The output is arena-owned and valid until
+// the next Forward.
 func (t *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
-	y := x.Clone()
-	for i, v := range y.Data {
+	y := t.arena.Dense2D("y", x.Rows(), x.Cols())
+	for i, v := range x.Data {
 		y.Data[i] = math.Tanh(v)
 	}
 	t.lastOut = y
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until the next Backward.
 func (t *Tanh) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if t.lastOut == nil {
 		panic("nn: Tanh.Backward before Forward")
 	}
-	g := gradOut.Clone()
-	for i := range g.Data {
+	g := t.arena.Dense2D("g", gradOut.Rows(), gradOut.Cols())
+	for i, v := range gradOut.Data {
 		o := t.lastOut.Data[i]
-		g.Data[i] *= 1 - o*o
+		g.Data[i] = v * (1 - o*o)
 	}
 	return g
 }
@@ -107,6 +113,7 @@ func (t *Tanh) Name() string { return "Tanh" }
 type Dropout struct {
 	Rate float64
 
+	arena    tensor.Scratch
 	training bool
 	rng      *stats.RNG
 	mask     []bool
@@ -125,42 +132,44 @@ func NewDropout(rate float64, rng *stats.RNG) *Dropout {
 // identity.
 func (d *Dropout) SetTraining(training bool) { d.training = training }
 
-// Forward implements Layer.
+// Forward implements Layer. In training mode the output is arena-owned
+// and valid until the next Forward; in inference mode it is x itself.
 func (d *Dropout) Forward(x *tensor.Dense) *tensor.Dense {
 	if !d.training || d.Rate == 0 {
 		d.mask = nil
 		return x
 	}
-	y := x.Clone()
+	y := d.arena.Dense2D("y", x.Rows(), x.Cols())
 	if cap(d.mask) < len(y.Data) {
 		d.mask = make([]bool, len(y.Data))
 	}
 	d.mask = d.mask[:len(y.Data)]
 	scale := 1 / (1 - d.Rate)
-	for i := range y.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.Rate {
 			d.mask[i] = true
 			y.Data[i] = 0
 		} else {
 			d.mask[i] = false
-			y.Data[i] *= scale
+			y.Data[i] = v * scale
 		}
 	}
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is arena-owned and
+// valid until the next Backward (or gradOut itself in inference mode).
 func (d *Dropout) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	if d.mask == nil {
 		return gradOut
 	}
-	g := gradOut.Clone()
+	g := d.arena.Dense2D("g", gradOut.Rows(), gradOut.Cols())
 	scale := 1 / (1 - d.Rate)
-	for i := range g.Data {
+	for i, v := range gradOut.Data {
 		if d.mask[i] {
 			g.Data[i] = 0
 		} else {
-			g.Data[i] *= scale
+			g.Data[i] = v * scale
 		}
 	}
 	return g
@@ -186,6 +195,7 @@ func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.Rate) }
 type AvgPool2D struct {
 	Geom tensor.ConvGeom // Kernel is the pool window; Pad must be 0.
 
+	arena  tensor.Scratch
 	lastIn int
 }
 
@@ -212,7 +222,7 @@ func (p *AvgPool2D) Forward(x *tensor.Dense) *tensor.Dense {
 	}
 	p.lastIn = x.Cols()
 	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
-	y := tensor.New(batch, p.OutSize())
+	y := p.arena.Dense2D("y", batch, p.OutSize())
 	for b := 0; b < batch; b++ {
 		in := x.Row(b)
 		out := y.Row(b)
@@ -248,7 +258,8 @@ func (p *AvgPool2D) Forward(x *tensor.Dense) *tensor.Dense {
 func (p *AvgPool2D) Backward(gradOut *tensor.Dense) *tensor.Dense {
 	batch := gradOut.Rows()
 	outH, outW := p.Geom.OutHeight(), p.Geom.OutWidth()
-	gradIn := tensor.New(batch, p.lastIn)
+	gradIn := p.arena.Dense2D("gradin", batch, p.lastIn)
+	gradIn.Zero() // scratch is not zeroed, and the scatter accumulates
 	for b := 0; b < batch; b++ {
 		g := gradOut.Row(b)
 		gi := gradIn.Row(b)

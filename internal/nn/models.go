@@ -11,7 +11,9 @@ import (
 // one network per experiment from an Arch so that every strategy trains
 // the exact same model family, seeded identically.
 type Arch struct {
-	// Kind selects the family: "mlp" or "lenet".
+	// Kind selects the family: "mlp", "lenet", or "lenet-ref" (the
+	// same LeNet built on the per-image Conv2DRef oracle layers, used
+	// by regression tests that pin the batched conv to the reference).
 	Kind string
 	// Input geometry. For "mlp", In is the flat feature count and the
 	// image fields are ignored. For "lenet", Channels/Height/Width
@@ -43,6 +45,15 @@ func (a Arch) Build(rng *stats.RNG) *Network {
 			f2 = 16
 		}
 		return NewLeNet(a.Channels, a.Height, a.Width, a.Classes, f1, f2, rng)
+	case "lenet-ref":
+		f1, f2 := a.ConvFilters[0], a.ConvFilters[1]
+		if f1 == 0 {
+			f1 = 6
+		}
+		if f2 == 0 {
+			f2 = 16
+		}
+		return NewLeNetRef(a.Channels, a.Height, a.Width, a.Classes, f1, f2, rng)
 	default:
 		panic(fmt.Sprintf("nn: unknown architecture kind %q", a.Kind))
 	}
@@ -75,12 +86,27 @@ func NewMLP(in int, hidden []int, classes int, rng *stats.RNG) *Network {
 // must survive the two conv+pool stages (>= 16 pixels on each side with
 // k=5; smaller inputs should pass padding-friendly sizes or use NewMLP).
 func NewLeNet(channels, height, width, classes, f1, f2 int, rng *stats.RNG) *Network {
+	conv := func(g tensor.ConvGeom, f int, rng *stats.RNG) Layer { return NewConv2D(g, f, rng) }
+	return buildLeNet(channels, height, width, classes, f1, f2, conv, rng)
+}
+
+// NewLeNetRef is NewLeNet built on Conv2DRef, the per-image reference
+// convolution. Both constructors share buildLeNet and draw from the RNG
+// in the same order, so with equal seeds the two networks start from
+// bit-identical parameters — the precondition for the batched-vs-
+// reference training regression tests.
+func NewLeNetRef(channels, height, width, classes, f1, f2 int, rng *stats.RNG) *Network {
+	conv := func(g tensor.ConvGeom, f int, rng *stats.RNG) Layer { return NewConv2DRef(g, f, rng) }
+	return buildLeNet(channels, height, width, classes, f1, f2, conv, rng)
+}
+
+func buildLeNet(channels, height, width, classes, f1, f2 int, conv func(tensor.ConvGeom, int, *stats.RNG) Layer, rng *stats.RNG) *Network {
 	g1 := tensor.ConvGeom{Channels: channels, Height: height, Width: width, Kernel: 5, Stride: 1, Pad: 0}
-	conv1 := NewConv2D(g1, f1, rng)
+	conv1 := conv(g1, f1, rng)
 	p1 := tensor.ConvGeom{Channels: f1, Height: g1.OutHeight(), Width: g1.OutWidth(), Kernel: 2, Stride: 2, Pad: 0}
 	pool1 := NewMaxPool2D(p1)
 	g2 := tensor.ConvGeom{Channels: f1, Height: p1.OutHeight(), Width: p1.OutWidth(), Kernel: 5, Stride: 1, Pad: 0}
-	conv2 := NewConv2D(g2, f2, rng)
+	conv2 := conv(g2, f2, rng)
 	p2 := tensor.ConvGeom{Channels: f2, Height: g2.OutHeight(), Width: g2.OutWidth(), Kernel: 2, Stride: 2, Pad: 0}
 	pool2 := NewMaxPool2D(p2)
 	flat := f2 * p2.OutHeight() * p2.OutWidth()

@@ -11,6 +11,8 @@ import (
 // ParamsVector/SetParamsVector view the whole model as one float64 slice.
 type Network struct {
 	Layers []Layer
+
+	arena tensor.Scratch // backs LossGrad/Loss/Evaluate; per-network, not concurrency-safe
 }
 
 // NewNetwork builds a network from layers in forward order.
@@ -71,6 +73,21 @@ func (n *Network) ParamsVector() []float64 {
 		}
 	}
 	return out
+}
+
+// ParamsVectorInto writes the flat parameter vector into dst, which
+// must have NumParams entries; the allocation-free ParamsVector.
+func (n *Network) ParamsVectorInto(dst []float64) {
+	if len(dst) != n.NumParams() {
+		panic("nn: ParamsVectorInto length mismatch")
+	}
+	off := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			copy(dst[off:off+p.Size()], p.Data)
+			off += p.Size()
+		}
+	}
 }
 
 // SetParamsVector writes a flat parameter vector (as produced by
@@ -157,11 +174,43 @@ func SoftmaxCrossEntropy(logits *tensor.Dense, labels []int) (loss float64, grad
 	return total * inv, grad
 }
 
+// LossGrad is SoftmaxCrossEntropy computed into network-owned scratch:
+// same loss and gradient values, but the returned tensor is only valid
+// until the next LossGrad/Loss/Evaluate call on this network. It is the
+// loss entry point of the allocation-free training hot path.
+func (n *Network) LossGrad(logits *tensor.Dense, labels []int) (loss float64, grad *tensor.Dense) {
+	batch := logits.Rows()
+	if batch != len(labels) {
+		panic("nn: LossGrad batch/label mismatch")
+	}
+	probs := n.arena.Dense2D("probs", batch, logits.Cols())
+	logits.SoftmaxRowsInto(probs)
+	grad = n.arena.Dense2D("lossgrad", batch, logits.Cols())
+	copy(grad.Data, probs.Data)
+	inv := 1.0 / float64(batch)
+	total := 0.0
+	for i := 0; i < batch; i++ {
+		y := labels[i]
+		if y < 0 || y >= logits.Cols() {
+			panic("nn: label out of range")
+		}
+		p := probs.At(i, y)
+		// Clamp to avoid -Inf on (numerically) zero probabilities.
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		total += -math.Log(p)
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	grad.Scale(inv)
+	return total * inv, grad
+}
+
 // Loss computes the mean cross-entropy of the network on a batch without
 // updating gradients or parameters.
 func (n *Network) Loss(x *tensor.Dense, labels []int) float64 {
 	logits := n.Forward(x)
-	loss, _ := SoftmaxCrossEntropy(logits, labels)
+	loss, _ := n.LossGrad(logits, labels)
 	return loss
 }
 
@@ -171,7 +220,9 @@ func (n *Network) Accuracy(x *tensor.Dense, labels []int) float64 {
 	if len(labels) == 0 {
 		return 0
 	}
-	pred := n.Forward(x).ArgMaxRows()
+	logits := n.Forward(x)
+	pred := n.arena.Ints("preds", logits.Rows())
+	logits.ArgMaxRowsInto(pred)
 	correct := 0
 	for i, p := range pred {
 		if p == labels[i] {
@@ -187,9 +238,11 @@ func (n *Network) Evaluate(x *tensor.Dense, labels []int) (loss, acc float64) {
 		return 0, 0
 	}
 	logits := n.Forward(x)
-	loss, _ = SoftmaxCrossEntropy(logits, labels)
+	loss, _ = n.LossGrad(logits, labels)
+	pred := n.arena.Ints("preds", logits.Rows())
+	logits.ArgMaxRowsInto(pred)
 	correct := 0
-	for i, p := range logits.ArgMaxRows() {
+	for i, p := range pred {
 		if p == labels[i] {
 			correct++
 		}

@@ -24,45 +24,52 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 
 // Step applies one update to every parameter of the network using the
 // currently accumulated gradients, then leaves the gradients untouched
-// (callers ZeroGrads between batches).
+// (callers ZeroGrads between batches). The velocity tensor for each
+// parameter is looked up once per tensor, not per element, and update
+// arithmetic matches the scalar formulation exactly:
+// g' = g + wd·p; v = momentum·v + g'; p -= lr·v.
 func (s *SGD) Step(n *Network) {
 	for _, l := range n.Layers {
 		params := l.Params()
 		grads := l.Grads()
 		for i, p := range params {
 			g := grads[i]
-			if s.WeightDecay > 0 {
-				// g' = g + wd * p, applied without mutating the
-				// stored gradient.
+			if s.Momentum > 0 {
+				v := s.velocity[p]
+				if v == nil {
+					v = tensor.New(p.Shape...)
+					s.velocity[p] = v
+				}
+				vd := v.Data
 				for j := range p.Data {
-					s.update(p, j, g.Data[j]+s.WeightDecay*p.Data[j])
+					gj := g.Data[j]
+					if s.WeightDecay > 0 {
+						gj += s.WeightDecay * p.Data[j]
+					}
+					vd[j] = s.Momentum*vd[j] + gj
+					p.Data[j] -= s.LR * vd[j]
 				}
 				continue
 			}
 			for j := range p.Data {
-				s.update(p, j, g.Data[j])
+				gj := g.Data[j]
+				if s.WeightDecay > 0 {
+					gj += s.WeightDecay * p.Data[j]
+				}
+				p.Data[j] -= s.LR * gj
 			}
 		}
 	}
 }
 
-func (s *SGD) update(p *tensor.Dense, j int, g float64) {
-	if s.Momentum > 0 {
-		v := s.velocity[p]
-		if v == nil {
-			v = tensor.New(p.Shape...)
-			s.velocity[p] = v
-		}
-		v.Data[j] = s.Momentum*v.Data[j] + g
-		g = v.Data[j]
-	}
-	p.Data[j] -= s.LR * g
-}
-
 // Reset clears momentum state; used when the optimizer is reused across
 // federated rounds where the global parameters were replaced wholesale.
+// Velocity tensors are zeroed in place so a long-lived optimizer does
+// not reallocate them every round.
 func (s *SGD) Reset() {
-	s.velocity = make(map[*tensor.Dense]*tensor.Dense)
+	for _, v := range s.velocity {
+		v.Zero()
+	}
 }
 
 // TrainBatch runs one forward/backward/update cycle on a batch and
@@ -70,7 +77,7 @@ func (s *SGD) Reset() {
 func TrainBatch(n *Network, opt *SGD, x *tensor.Dense, labels []int) float64 {
 	n.ZeroGrads()
 	logits := n.Forward(x)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	loss, grad := n.LossGrad(logits, labels)
 	n.Backward(grad)
 	opt.Step(n)
 	return loss

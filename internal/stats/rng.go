@@ -146,14 +146,21 @@ func (r *RNG) Exponential(rate float64) float64 {
 // Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// consuming exactly the same RNG stream as Perm of the same length —
+// the allocation-free variant for hot loops.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Shuffle pseudo-randomly permutes the first n elements using the provided

@@ -256,3 +256,22 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", xs)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		a := NewRNG(99)
+		b := NewRNG(99)
+		want := a.Perm(n)
+		got := make([]int, n)
+		b.PermInto(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		// Both must have consumed the identical stream.
+		if a.Float64() != b.Float64() {
+			t.Fatalf("n=%d: RNG streams diverged after Perm vs PermInto", n)
+		}
+	}
+}

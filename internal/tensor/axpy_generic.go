@@ -1,0 +1,36 @@
+package tensor
+
+// Scalar reference implementations of the saxpy microkernels behind the
+// accumulating matrix kernels. On amd64 these are the fallback for the
+// AVX2 versions in axpy_amd64.s; elsewhere they are the only
+// implementation. The vector path performs the same IEEE multiply and
+// add per element, only several lanes at a time, so both produce
+// bit-identical output — which path runs is purely a speed matter and
+// never a correctness one.
+
+// axpy4generic computes oX[j] += vX*bp[j] for four output rows sharing
+// one streamed b row. All five slices must have equal length.
+func axpy4generic(o0, o1, o2, o3, bp []float64, v0, v1, v2, v3 float64) {
+	if len(bp) == 0 {
+		return
+	}
+	_, _, _, _ = o0[len(bp)-1], o1[len(bp)-1], o2[len(bp)-1], o3[len(bp)-1]
+	for j, bv := range bp {
+		o0[j] += v0 * bv
+		o1[j] += v1 * bv
+		o2[j] += v2 * bv
+		o3[j] += v3 * bv
+	}
+}
+
+// axpy1generic computes o[j] += v*bp[j]. Both slices must have equal
+// length.
+func axpy1generic(o, bp []float64, v float64) {
+	if len(bp) == 0 {
+		return
+	}
+	_ = o[len(bp)-1]
+	for j, bv := range bp {
+		o[j] += v * bv
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+func axpy4(o0, o1, o2, o3, bp []float64, v0, v1, v2, v3 float64) {
+	axpy4generic(o0, o1, o2, o3, bp, v0, v1, v2, v3)
+}
+
+func axpy1(o, bp []float64, v float64) {
+	axpy1generic(o, bp, v)
+}

@@ -1,30 +1,33 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
-// parallelThreshold is the minimum number of multiply-adds before MatMul
-// fans work out to multiple goroutines; below it the goroutine and
+// parallelThreshold is the minimum number of multiply-adds before a
+// matrix kernel fans work out to the worker pool; below it the
 // synchronization overhead dominates.
 const parallelThreshold = 64 * 64 * 64
 
+// All kernels in this file keep one invariant: the order in which
+// products are accumulated into any single output element is the
+// ascending inner-dimension order of the plain three-loop formulation.
+// Register blocking widens how many output rows or columns share one
+// streamed pass, and the pool bands disjoint output regions — neither
+// changes any element's own accumulation order. Floating-point results
+// are therefore bit-identical across block widths, band splits and
+// worker counts, which is what lets the batched convolution promise
+// exact equality with its per-image reference.
+
 // MatMul returns a × b for 2-D tensors, using a cache-blocked ikj loop
-// order and, for large products, parallelism across row bands. The inner
-// kernel is the classic "saxpy row" formulation: for each (i, k) it
-// streams b's row k into the output row, which keeps all three access
-// patterns sequential.
+// order and, for large products, parallelism across row or column bands
+// of the worker pool.
 func MatMul(a, b *Dense) *Dense {
 	a.must2D()
 	b.must2D()
-	m, ka := a.Shape[0], a.Shape[1]
-	kb, n := b.Shape[0], b.Shape[1]
-	if ka != kb {
+	if a.Shape[1] != b.Shape[0] {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
-	out := New(m, n)
-	matMulInto(out, a, b)
+	out := New(a.Shape[0], b.Shape[1])
+	gemm(out, a, b)
 	return out
 }
 
@@ -38,105 +41,140 @@ func MatMulInto(dst, a, b *Dense) {
 		panic("tensor: MatMulInto shape mismatch")
 	}
 	dst.Zero()
-	matMulInto(dst, a, b)
+	gemm(dst, a, b)
 }
 
-func matMulInto(out, a, b *Dense) {
+// gemm accumulates out += a × b, choosing serial execution for small
+// products and row- or column-banded pool execution for large ones.
+// Wide-and-short products (the batched im2col GEMM is filters × huge-n)
+// band across columns so every worker still gets a full share.
+func gemm(out, a, b *Dense) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
-	work := m * n * k
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || m == 1 {
-		matMulRange(out, a, b, 0, m)
+	if m*n*k < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
+		matMulRowsCols(out, a, b, 0, m, 0, n)
 		return
 	}
-	if workers > m {
-		workers = m
+	if m >= 2*runtime.GOMAXPROCS(0) || n < 4*m {
+		parallelBands(kernelTask{op: opMatMulRows, out: out, a: a, b: b}, m)
+	} else {
+		parallelBands(kernelTask{op: opMatMulCols, out: out, a: a, b: b}, n)
 	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := min(lo+band, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	_ = k
-	_ = n
 }
 
-// matMulRange computes output rows [lo, hi).
-func matMulRange(out, a, b *Dense, lo, hi int) {
+// gemmColTile is the column-tile width of the accumulating kernels:
+// 512 float64s = 4KB per row slice, so a 4-row output tile plus the
+// streamed b-row tile stay resident in L1 across the whole k loop.
+const gemmColTile = 512
+
+// matMulRowsCols accumulates out[lo:hi, cLo:cHi) += a × b restricted to
+// the given row and column bands. Columns are tiled so each output tile
+// is touched once per call rather than once per k-iteration, and rows
+// are processed four at a time so each streamed b-row tile feeds four
+// output rows per pass. Per output element the k-loop still accumulates
+// in ascending order, so results are bit-identical to the scalar
+// three-loop kernel.
+func matMulRowsCols(out, a, b *Dense, lo, hi, cLo, cHi int) {
 	k := a.Shape[1]
 	n := b.Shape[1]
-	for i := lo; i < hi; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			aip := ai[p]
-			if aip == 0 {
-				continue
+	for j0 := cLo; j0 < cHi; j0 += gemmColTile {
+		j1 := min(j0+gemmColTile, cHi)
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			a0 := a.Data[i*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k]
+			a2 := a.Data[(i+2)*k : (i+3)*k]
+			a3 := a.Data[(i+3)*k : (i+4)*k]
+			o0 := out.Data[i*n+j0 : i*n+j1]
+			o1 := out.Data[(i+1)*n+j0 : (i+1)*n+j1]
+			o2 := out.Data[(i+2)*n+j0 : (i+2)*n+j1]
+			o3 := out.Data[(i+3)*n+j0 : (i+3)*n+j1]
+			for p := 0; p < k; p++ {
+				v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				axpy4(o0, o1, o2, o3, b.Data[p*n+j0:p*n+j1], v0, v1, v2, v3)
 			}
-			bp := b.Data[p*n : (p+1)*n]
-			for j, bv := range bp {
-				oi[j] += aip * bv
+		}
+		for ; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			oi := out.Data[i*n+j0 : i*n+j1]
+			for p := 0; p < k; p++ {
+				aip := ai[p]
+				if aip == 0 {
+					continue
+				}
+				axpy1(oi, b.Data[p*n+j0:p*n+j1], aip)
 			}
 		}
 	}
 }
 
 // MatMulTransB returns a × bᵀ without materializing the transpose;
-// useful in backward passes where the weight gradient pattern is
-// (m×n)·(k×n)ᵀ.
+// useful in backward passes where the gradient pattern is (m×k)·(n×k)ᵀ.
 func MatMulTransB(a, b *Dense) *Dense {
 	a.must2D()
 	b.must2D()
-	m, ka := a.Shape[0], a.Shape[1]
-	n, kb := b.Shape[0], b.Shape[1]
-	if ka != kb {
+	if a.Shape[1] != b.Shape[1] {
 		panic("tensor: MatMulTransB inner dimension mismatch")
 	}
-	out := New(m, n)
-	workers := runtime.GOMAXPROCS(0)
-	if m*n*ka < parallelThreshold || workers <= 1 || m == 1 {
-		matMulTransBRange(out, a, b, 0, m)
-		return out
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := min(lo+band, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulTransBRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	out := New(a.Shape[0], b.Shape[0])
+	transB(out, a, b)
 	return out
 }
 
+// MatMulTransBInto computes dst = a × bᵀ, reusing dst's storage. dst
+// must have shape (a.Rows, b.Rows) and must not alias a or b. Every
+// element is overwritten, so dst need not be zeroed.
+func MatMulTransBInto(dst, a, b *Dense) {
+	a.must2D()
+	b.must2D()
+	dst.must2D()
+	if a.Shape[1] != b.Shape[1] || dst.Shape[0] != a.Shape[0] || dst.Shape[1] != b.Shape[0] {
+		panic("tensor: MatMulTransBInto shape mismatch")
+	}
+	transB(dst, a, b)
+}
+
+func transB(out, a, b *Dense) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if m*n*k < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 || m == 1 {
+		matMulTransBRange(out, a, b, 0, m)
+		return
+	}
+	parallelBands(kernelTask{op: opTransB, out: out, a: a, b: b}, m)
+}
+
+// matMulTransBRange writes output rows [lo, hi) as dot products,
+// visiting four rows of b per pass over a's row so the a-side stream is
+// amortized.
 func matMulTransBRange(out, a, b *Dense, lo, hi int) {
 	k := a.Shape[1]
 	n := b.Shape[0]
 	for i := lo; i < hi; i++ {
 		ai := a.Data[i*k : (i+1)*k]
 		oi := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			b2 := b.Data[(j+2)*k : (j+3)*k]
+			b3 := b.Data[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			if k > 0 {
+				_, _, _, _ = b0[k-1], b1[k-1], b2[k-1], b3[k-1]
+			}
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			oi[j], oi[j+1], oi[j+2], oi[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
 			bj := b.Data[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range ai {
@@ -147,30 +185,148 @@ func matMulTransBRange(out, a, b *Dense, lo, hi int) {
 	}
 }
 
+// AddMatMulTransBChunked accumulates dst += a × bᵀ with the inner
+// dimension summed in consecutive chunks of the given length: each chunk
+// is reduced into its own partial sum before being added to dst. With
+// chunk = outH·outW this reproduces, bit for bit, the accumulation order
+// of a per-image weight-gradient loop (one MatMulTransB per image added
+// into dst), which is what keeps the batched convolution backward pass
+// exactly equal to the per-image reference.
+func AddMatMulTransBChunked(dst, a, b *Dense, chunk int) {
+	a.must2D()
+	b.must2D()
+	dst.must2D()
+	if a.Shape[1] != b.Shape[1] || dst.Shape[0] != a.Shape[0] || dst.Shape[1] != b.Shape[0] {
+		panic("tensor: AddMatMulTransBChunked shape mismatch")
+	}
+	if chunk <= 0 {
+		panic("tensor: AddMatMulTransBChunked chunk must be positive")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if m*n*k < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 || m == 1 {
+		addMatMulTransBChunkedRange(dst, a, b, chunk, 0, m)
+		return
+	}
+	parallelBands(kernelTask{op: opChunkAcc, out: dst, a: a, b: b, chunk: chunk}, m)
+}
+
+// addMatMulTransBChunkedRange walks chunks outermost so one chunk-slice
+// of b (one image's columns in the conv dW case) is reused across every
+// output row before the stream advances. Per output element the chunk
+// partial sums are still added in ascending chunk order, matching the
+// per-image reference exactly.
+func addMatMulTransBChunkedRange(dst, a, b *Dense, chunk, lo, hi int) {
+	k := a.Shape[1]
+	n := b.Shape[0]
+	for c0 := 0; c0 < k; c0 += chunk {
+		c1 := min(c0+chunk, k)
+		w := c1 - c0
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k+c0 : i*k+c1]
+			di := dst.Data[i*n : (i+1)*n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				b0 := b.Data[j*k+c0 : j*k+c1]
+				b1 := b.Data[(j+1)*k+c0 : (j+1)*k+c1]
+				b2 := b.Data[(j+2)*k+c0 : (j+2)*k+c1]
+				b3 := b.Data[(j+3)*k+c0 : (j+3)*k+c1]
+				var s0, s1, s2, s3 float64
+				if w > 0 {
+					_, _, _, _ = b0[w-1], b1[w-1], b2[w-1], b3[w-1]
+				}
+				for p, av := range ai {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
+				}
+				di[j] += s0
+				di[j+1] += s1
+				di[j+2] += s2
+				di[j+3] += s3
+			}
+			for ; j < n; j++ {
+				bj := b.Data[j*k+c0 : j*k+c1]
+				s := 0.0
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				di[j] += s
+			}
+		}
+	}
+}
+
 // MatMulTransA returns aᵀ × b without materializing the transpose; this
 // is the (k×m)ᵀ·(k×n) pattern of dense-layer weight gradients.
 func MatMulTransA(a, b *Dense) *Dense {
 	a.must2D()
 	b.must2D()
-	ka, m := a.Shape[0], a.Shape[1]
-	kb, n := b.Shape[0], b.Shape[1]
-	if ka != kb {
+	if a.Shape[0] != b.Shape[0] {
 		panic("tensor: MatMulTransA inner dimension mismatch")
 	}
-	out := New(m, n)
-	// Accumulate rank-1 updates; output rows are streamed per k-row of a.
-	for p := 0; p < ka; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
+	out := New(a.Shape[1], b.Shape[1])
+	transA(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ × b, reusing dst's storage. dst
+// must have shape (a.Cols, b.Cols) and must not alias a or b.
+func MatMulTransAInto(dst, a, b *Dense) {
+	a.must2D()
+	b.must2D()
+	dst.must2D()
+	if a.Shape[0] != b.Shape[0] || dst.Shape[0] != a.Shape[1] || dst.Shape[1] != b.Shape[1] {
+		panic("tensor: MatMulTransAInto shape mismatch")
+	}
+	dst.Zero()
+	transA(dst, a, b)
+}
+
+func transA(out, a, b *Dense) {
+	ka, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if m*n*ka < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 || m == 1 {
+		matMulTransARange(out, a, b, 0, m)
+		return
+	}
+	parallelBands(kernelTask{op: opTransA, out: out, a: a, b: b}, m)
+}
+
+// matMulTransARange accumulates output rows [lo, hi) (columns of a)
+// with the same tiled row-major structure as matMulRowsCols, reading a
+// column-wise; per output element the ka-loop accumulates in ascending
+// order, identical to the rank-1 formulation.
+func matMulTransARange(out, a, b *Dense, lo, hi int) {
+	ka, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	for j0 := 0; j0 < n; j0 += gemmColTile {
+		j1 := min(j0+gemmColTile, n)
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			o0 := out.Data[i*n+j0 : i*n+j1]
+			o1 := out.Data[(i+1)*n+j0 : (i+1)*n+j1]
+			o2 := out.Data[(i+2)*n+j0 : (i+2)*n+j1]
+			o3 := out.Data[(i+3)*n+j0 : (i+3)*n+j1]
+			for p := 0; p < ka; p++ {
+				base := p * m
+				v0, v1, v2, v3 := a.Data[base+i], a.Data[base+i+1], a.Data[base+i+2], a.Data[base+i+3]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				axpy4(o0, o1, o2, o3, b.Data[p*n+j0:p*n+j1], v0, v1, v2, v3)
 			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				oi[j] += av * bv
+		}
+		for ; i < hi; i++ {
+			oi := out.Data[i*n+j0 : i*n+j1]
+			for p := 0; p < ka; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				axpy1(oi, b.Data[p*n+j0:p*n+j1], av)
 			}
 		}
 	}
-	return out
 }

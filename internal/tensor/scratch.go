@@ -1,0 +1,89 @@
+package tensor
+
+// Scratch is a grow-only arena of named, reusable buffers. It exists so
+// hot paths (layer forward/backward, minibatch staging, engine workers)
+// can reuse storage across steps instead of allocating per call: the
+// first request for a key allocates, later requests reuse the backing
+// array whenever its capacity suffices, and capacity only grows.
+//
+// Ownership rules (see DESIGN.md "Performance"):
+//
+//   - A Scratch belongs to exactly one goroutine at a time; it is not
+//     safe for concurrent use. Give each worker its own arena.
+//   - A buffer returned for a key is valid until the next request for
+//     the same key on the same arena. Callers must not retain it across
+//     that boundary (copy out instead).
+//   - Returned buffers are NOT zeroed; contents are whatever the
+//     previous use left behind. Callers that accumulate must clear
+//     first (Dense.Zero, explicit loops).
+//
+// The zero value is ready to use.
+type Scratch struct {
+	f map[string][]float64
+	i map[string][]int
+	d map[string]*Dense
+}
+
+// NewScratch returns an empty arena. The zero value is equally valid;
+// the constructor exists for pointer-typed fields.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Dense2D returns the arena's tensor for key, shaped rows × cols. The
+// backing array and the *Dense header are reused across calls, so a
+// steady-state caller allocates nothing. Contents are not zeroed.
+func (s *Scratch) Dense2D(key string, rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic("tensor: Scratch.Dense2D with non-positive dimensions")
+	}
+	if s.d == nil {
+		s.d = make(map[string]*Dense)
+	}
+	n := rows * cols
+	t := s.d[key]
+	if t == nil {
+		t = &Dense{Shape: []int{rows, cols}, Data: make([]float64, n)}
+		s.d[key] = t
+		return t
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	t.Shape[0], t.Shape[1] = rows, cols
+	return t
+}
+
+// Floats returns the arena's []float64 for key, resized to length n.
+// Contents are not zeroed.
+func (s *Scratch) Floats(key string, n int) []float64 {
+	if s.f == nil {
+		s.f = make(map[string][]float64)
+	}
+	buf := s.f[key]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		s.f[key] = buf
+		return buf
+	}
+	buf = buf[:n]
+	s.f[key] = buf
+	return buf
+}
+
+// Ints returns the arena's []int for key, resized to length n. Contents
+// are not zeroed.
+func (s *Scratch) Ints(key string, n int) []int {
+	if s.i == nil {
+		s.i = make(map[string][]int)
+	}
+	buf := s.i[key]
+	if cap(buf) < n {
+		buf = make([]int, n)
+		s.i[key] = buf
+		return buf
+	}
+	buf = buf[:n]
+	s.i[key] = buf
+	return buf
+}

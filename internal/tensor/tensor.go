@@ -236,9 +236,19 @@ func (t *Dense) Transpose() *Dense {
 // ArgMaxRows returns, for a 2-D tensor, the column index of the maximum
 // entry in each row — the predicted class for a batch of logit rows.
 func (t *Dense) ArgMaxRows() []int {
+	out := make([]int, t.Rows())
+	t.ArgMaxRowsInto(out)
+	return out
+}
+
+// ArgMaxRowsInto writes each row's argmax into dst, which must have one
+// entry per row.
+func (t *Dense) ArgMaxRowsInto(dst []int) {
 	t.must2D()
 	r, c := t.Shape[0], t.Shape[1]
-	out := make([]int, r)
+	if len(dst) != r {
+		panic("tensor: ArgMaxRowsInto length mismatch")
+	}
 	for i := 0; i < r; i++ {
 		row := t.Data[i*c : (i+1)*c]
 		best := 0
@@ -247,17 +257,28 @@ func (t *Dense) ArgMaxRows() []int {
 				best = j
 			}
 		}
-		out[i] = best
+		dst[i] = best
 	}
-	return out
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row of a 2-D
 // tensor, returning a new tensor.
 func (t *Dense) SoftmaxRows() *Dense {
 	t.must2D()
+	out := New(t.Shape[0], t.Shape[1])
+	t.SoftmaxRowsInto(out)
+	return out
+}
+
+// SoftmaxRowsInto is SoftmaxRows writing into a caller-owned tensor of
+// the same shape. Every element is overwritten.
+func (t *Dense) SoftmaxRowsInto(out *Dense) {
+	t.must2D()
+	out.must2D()
 	r, c := t.Shape[0], t.Shape[1]
-	out := New(r, c)
+	if out.Shape[0] != r || out.Shape[1] != c {
+		panic("tensor: SoftmaxRowsInto shape mismatch")
+	}
 	for i := 0; i < r; i++ {
 		in := t.Data[i*c : (i+1)*c]
 		o := out.Data[i*c : (i+1)*c]
@@ -278,7 +299,6 @@ func (t *Dense) SoftmaxRows() *Dense {
 			o[j] *= inv
 		}
 	}
-	return out
 }
 
 // RandNormal fills the tensor with draws from N(mean, stddev).
