@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-guard bench bench-json
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json
 
-## check: the tier-1 gate — vet, build, and the full test suite under -race.
-check: vet build race
+## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
+check: vet fmt-check build race
 
 vet:
 	$(GO) vet ./...
+
+## fmt-check: fail if any file needs gofmt (same gate CI runs).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

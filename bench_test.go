@@ -213,6 +213,11 @@ func BenchmarkTrainStepMLP(b *testing.B) { benchrun.TrainStepMLP(b) }
 // matrix build (cluster.FromFunc).
 func BenchmarkHellingerMatrix100(b *testing.B) { benchrun.HellingerMatrix100(b) }
 
+// BenchmarkRoundsDriverOverhead measures the shared round driver's pure
+// orchestration cost (selection, fan-out, collection, FedAvg) with
+// instant proxies standing in for local training.
+func BenchmarkRoundsDriverOverhead(b *testing.B) { benchrun.RoundsDriverOverhead(b) }
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkMatMul measures the parallel GEMM kernel on a training-sized

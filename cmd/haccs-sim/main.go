@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		size     = flag.Int("size", 8, "image side length (8 for quick runs, 16+ for larger)")
 		dropout  = flag.Float64("dropout", 0, "per-epoch transient client dropout rate")
+		deadline = flag.Float64("deadline", 0, "per-round straggler deadline in virtual seconds (0 = wait for every selected client)")
 		lr       = flag.Float64("lr", 0.05, "local SGD learning rate")
 		epochs   = flag.Int("epochs", 2, "local epochs per round")
 		prox     = flag.Float64("prox", 0, "FedProx proximal coefficient mu (0 = plain FedAvg)")
@@ -55,6 +56,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "haccs-sim: -deadline must be >= 0")
+		os.Exit(2)
+	}
 	spec, err := specFor(*family, *classes, *size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -159,6 +164,7 @@ func main() {
 		MaxRounds:           *rounds,
 		EvalEvery:           5,
 		PerSampleComputeSec: 0.01,
+		RoundDeadline:       *deadline,
 		Tracer:              tracer,
 		Metrics:             reg,
 	}
@@ -172,6 +178,9 @@ func main() {
 
 	fmt.Printf("haccs-sim: %s on %s, %d clients, k=%d, %d rounds, seed=%d\n",
 		strat.Name(), spec.Name, *clients, *k, *rounds, *seed)
+	if *deadline > 0 {
+		fmt.Printf("haccs-sim: straggler deadline %.1f virtual seconds (partial aggregation)\n", *deadline)
+	}
 	res := fl.NewEngine(cfg, roster, strat).Run()
 
 	tab := metrics.NewTable("round", "virtual-time", "accuracy", "loss")

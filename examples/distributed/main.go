@@ -94,31 +94,31 @@ func main() {
 	sched.Init(infos, stats.NewRNG(stats.DeriveSeed(seed, 5)))
 	fmt.Printf("coordinator clustered clients into %d groups: %v\n", sched.NumClusters(), sched.ClusterLabels())
 
+	// The shared round runtime drives selection, dispatch, aggregation
+	// and loss feedback over the wire — the same state machine the
+	// in-process simulation engine uses. Refreshed summaries piggybacked
+	// on replies feed the scheduler's re-clustering.
 	global := arch.Build(stats.NewRNG(stats.DeriveSeed(seed, 6)))
-	params := global.ParamsVector()
-	available := make([]bool, nClient)
-	for i := range available {
-		available[i] = true
+	coord, err := flnet.NewCoordinator(srv, flnet.CoordinatorConfig{
+		ClientsPerRound: k,
+		OnSummary: func(id int, counts []float64) {
+			sched.UpdateSummaries(map[int]core.Summary{
+				id: {Kind: core.PY, Label: &stats.Histogram{Counts: counts}},
+			})
+		},
+	}, sched, global.ParamsVector())
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
 	}
 	tab := metrics.NewTable("round", "selected", "mean-loss")
 	for round := 0; round < rounds; round++ {
-		selected := sched.Select(round, available, k)
-		replies, err := srv.RunRound(round, selected, params)
-		if err != nil {
-			log.Fatalf("round %d: %v", round, err)
-		}
-		results := make([]fl.TrainResult, len(replies))
-		losses := make([]float64, len(replies))
-		mean := 0.0
-		for i, rep := range replies {
-			results[i] = fl.TrainResult{ClientID: rep.ClientID, Params: rep.Params, NumSamples: rep.NumSamples, Loss: rep.Loss}
-			losses[i] = rep.Loss
-			mean += rep.Loss / float64(len(replies))
-		}
-		params = fl.FedAvg(results)
-		sched.Update(round, selected, losses)
+		out := coord.RunRound(round)
 		if round%8 == 0 || round == rounds-1 {
-			tab.AddRow(round, fmt.Sprintf("%v", selected), mean)
+			mean := 0.0
+			for _, l := range out.Losses {
+				mean += l / float64(len(out.Losses))
+			}
+			tab.AddRow(round, fmt.Sprintf("%v", out.Selected), mean)
 		}
 	}
 	srv.Close()
@@ -126,7 +126,7 @@ func main() {
 	fmt.Print(tab.String())
 
 	// Evaluate the aggregated model against every client's test data.
-	global.SetParamsVector(params)
+	global.SetParamsVector(coord.Global())
 	total := 0.0
 	for i := range clientData {
 		_, acc := global.Evaluate(clientData[i].Test.X, clientData[i].Test.Y)

@@ -21,6 +21,7 @@ import (
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
 	"haccs/internal/nn"
+	"haccs/internal/rounds"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
 	"haccs/internal/tensor"
@@ -53,6 +54,7 @@ func Suite() []Entry {
 		{Name: "matmul_128x256x128", Bench: MatMul},
 		{Name: "local_train_round", Bench: LocalTrainRound},
 		{Name: "engine_run_5rounds", Bench: EngineRun, RoundsPerOp: engineRounds},
+		{Name: "rounds_driver_overhead", Bench: RoundsDriverOverhead, RoundsPerOp: driverRounds},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
 	}
 }
@@ -205,6 +207,54 @@ func EngineRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fl.NewEngine(cfg, roster, newRoundRobin()).Run()
+	}
+}
+
+// driverRounds is the round count of the RoundsDriverOverhead benchmark.
+const driverRounds = 100
+
+// instantProxy returns a fixed parameter vector with no training work,
+// so the benchmark isolates pure orchestration cost.
+type instantProxy struct {
+	id     int
+	params []float64
+}
+
+func (p *instantProxy) Train(round, worker, slot int, _ []float64) (rounds.Result, error) {
+	return rounds.Result{ClientID: p.id, Params: p.params, NumSamples: 100, Loss: 1}, nil
+}
+
+func (p *instantProxy) Latency() float64 { return float64(p.id + 1) }
+
+type instantTransport struct{ proxies []rounds.Proxy }
+
+func (t instantTransport) Proxies() []rounds.Proxy { return t.proxies }
+func (t instantTransport) Parallelism() int        { return 4 }
+
+// RoundsDriverOverhead measures the shared round driver's per-round
+// orchestration cost — selection, worker fan-out, collection, FedAvg —
+// over instant no-op clients, tracking what the runtime extraction adds
+// on top of local training itself. One op is driverRounds rounds over a
+// 32-client roster with k=8 and a 1k-parameter model.
+func RoundsDriverOverhead(b *testing.B) {
+	const nClients, dim = 32, 1000
+	proxies := make([]rounds.Proxy, nClients)
+	for i := range proxies {
+		params := make([]float64, dim)
+		for j := range params {
+			params[j] = float64(i)
+		}
+		proxies[i] = &instantProxy{id: i, params: params}
+	}
+	strat := newRoundRobin()
+	strat.Init(make([]fl.ClientInfo, nClients), stats.NewRNG(seed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rounds.NewDriver(rounds.Config{ClientsPerRound: 8},
+			instantTransport{proxies}, strat, make([]float64, dim))
+		for r := 0; r < driverRounds; r++ {
+			d.RunRound(r)
+		}
 	}
 }
 

@@ -90,30 +90,26 @@ func TestFederatedTrainingOverTCP(t *testing.T) {
 		t.Fatalf("wire-summary clusters impure: %.2f", wantClusters)
 	}
 
-	// Drive FedAvg rounds over TCP.
+	// Drive FedAvg rounds over TCP through the shared round runtime —
+	// the same driver the in-process engine uses, with the gob protocol
+	// as transport.
 	global := arch.Build(stats.NewRNG(stats.DeriveSeed(seed, 3)))
-	params := global.ParamsVector()
-	available := make([]bool, nClient)
-	for i := range available {
-		available[i] = true
+	coord, err := flnet.NewCoordinator(srv, flnet.CoordinatorConfig{
+		ClientsPerRound: k,
+	}, sched, global.ParamsVector())
+	if err != nil {
+		t.Fatal(err)
 	}
 	firstLoss, lastLoss := 0.0, 0.0
 	for round := 0; round < rounds; round++ {
-		selected := sched.Select(round, available, k)
-		replies, err := srv.RunRound(round, selected, params)
-		if err != nil {
-			t.Fatalf("round %d: %v", round, err)
+		out := coord.RunRound(round)
+		if !out.Aggregated || len(out.Failed) != 0 || len(out.Cut) != 0 {
+			t.Fatalf("round %d outcome = %+v, want a clean synchronous round", round, out)
 		}
-		results := make([]fl.TrainResult, len(replies))
-		losses := make([]float64, len(replies))
 		meanLoss := 0.0
-		for i, rep := range replies {
-			results[i] = fl.TrainResult{ClientID: rep.ClientID, Params: rep.Params, NumSamples: rep.NumSamples, Loss: rep.Loss}
-			losses[i] = rep.Loss
-			meanLoss += rep.Loss / float64(len(replies))
+		for _, l := range out.Losses {
+			meanLoss += l / float64(len(out.Losses))
 		}
-		params = fl.FedAvg(results)
-		sched.Update(round, selected, losses)
 		if round == 0 {
 			firstLoss = meanLoss
 		}
@@ -127,7 +123,7 @@ func TestFederatedTrainingOverTCP(t *testing.T) {
 	}
 	// The aggregated model must actually classify: evaluate on every
 	// client's local test set.
-	global.SetParamsVector(params)
+	global.SetParamsVector(coord.Global())
 	total, n := 0.0, 0
 	for _, c := range w.Clients {
 		_, acc := global.Evaluate(c.Data.Test.X, c.Data.Test.Y)

@@ -14,6 +14,7 @@ import (
 
 	"haccs/internal/dataset"
 	"haccs/internal/nn"
+	"haccs/internal/rounds"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
 	"haccs/internal/tensor"
@@ -33,18 +34,12 @@ type Client struct {
 func (c *Client) NumTrainSamples() int { return c.Data.Train.Len() }
 
 // TrainResult is what a client returns to the server after local
-// training.
-type TrainResult struct {
-	ClientID int
-	// Params is the client's updated flat parameter vector.
-	Params []float64
-	// NumSamples weights this update in federated averaging.
-	NumSamples int
-	// Loss is the mean minibatch loss observed during the first local
-	// epoch (before updates from later epochs), the utility signal
-	// loss-aware schedulers consume.
-	Loss float64
-}
+// training. It is an alias of rounds.Result — the round driver's reply
+// type — so the in-process transport hands client results straight to
+// the driver without conversion. Loss is the mean minibatch loss
+// observed during the first local epoch (before updates from later
+// epochs), the utility signal loss-aware schedulers consume.
+type TrainResult = rounds.Result
 
 // LocalTrainConfig controls one client's local optimization.
 type LocalTrainConfig struct {

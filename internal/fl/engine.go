@@ -5,9 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"haccs/internal/nn"
+	"haccs/internal/rounds"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
@@ -36,6 +36,11 @@ type Config struct {
 	// sample for one local epoch on a Fast device; per-client compute
 	// time scales with data volume and the profile multiplier.
 	PerSampleComputeSec float64
+	// RoundDeadline is the virtual-time round deadline in seconds:
+	// selected clients slower than it are cut as stragglers and the
+	// round aggregates only the reporters (see rounds.Config.Deadline).
+	// 0 keeps rounds fully synchronous.
+	RoundDeadline float64
 	// Dropout injects per-epoch unavailability (nil = no dropout).
 	Dropout simnet.DropoutModel
 	// Parallelism bounds concurrent client training (0 = GOMAXPROCS).
@@ -51,6 +56,10 @@ type Config struct {
 	// Metrics, when non-nil, receives engine-level counters, gauges and
 	// histograms (see DESIGN.md "Observability" for the name contract).
 	Metrics *telemetry.Registry
+	// OnSummary, when non-nil, receives refreshed client summaries
+	// piggybacked on training replies (unused by the simulated local
+	// transport today; part of the shared round-driver contract).
+	OnSummary func(clientID int, labelCounts []float64)
 }
 
 func (c *Config) validate() {
@@ -65,6 +74,9 @@ func (c *Config) validate() {
 	}
 	if c.PerSampleComputeSec < 0 {
 		panic("fl: negative PerSampleComputeSec")
+	}
+	if c.RoundDeadline < 0 {
+		panic("fl: negative RoundDeadline")
 	}
 	if c.Dropout == nil {
 		c.Dropout = simnet.NoDropout{}
@@ -109,71 +121,58 @@ func (r *Result) FinalAccuracy() float64 {
 	return r.History[len(r.History)-1].Acc
 }
 
-// Engine drives one federated training run.
+// Engine drives one federated training run. Since the round-runtime
+// extraction it is a thin adapter: the per-round state machine
+// (selection, dispatch, deadline cutoff, partial FedAvg, telemetry)
+// lives in internal/rounds; the engine owns what is specific to the
+// in-process simulation — the client roster, the worker TrainContexts,
+// the evaluation loop, and the run-level History/early-stop logic.
 type Engine struct {
 	cfg      Config
 	clients  []*Client
 	strategy Strategy
+	driver   *rounds.Driver
 
-	global     []float64
 	modelBytes int
-	clock      float64
 
 	// Per-worker training contexts for parallel local training and
 	// evaluation; allocated once and reused every round so the
-	// steady-state round loop allocates nothing.
+	// steady-state round loop allocates nothing. The driver pins its
+	// worker goroutine w to workers[w] via the Proxy worker index.
 	workers []*TrainContext
+	// paramsBuf holds one parameter vector per selection slot, reused
+	// across rounds (indexed by the Proxy slot argument).
+	paramsBuf [][]float64
 
-	// Round-loop buffers, sized once and reused across rounds.
-	results   []TrainResult
-	paramsBuf [][]float64 // one parameter vector per selection slot
-	losses    []float64
-	available []bool
-	seen      []bool
-	down      []int
-	evalLoss  []float64
+	evalLoss []float64
 
-	// met caches the engine's telemetry collectors (nil when metrics
-	// are off) so the hot loop never touches the registry maps.
+	// met caches the engine's evaluation gauges (nil when metrics are
+	// off); the round-level collectors are owned by the driver.
 	met *engineMetrics
 }
 
-// engineMetrics holds the collectors the engine records into; looked
-// up once at construction.
+// engineMetrics holds the evaluation collectors the engine records
+// into; looked up once at construction.
 type engineMetrics struct {
-	rounds      *telemetry.Counter
-	selected    *telemetry.Counter
-	unavailable *telemetry.Counter
-	trainWall   *telemetry.Histogram
-	trainVirt   *telemetry.Histogram
-	roundVirt   *telemetry.Histogram
-	clock       *telemetry.Gauge
-	evalAcc     *telemetry.Gauge
-	evalLoss    *telemetry.Gauge
+	evalAcc  *telemetry.Gauge
+	evalLoss *telemetry.Gauge
 }
 
-// trainWallBuckets cover host-side local-training times: sub-ms MLP
-// steps at Quick scale up to seconds for paper-scale CNNs.
-var trainWallBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
-// virtualBuckets cover the simulator's per-round latencies (Table II
-// profiles land in tens to hundreds of virtual seconds).
-var virtualBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+// trainWallBuckets and virtualBuckets moved to the rounds driver with
+// the collectors that use them; aliased here for tests and callers that
+// referenced the fl-level layouts.
+var (
+	trainWallBuckets = rounds.TrainWallBuckets
+	virtualBuckets   = rounds.VirtualBuckets
+)
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 	if reg == nil {
 		return nil
 	}
 	return &engineMetrics{
-		rounds:      reg.Counter("haccs_rounds_total", "Training rounds completed by the engine."),
-		selected:    reg.Counter("haccs_clients_selected_total", "Client training jobs dispatched."),
-		unavailable: reg.Counter("haccs_clients_unavailable_total", "Per-round client dropout occurrences."),
-		trainWall:   reg.Histogram("haccs_client_train_seconds", "Host wall-clock duration of one local training job.", trainWallBuckets),
-		trainVirt:   reg.Histogram("haccs_client_virtual_latency_seconds", "Simulated per-client round latency.", virtualBuckets),
-		roundVirt:   reg.Histogram("haccs_round_virtual_seconds", "Simulated round makespan (slowest selected client).", virtualBuckets),
-		clock:       reg.Gauge("haccs_virtual_clock_seconds", "Virtual time elapsed in the run."),
-		evalAcc:     reg.Gauge("haccs_eval_accuracy", "Latest mean per-client test accuracy of the global model."),
-		evalLoss:    reg.Gauge("haccs_eval_loss", "Latest mean per-client test loss of the global model."),
+		evalAcc:  reg.Gauge("haccs_eval_accuracy", "Latest mean per-client test accuracy of the global model."),
+		evalLoss: reg.Gauge("haccs_eval_loss", "Latest mean per-client test loss of the global model."),
 	}
 }
 
@@ -193,11 +192,11 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		}
 	}
 	template := cfg.Arch.Build(stats.NewRNG(stats.DeriveSeed(cfg.Seed, 0)))
+	initial := template.ParamsVector()
 	e := &Engine{
 		cfg:        cfg,
 		clients:    clients,
 		strategy:   strategy,
-		global:     template.ParamsVector(),
 		modelBytes: template.WireBytes(),
 		met:        newEngineMetrics(cfg.Metrics),
 	}
@@ -205,14 +204,10 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 	for i := range e.workers {
 		e.workers[i] = NewTrainContext(template)
 	}
-	e.results = make([]TrainResult, 0, cfg.ClientsPerRound)
 	e.paramsBuf = make([][]float64, cfg.ClientsPerRound)
 	for i := range e.paramsBuf {
-		e.paramsBuf[i] = make([]float64, len(e.global))
+		e.paramsBuf[i] = make([]float64, len(initial))
 	}
-	e.losses = make([]float64, 0, cfg.ClientsPerRound)
-	e.available = make([]bool, len(clients))
-	e.seen = make([]bool, len(clients))
 	e.evalLoss = make([]float64, len(clients))
 	infos := make([]ClientInfo, len(clients))
 	for i, c := range clients {
@@ -223,6 +218,14 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		}
 	}
 	strategy.Init(infos, stats.NewRNG(stats.DeriveSeed(cfg.Seed, 1)))
+	e.driver = rounds.NewDriver(rounds.Config{
+		ClientsPerRound: cfg.ClientsPerRound,
+		Deadline:        cfg.RoundDeadline,
+		Dropout:         cfg.Dropout,
+		Tracer:          cfg.Tracer,
+		Metrics:         cfg.Metrics,
+		OnSummary:       cfg.OnSummary,
+	}, localTransport{e}, strategy, initial)
 	return e
 }
 
@@ -240,18 +243,18 @@ func (e *Engine) ClientLatency(id int) float64 {
 func (e *Engine) Run() *Result {
 	res := &Result{Strategy: e.strategy.Name()}
 	for round := 0; round < e.cfg.MaxRounds; round++ {
-		selected := e.runRound(round)
+		out := e.driver.RunRound(round)
 		res.Rounds = round + 1
 		if e.cfg.RecordSelections {
-			res.Selected = append(res.Selected, selected)
+			res.Selected = append(res.Selected, out.Selected)
 		}
 		last := round == e.cfg.MaxRounds-1
 		if (round+1)%e.cfg.EvalEvery == 0 || last {
 			acc, loss, perClient := e.Evaluate()
-			res.History = append(res.History, Point{Round: round + 1, Time: e.clock, Acc: acc, Loss: loss})
+			res.History = append(res.History, Point{Round: round + 1, Time: e.driver.Clock(), Acc: acc, Loss: loss})
 			res.PerClientAcc = perClient
 			if e.cfg.Tracer != nil {
-				e.cfg.Tracer.Emit(telemetry.Evaluated(round, acc, loss, e.clock))
+				e.cfg.Tracer.Emit(telemetry.Evaluated(round, acc, loss, e.driver.Clock()))
 			}
 			if e.met != nil {
 				e.met.evalAcc.Set(acc)
@@ -262,143 +265,17 @@ func (e *Engine) Run() *Result {
 			}
 		}
 	}
-	res.Clock = e.clock
-	res.FinalParams = append([]float64(nil), e.global...)
+	res.Clock = e.driver.Clock()
+	res.FinalParams = append([]float64(nil), e.driver.Global()...)
 	return res
 }
 
-// runRound executes one selection + local training + aggregation round
-// and returns the selected client IDs.
-func (e *Engine) runRound(round int) []int {
-	if e.cfg.Tracer != nil {
-		e.cfg.Tracer.Emit(telemetry.RoundStart(round))
-	}
-	mask := e.cfg.Dropout.Unavailable(round, len(e.clients))
-	available := e.available
-	down := e.down[:0]
-	for i := range available {
-		available[i] = !mask[i]
-		if mask[i] {
-			down = append(down, i)
-		}
-	}
-	e.down = down
-	if len(down) > 0 {
-		if e.cfg.Tracer != nil {
-			e.cfg.Tracer.Emit(telemetry.Unavailable(round, down))
-		}
-		if e.met != nil {
-			e.met.unavailable.Add(float64(len(down)))
-		}
-	}
-	selected := e.strategy.Select(round, available, e.cfg.ClientsPerRound)
-	if e.cfg.Tracer != nil {
-		e.cfg.Tracer.Emit(telemetry.Selection(round, append([]int(nil), selected...)))
-	}
-	if len(selected) == 0 {
-		// Nothing available: the server idles briefly and retries next
-		// round. One virtual second models the scheduler's retry tick.
-		e.clock++
-		e.strategy.Update(round, nil, nil)
-		if e.met != nil {
-			e.met.rounds.Inc()
-			e.met.clock.Set(e.clock)
-		}
-		return nil
-	}
-	clear(e.seen)
-	for _, id := range selected {
-		if id < 0 || id >= len(e.clients) {
-			panic(fmt.Sprintf("fl: strategy selected invalid client %d", id))
-		}
-		if !available[id] {
-			panic(fmt.Sprintf("fl: strategy selected unavailable client %d", id))
-		}
-		if e.seen[id] {
-			panic(fmt.Sprintf("fl: strategy selected client %d twice", id))
-		}
-		e.seen[id] = true
-	}
-	if len(selected) > e.cfg.ClientsPerRound {
-		panic("fl: strategy selected more clients than the budget")
-	}
+// RunRound executes one round through the shared driver and returns its
+// outcome (see rounds.Outcome for buffer lifetimes).
+func (e *Engine) RunRound(round int) rounds.Outcome { return e.driver.RunRound(round) }
 
-	results := e.trainSelected(round, selected)
-	FedAvgInto(e.global, results)
-
-	// Synchronous FedAvg: the round takes as long as its slowest
-	// participant.
-	roundTime := 0.0
-	losses := e.losses[:0]
-	for i, id := range selected {
-		if lat := e.ClientLatency(id); lat > roundTime {
-			roundTime = lat
-		}
-		losses = append(losses, results[i].Loss)
-	}
-	e.losses = losses
-	e.clock += roundTime
-	if e.cfg.Tracer != nil {
-		e.cfg.Tracer.Emit(telemetry.Aggregated(round, append([]int(nil), selected...), roundTime, e.clock))
-	}
-	if e.met != nil {
-		e.met.rounds.Inc()
-		e.met.selected.Add(float64(len(selected)))
-		e.met.roundVirt.Observe(roundTime)
-		e.met.clock.Set(e.clock)
-	}
-	e.strategy.Update(round, selected, losses)
-	return selected
-}
-
-// trainSelected trains the selected clients in parallel, each from the
-// current global parameters, returning results in selection order. The
-// fan-out spawns min(workers, jobs) goroutines per round — each pinned
-// to one persistent TrainContext — that pull job indices from an atomic
-// counter; no semaphore churn and no per-job closure allocations.
-// Results are independent of scheduling because every (client, round)
-// pair owns a derived RNG stream and each selection slot owns its
-// parameter buffer.
-func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
-	results := e.results[:len(selected)]
-	workers := min(len(e.workers), len(selected))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(tc *TrainContext) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(selected) {
-					return
-				}
-				id := selected[i]
-				// Each (client, round) pair owns an independent stream so
-				// results do not depend on scheduling order.
-				rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(id)*1_000_003+uint64(round)))
-				var start time.Time
-				if e.cfg.Tracer != nil || e.met != nil {
-					start = time.Now()
-				}
-				results[i] = e.clients[id].LocalTrainCtx(tc, e.global, e.paramsBuf[i], e.cfg.Local, rng)
-				if e.cfg.Tracer != nil || e.met != nil {
-					wall := time.Since(start).Seconds()
-					virt := e.ClientLatency(id)
-					if e.cfg.Tracer != nil {
-						e.cfg.Tracer.Emit(telemetry.ClientTrained(round, id, results[i].Loss, results[i].NumSamples, wall, virt))
-					}
-					if e.met != nil {
-						e.met.trainWall.Observe(wall)
-						e.met.trainVirt.Observe(virt)
-					}
-				}
-			}
-		}(e.workers[w])
-	}
-	wg.Wait()
-	return results
-}
+// Clock returns the virtual time elapsed so far in seconds.
+func (e *Engine) Clock() float64 { return e.driver.Clock() }
 
 // Evaluate measures the current global model against every client's
 // local test set, returning the unweighted mean accuracy and loss across
@@ -408,6 +285,7 @@ func (e *Engine) trainSelected(round int, selected []int) []TrainResult {
 func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
 	perClient = make([]float64, len(e.clients))
 	losses := e.evalLoss
+	global := e.driver.Global()
 	workers := min(len(e.workers), len(e.clients))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -416,7 +294,7 @@ func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
 		go func(tc *TrainContext) {
 			defer wg.Done()
 			model := tc.Model
-			model.SetParamsVector(e.global)
+			model.SetParamsVector(global)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(e.clients) {
@@ -432,4 +310,4 @@ func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
 }
 
 // GlobalParams returns a copy of the current global parameter vector.
-func (e *Engine) GlobalParams() []float64 { return append([]float64(nil), e.global...) }
+func (e *Engine) GlobalParams() []float64 { return append([]float64(nil), e.driver.Global()...) }

@@ -1,46 +1,14 @@
 package fl
 
-// FedAvg computes the sample-weighted average of client parameter
-// vectors (McMahan et al., Federated Averaging): the new global model is
-// sum_i (n_i / n) * w_i over the participating clients. All vectors must
-// have equal length; the result is written into a new slice.
-func FedAvg(results []TrainResult) []float64 {
-	if len(results) == 0 {
-		panic("fl: FedAvg with no results")
-	}
-	out := make([]float64, len(results[0].Params))
-	FedAvgInto(out, results)
-	return out
-}
+import "haccs/internal/rounds"
 
-// FedAvgInto is FedAvg written into a caller-owned vector (the engine
-// reuses its global vector across rounds). dst must have the parameter
-// dimension and must not alias any result's Params; it is overwritten.
-func FedAvgInto(dst []float64, results []TrainResult) {
-	if len(results) == 0 {
-		panic("fl: FedAvg with no results")
-	}
-	dim := len(results[0].Params)
-	if len(dst) != dim {
-		panic("fl: FedAvgInto destination dimension mismatch")
-	}
-	total := 0
-	for _, r := range results {
-		if len(r.Params) != dim {
-			panic("fl: FedAvg parameter dimension mismatch")
-		}
-		if r.NumSamples <= 0 {
-			panic("fl: FedAvg result with non-positive sample count")
-		}
-		total += r.NumSamples
-	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, r := range results {
-		w := float64(r.NumSamples) / float64(total)
-		for i, v := range r.Params {
-			dst[i] += w * v
-		}
-	}
-}
+// FedAvg computes the sample-weighted average of client parameter
+// vectors (McMahan et al., Federated Averaging). The implementation
+// lives in the transport-agnostic round runtime; this wrapper keeps the
+// historical fl-level entry point.
+func FedAvg(results []TrainResult) []float64 { return rounds.FedAvg(results) }
+
+// FedAvgInto is FedAvg written into a caller-owned vector. dst must
+// have the parameter dimension and must not alias any result's Params;
+// it is overwritten.
+func FedAvgInto(dst []float64, results []TrainResult) { rounds.FedAvgInto(dst, results) }

@@ -298,6 +298,69 @@ func TestEngineRoundTimeIsMaxOfSelected(t *testing.T) {
 	}
 }
 
+// recordingStrategy is fixedStrategy plus a log of Update calls.
+type recordingStrategy struct {
+	fixedStrategy
+	updSelected [][]int
+	updLosses   [][]float64
+}
+
+func (r *recordingStrategy) Update(e int, s []int, l []float64) {
+	r.updSelected = append(r.updSelected, append([]int(nil), s...))
+	r.updLosses = append(r.updLosses, append([]float64(nil), l...))
+}
+
+func TestEngineRoundDeadlineCutsStraggler(t *testing.T) {
+	clients := buildClients(t, 4, 100, 19)
+	for i, c := range clients {
+		c.Profile = simnet.Profile{
+			Category:          simnet.Fast,
+			ComputeMultiplier: float64(i + 1),
+			BandwidthMbps:     100,
+			NetLatencySec:     0.05,
+		}
+	}
+	cfg := smallConfig(20)
+	cfg.MaxRounds = 1
+	cfg.EvalEvery = 1
+	strat := &recordingStrategy{fixedStrategy: fixedStrategy{order: [][]int{{0, 3}}}}
+	// Pick a deadline between the two selected clients' latencies, so
+	// client 3 is cut and only client 0 reports.
+	eng0 := NewEngine(cfg, clients, &fixedStrategy{order: [][]int{{0}}})
+	lat0, lat3 := eng0.ClientLatency(0), eng0.ClientLatency(3)
+	if lat0 >= lat3 {
+		t.Fatalf("test premise broken: %v >= %v", lat0, lat3)
+	}
+	cfg.RoundDeadline = (lat0 + lat3) / 2
+	eng := NewEngine(cfg, clients, strat)
+	res := eng.Run()
+	// The round waits out the deadline because a straggler was cut.
+	if math.Abs(res.Clock-cfg.RoundDeadline) > 1e-9 {
+		t.Errorf("clock = %v, want the deadline %v", res.Clock, cfg.RoundDeadline)
+	}
+	// Update sees the reporter only.
+	if len(strat.updSelected) != 1 || len(strat.updSelected[0]) != 1 || strat.updSelected[0][0] != 0 {
+		t.Fatalf("Update selected = %v, want [[0]]", strat.updSelected)
+	}
+	if len(strat.updLosses[0]) != 1 {
+		t.Fatalf("Update losses = %v, want reporter's loss only", strat.updLosses)
+	}
+	// The aggregated model is exactly the reporter's update: re-train
+	// client 0 alone from the same initial model and compare.
+	cfg2 := smallConfig(20)
+	cfg2.MaxRounds = 1
+	cfg2.EvalEvery = 1
+	solo := NewEngine(cfg2, buildClients(t, 4, 100, 19), &fixedStrategy{order: [][]int{{0}}}).Run()
+	if len(solo.FinalParams) != len(res.FinalParams) {
+		t.Fatal("param dimension mismatch")
+	}
+	for i := range res.FinalParams {
+		if res.FinalParams[i] != solo.FinalParams[i] {
+			t.Fatalf("params[%d] = %v, want the lone reporter's update %v", i, res.FinalParams[i], solo.FinalParams[i])
+		}
+	}
+}
+
 func TestEngineValidatesStrategyOutput(t *testing.T) {
 	clients := buildClients(t, 3, 80, 21)
 	for name, order := range map[string][][]int{

@@ -16,6 +16,10 @@ type ClientInfo struct {
 // Strategy is a client-selection policy. The engine calls Init once,
 // then Select/Update every round. Implementations live in
 // internal/selection (Random, TiFL, Oort) and internal/core (HACCS).
+// The Select/Update subset structurally satisfies rounds.Strategy, so
+// every implementation also drives the shared round runtime
+// (internal/rounds) — in-process or over the flnet transport — with no
+// adaptation.
 type Strategy interface {
 	// Name identifies the strategy in results and logs.
 	Name() string
@@ -26,8 +30,13 @@ type Strategy interface {
 	// from clients whose availability flag is true. Returning fewer than
 	// k (even zero, if nothing is available) is allowed.
 	Select(epoch int, available []bool, k int) []int
-	// Update reports the losses observed for the selected clients after
-	// the round, in the same order as selected.
+	// Update reports the round's observed losses. Its selected slice
+	// holds the REPORTERS — the selected clients that returned an update
+	// within the round deadline — in selection order, with losses
+	// aligned to it. Clients cut by the deadline or lost to transport
+	// failures are omitted, so loss-driven state (Oort utilities, HACCS
+	// ACL) never ingests results the aggregate excluded. With no
+	// deadline and no failures, selected equals the full selection.
 	Update(epoch int, selected []int, losses []float64)
 }
 

@@ -1,0 +1,45 @@
+package fl
+
+import (
+	"haccs/internal/rounds"
+	"haccs/internal/stats"
+)
+
+// localTransport adapts the engine's in-process training substrate —
+// the persistent per-worker TrainContexts and per-slot parameter
+// buffers from the hot-path work — to the round driver's Transport
+// interface. Parallelism is the worker-context count, so the driver's
+// worker index w always addresses the context pinned to goroutine w,
+// exactly as the pre-driver engine fan-out did.
+type localTransport struct {
+	e *Engine
+}
+
+func (t localTransport) Proxies() []rounds.Proxy {
+	ps := make([]rounds.Proxy, len(t.e.clients))
+	for i := range ps {
+		ps[i] = &localProxy{e: t.e, id: i, latency: t.e.ClientLatency(i)}
+	}
+	return ps
+}
+
+func (t localTransport) Parallelism() int { return len(t.e.workers) }
+
+// localProxy trains one simulated client inline on the calling worker's
+// TrainContext, writing the updated parameters into the selection
+// slot's reusable buffer.
+type localProxy struct {
+	e       *Engine
+	id      int
+	latency float64
+}
+
+func (p *localProxy) Train(round, worker, slot int, params []float64) (rounds.Result, error) {
+	e := p.e
+	// Each (client, round) pair owns an independent stream so results do
+	// not depend on scheduling order.
+	rng := stats.NewRNG(stats.DeriveSeed(e.cfg.Seed, 1000+uint64(p.id)*1_000_003+uint64(round)))
+	return e.clients[p.id].LocalTrainCtx(e.workers[worker], params, e.paramsBuf[slot], e.cfg.Local, rng), nil
+}
+
+func (p *localProxy) Latency() float64 { return p.latency }

@@ -1,0 +1,146 @@
+package flnet
+
+import (
+	"fmt"
+	"time"
+
+	"haccs/internal/rounds"
+	"haccs/internal/simnet"
+	"haccs/internal/telemetry"
+)
+
+// CoordinatorConfig parameterizes the network-side round runtime. It
+// mirrors rounds.Config; the coordinator adds only what is specific to
+// the wire: per-round wall-clock telemetry and the registered-client
+// roster.
+type CoordinatorConfig struct {
+	// ClientsPerRound is the selection budget k.
+	ClientsPerRound int
+	// Deadline is the virtual-time round deadline in seconds (see
+	// rounds.Config.Deadline). The exchange with a straggler still
+	// completes — the deadline governs whose update is aggregated and
+	// how far the virtual clock advances, exactly as in simulation.
+	Deadline float64
+	// Dropout injects per-round unavailability (nil = no dropout).
+	// Clients whose connections die are additionally excluded forever
+	// by the driver's failure tracking.
+	Dropout simnet.DropoutModel
+	// Tracer receives the round-trace event stream (nil = off).
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, receives the driver's collectors plus the
+	// coordinator's haccs_net_* series.
+	Metrics *telemetry.Registry
+	// OnSummary receives refreshed client summaries piggybacked on
+	// training replies (TrainReply.UpdatedLabelCounts); wire it to the
+	// HACCS scheduler's UpdateSummaries for §IV-C re-clustering.
+	OnSummary func(clientID int, labelCounts []float64)
+}
+
+// Coordinator drives federated rounds over registered flnet clients
+// through the shared round runtime: the same selection, deadline,
+// partial-aggregation and failure semantics as the in-process engine,
+// with the gob protocol as the transport. Build it after AcceptClients
+// has gathered the full roster.
+type Coordinator struct {
+	srv    *Server
+	driver *rounds.Driver
+
+	tracer telemetry.Tracer
+	reg    *telemetry.Registry
+}
+
+// netTransport adapts the Server's registered sessions to the round
+// driver. Parallelism is the roster size so every push in a round goes
+// out concurrently — the network, not a worker pool, is the bottleneck.
+type netTransport struct {
+	proxies []rounds.Proxy
+}
+
+func (t netTransport) Proxies() []rounds.Proxy { return t.proxies }
+func (t netTransport) Parallelism() int        { return len(t.proxies) }
+
+// netProxy trains one remote client through the Server's single-client
+// exchange. Train errors (disconnect, protocol violation) surface to
+// the driver, which excludes the client from aggregation and marks it
+// dead; the Server has already dropped the session.
+type netProxy struct {
+	srv     *Server
+	id      int
+	latency float64
+}
+
+func (p *netProxy) Train(round, worker, slot int, params []float64) (rounds.Result, error) {
+	reply, err := p.srv.Train(p.id, round, params)
+	if err != nil {
+		return rounds.Result{}, err
+	}
+	return rounds.Result{
+		ClientID:   p.id,
+		Params:     reply.Params,
+		NumSamples: reply.NumSamples,
+		Loss:       reply.Loss,
+		Summary:    reply.UpdatedLabelCounts,
+	}, nil
+}
+
+func (p *netProxy) Latency() float64 { return p.latency }
+
+// NewCoordinator builds the round runtime over the server's registered
+// clients. Registrations must form a dense ID space 0..n-1 (the
+// driver's roster indexing); the strategy must already be initialized
+// with the same roster. initial is the starting global parameter
+// vector; the coordinator's driver takes ownership.
+func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy, initial []float64) (*Coordinator, error) {
+	regs := srv.Registrations()
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("flnet: no registered clients")
+	}
+	proxies := make([]rounds.Proxy, len(regs))
+	for _, r := range regs {
+		if r.ClientID < 0 || r.ClientID >= len(regs) {
+			return nil, fmt.Errorf("flnet: client ID %d outside dense range [0,%d)", r.ClientID, len(regs))
+		}
+		if proxies[r.ClientID] != nil {
+			return nil, fmt.Errorf("flnet: duplicate client ID %d in roster", r.ClientID)
+		}
+		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate}
+	}
+	c := &Coordinator{srv: srv, tracer: cfg.Tracer, reg: cfg.Metrics}
+	c.driver = rounds.NewDriver(rounds.Config{
+		ClientsPerRound: cfg.ClientsPerRound,
+		Deadline:        cfg.Deadline,
+		Dropout:         cfg.Dropout,
+		Tracer:          cfg.Tracer,
+		Metrics:         cfg.Metrics,
+		OnSummary:       cfg.OnSummary,
+	}, netTransport{proxies}, strategy, initial)
+	return c, nil
+}
+
+// RunRound executes one full round over the wire through the shared
+// driver and reports the outcome (see rounds.Outcome for buffer
+// lifetimes). On top of the driver's round-trace events it emits the
+// coordinator-level NetRound event and haccs_net_* metrics.
+func (c *Coordinator) RunRound(round int) rounds.Outcome {
+	start := time.Now()
+	out := c.driver.RunRound(round)
+	wall := time.Since(start).Seconds()
+	if c.tracer != nil {
+		c.tracer.Emit(telemetry.NetRound(round, append([]int(nil), out.Selected...), wall))
+	}
+	if c.reg != nil {
+		c.reg.Counter("haccs_net_rounds_total", "Coordinator rounds completed.").Inc()
+		c.reg.Histogram("haccs_net_round_seconds", "Wall-clock duration of one coordinator round (push + all replies).", nil).Observe(wall)
+	}
+	return out
+}
+
+// Global returns the driver-owned global parameter vector (read-only;
+// overwritten by aggregation each round).
+func (c *Coordinator) Global() []float64 { return c.driver.Global() }
+
+// Clock returns the virtual time elapsed across the coordinated rounds.
+func (c *Coordinator) Clock() float64 { return c.driver.Clock() }
+
+// Dead reports whether a client's session failed in an earlier round.
+func (c *Coordinator) Dead(id int) bool { return c.driver.Dead(id) }

@@ -1,0 +1,118 @@
+package flnet
+
+import "fmt"
+
+// EnvelopeErrorKind classifies a protocol violation.
+type EnvelopeErrorKind string
+
+const (
+	// ErrEmptyEnvelope: no field of the union was set.
+	ErrEmptyEnvelope EnvelopeErrorKind = "empty_envelope"
+	// ErrAmbiguousEnvelope: more than one field of the union was set.
+	ErrAmbiguousEnvelope EnvelopeErrorKind = "ambiguous_envelope"
+	// ErrDuplicateRegister: a second Register arrived for a ClientID that
+	// already has a live session.
+	ErrDuplicateRegister EnvelopeErrorKind = "duplicate_register"
+	// ErrUnexpectedMessage: a well-formed envelope carried the wrong
+	// message type for the protocol state (e.g. a Register where a Reply
+	// was due).
+	ErrUnexpectedMessage EnvelopeErrorKind = "unexpected_message"
+	// ErrWrongRound: a TrainReply for a different round than the one in
+	// flight.
+	ErrWrongRound EnvelopeErrorKind = "wrong_round"
+	// ErrWrongClient: a TrainReply claiming a different ClientID than the
+	// session it arrived on.
+	ErrWrongClient EnvelopeErrorKind = "wrong_client"
+	// ErrNotRegistered: a training dispatch targeted a client with no
+	// live session (never registered, or dropped after an earlier error).
+	ErrNotRegistered EnvelopeErrorKind = "not_registered"
+)
+
+// EnvelopeError is the typed error for every protocol violation: a
+// malformed envelope, an out-of-sequence message, or a reply that does
+// not match the request in flight. The session that produced it is
+// dropped; the round runtime then treats the client as failed rather
+// than wedging the round.
+type EnvelopeError struct {
+	Kind EnvelopeErrorKind
+	// ClientID is the offending session's client (-1 when unknown, e.g.
+	// a malformed registration).
+	ClientID int
+	// Round is the round in flight (-1 outside a round).
+	Round int
+	// Detail carries human-readable context.
+	Detail string
+}
+
+func (e *EnvelopeError) Error() string {
+	msg := fmt.Sprintf("flnet: %s", e.Kind)
+	if e.ClientID >= 0 {
+		msg += fmt.Sprintf(" (client %d", e.ClientID)
+		if e.Round >= 0 {
+			msg += fmt.Sprintf(", round %d", e.Round)
+		}
+		msg += ")"
+	} else if e.Round >= 0 {
+		msg += fmt.Sprintf(" (round %d)", e.Round)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// envelopeErr builds an EnvelopeError; clientID/round use -1 for "not
+// applicable".
+func envelopeErr(kind EnvelopeErrorKind, clientID, round int, detail string) *EnvelopeError {
+	return &EnvelopeError{Kind: kind, ClientID: clientID, Round: round, Detail: detail}
+}
+
+// Check validates the union invariant: exactly one field set. It does
+// not judge whether that message type is expected — that is protocol
+// state the receiving loop owns.
+func (env *Envelope) Check() error {
+	n := 0
+	if env.Register != nil {
+		n++
+	}
+	if env.Request != nil {
+		n++
+	}
+	if env.Reply != nil {
+		n++
+	}
+	if env.Shutdown != nil {
+		n++
+	}
+	switch n {
+	case 1:
+		return nil
+	case 0:
+		return envelopeErr(ErrEmptyEnvelope, -1, -1, "no message set")
+	default:
+		return envelopeErr(ErrAmbiguousEnvelope, -1, -1, fmt.Sprintf("%d messages set", n))
+	}
+}
+
+// checkReply validates a decoded envelope as the reply to a
+// TrainRequest sent to clientID for round.
+func checkReply(env *Envelope, clientID, round int) (*TrainReply, error) {
+	if err := env.Check(); err != nil {
+		ee := err.(*EnvelopeError)
+		ee.ClientID, ee.Round = clientID, round
+		return nil, ee
+	}
+	if env.Reply == nil {
+		return nil, envelopeErr(ErrUnexpectedMessage, clientID, round,
+			"expected TrainReply")
+	}
+	if env.Reply.Round != round {
+		return nil, envelopeErr(ErrWrongRound, clientID, round,
+			fmt.Sprintf("reply for round %d", env.Reply.Round))
+	}
+	if env.Reply.ClientID != clientID {
+		return nil, envelopeErr(ErrWrongClient, clientID, round,
+			fmt.Sprintf("reply claims client %d", env.Reply.ClientID))
+	}
+	return env.Reply, nil
+}

@@ -1,0 +1,239 @@
+package flnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+)
+
+func TestEnvelopeCheck(t *testing.T) {
+	reg := &Register{ClientID: 1}
+	rep := &TrainReply{}
+	cases := []struct {
+		name string
+		env  Envelope
+		want EnvelopeErrorKind // "" = valid
+	}{
+		{"register only", Envelope{Register: reg}, ""},
+		{"reply only", Envelope{Reply: rep}, ""},
+		{"request only", Envelope{Request: &TrainRequest{}}, ""},
+		{"shutdown only", Envelope{Shutdown: &Shutdown{}}, ""},
+		{"empty", Envelope{}, ErrEmptyEnvelope},
+		{"two fields", Envelope{Register: reg, Reply: rep}, ErrAmbiguousEnvelope},
+		{"all fields", Envelope{Register: reg, Request: &TrainRequest{}, Reply: rep, Shutdown: &Shutdown{}}, ErrAmbiguousEnvelope},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.env.Check()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Check() = %v, want nil", err)
+				}
+				return
+			}
+			var ee *EnvelopeError
+			if !errors.As(err, &ee) || ee.Kind != tc.want {
+				t.Fatalf("Check() = %v, want kind %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckReply(t *testing.T) {
+	ok := &TrainReply{ClientID: 3, Round: 7}
+	cases := []struct {
+		name string
+		env  Envelope
+		want EnvelopeErrorKind // "" = valid
+	}{
+		{"valid", Envelope{Reply: ok}, ""},
+		{"empty", Envelope{}, ErrEmptyEnvelope},
+		{"ambiguous", Envelope{Reply: ok, Shutdown: &Shutdown{}}, ErrAmbiguousEnvelope},
+		{"register instead of reply", Envelope{Register: &Register{ClientID: 3}}, ErrUnexpectedMessage},
+		{"wrong round", Envelope{Reply: &TrainReply{ClientID: 3, Round: 6}}, ErrWrongRound},
+		{"wrong client", Envelope{Reply: &TrainReply{ClientID: 4, Round: 7}}, ErrWrongClient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reply, err := checkReply(&tc.env, 3, 7)
+			if tc.want == "" {
+				if err != nil || reply == nil {
+					t.Fatalf("checkReply = (%v, %v), want the reply", reply, err)
+				}
+				return
+			}
+			var ee *EnvelopeError
+			if !errors.As(err, &ee) || ee.Kind != tc.want {
+				t.Fatalf("checkReply err = %v, want kind %s", err, tc.want)
+			}
+			if ee.ClientID != 3 || ee.Round != 7 {
+				t.Fatalf("error context = client %d round %d, want 3/7", ee.ClientID, ee.Round)
+			}
+		})
+	}
+}
+
+// rawSession opens a gob connection to the server without the Client
+// state machine, so tests can speak protocol violations.
+type rawSession struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dialRaw(t *testing.T, addr string) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawSession{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (r *rawSession) register(t *testing.T, id int) {
+	t.Helper()
+	reg := RegisterFromSummary(id, []float64{1}, nil, 1, 10)
+	if err := r.enc.Encode(Envelope{Register: &reg}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+}
+
+// expectRequest blocks for the next TrainRequest from the server.
+func (r *rawSession) expectRequest(t *testing.T) *TrainRequest {
+	t.Helper()
+	var env Envelope
+	if err := r.dec.Decode(&env); err != nil {
+		t.Errorf("decode request: %v", err)
+		return nil
+	}
+	if env.Request == nil {
+		t.Errorf("expected TrainRequest, got %+v", env)
+		return nil
+	}
+	return env.Request
+}
+
+func acceptAsync(srv *Server, n int) chan error {
+	errc := make(chan error, 1)
+	go func() {
+		_, err := srv.AcceptClients(n)
+		errc <- err
+	}()
+	return errc
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	errc := acceptAsync(srv, 2)
+	dialRaw(t, srv.Addr()).register(t, 0)
+	// Second connection claims the same ClientID.
+	dialRaw(t, srv.Addr()).register(t, 0)
+	var ee *EnvelopeError
+	if err := <-errc; !errors.As(err, &ee) || ee.Kind != ErrDuplicateRegister || ee.ClientID != 0 {
+		t.Fatalf("AcceptClients err = %v, want ErrDuplicateRegister for client 0", err)
+	}
+}
+
+func TestMalformedRegistrationRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		env  Envelope
+		want EnvelopeErrorKind
+	}{
+		{"empty envelope", Envelope{}, ErrEmptyEnvelope},
+		{"ambiguous envelope", Envelope{Register: &Register{}, Shutdown: &Shutdown{}}, ErrAmbiguousEnvelope},
+		{"reply instead of register", Envelope{Reply: &TrainReply{}}, ErrUnexpectedMessage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			errc := acceptAsync(srv, 1)
+			raw := dialRaw(t, srv.Addr())
+			if err := raw.enc.Encode(tc.env); err != nil {
+				t.Fatal(err)
+			}
+			var ee *EnvelopeError
+			if err := <-errc; !errors.As(err, &ee) || ee.Kind != tc.want {
+				t.Fatalf("AcceptClients err = %v, want kind %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMisbehavingRepliesDropSession covers the wire forms of reply
+// violations: each one must surface as a typed error from Train and
+// drop the session so the next dispatch fails fast.
+func TestMisbehavingRepliesDropSession(t *testing.T) {
+	cases := []struct {
+		name  string
+		reply func(req *TrainRequest) Envelope
+		want  EnvelopeErrorKind
+	}{
+		{"empty envelope", func(*TrainRequest) Envelope { return Envelope{} }, ErrEmptyEnvelope},
+		{"ambiguous envelope", func(req *TrainRequest) Envelope {
+			return Envelope{
+				Reply:    &TrainReply{ClientID: 0, Round: req.Round},
+				Shutdown: &Shutdown{},
+			}
+		}, ErrAmbiguousEnvelope},
+		{"register instead of reply", func(*TrainRequest) Envelope {
+			return Envelope{Register: &Register{ClientID: 0}}
+		}, ErrUnexpectedMessage},
+		{"wrong round", func(req *TrainRequest) Envelope {
+			return Envelope{Reply: &TrainReply{ClientID: 0, Round: req.Round + 1}}
+		}, ErrWrongRound},
+		{"wrong client", func(req *TrainRequest) Envelope {
+			return Envelope{Reply: &TrainReply{ClientID: 9, Round: req.Round}}
+		}, ErrWrongClient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			errc := acceptAsync(srv, 1)
+			raw := dialRaw(t, srv.Addr())
+			raw.register(t, 0)
+			if err := <-errc; err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if req := raw.expectRequest(t); req != nil {
+					_ = raw.enc.Encode(tc.reply(req))
+				}
+			}()
+			_, err = srv.Train(0, 4, []float64{1})
+			<-done
+			var ee *EnvelopeError
+			if !errors.As(err, &ee) || ee.Kind != tc.want {
+				t.Fatalf("Train err = %v, want kind %s", err, tc.want)
+			}
+			// The session is gone: the next dispatch fails fast.
+			if _, err := srv.Train(0, 5, []float64{1}); !errors.As(err, &ee) || ee.Kind != ErrNotRegistered {
+				t.Fatalf("post-violation Train err = %v, want ErrNotRegistered", err)
+			}
+		})
+	}
+}
+
+func TestEnvelopeErrorMessage(t *testing.T) {
+	err := envelopeErr(ErrWrongRound, 3, 7, "reply for round 6")
+	want := "flnet: wrong_round (client 3, round 7): reply for round 6"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
@@ -117,6 +116,9 @@ func (c *Client) Run(addr string) (rounds int, err error) {
 		if err := dec.Decode(&env); err != nil {
 			return rounds, fmt.Errorf("flnet: receive: %w", err)
 		}
+		if err := env.Check(); err != nil {
+			return rounds, err
+		}
 		switch {
 		case env.Shutdown != nil:
 			return rounds, nil
@@ -137,7 +139,8 @@ func (c *Client) Run(addr string) (rounds int, err error) {
 			}
 			rounds++
 		default:
-			return rounds, fmt.Errorf("flnet: unexpected message %+v", env)
+			return rounds, envelopeErr(ErrUnexpectedMessage, c.Reg.ClientID, -1,
+				"client expects TrainRequest or Shutdown")
 		}
 	}
 }
@@ -204,7 +207,9 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Trace
 }
 
 // AcceptClients blocks until n clients have registered (or an accept
-// fails) and returns their registrations.
+// fails) and returns their registrations. A malformed first message or
+// a Register for an already-registered ClientID closes that connection
+// and fails the accept loop with a typed *EnvelopeError.
 func (s *Server) AcceptClients(n int) ([]Register, error) {
 	regs := make([]Register, 0, n)
 	for len(regs) < n {
@@ -218,12 +223,25 @@ func (s *Server) AcceptClients(n int) ([]Register, error) {
 			conn: conn,
 		}
 		var env Envelope
-		if err := sess.dec.Decode(&env); err != nil || env.Register == nil {
+		if err := sess.dec.Decode(&env); err != nil {
 			conn.Close()
-			return regs, fmt.Errorf("flnet: bad registration: %v", err)
+			return regs, fmt.Errorf("flnet: bad registration: %w", err)
+		}
+		if err := env.Check(); err != nil {
+			conn.Close()
+			return regs, err
+		}
+		if env.Register == nil {
+			conn.Close()
+			return regs, envelopeErr(ErrUnexpectedMessage, -1, -1, "expected Register as first message")
 		}
 		sess.reg = *env.Register
 		s.mu.Lock()
+		if _, dup := s.sessions[sess.reg.ClientID]; dup {
+			s.mu.Unlock()
+			conn.Close()
+			return regs, envelopeErr(ErrDuplicateRegister, sess.reg.ClientID, -1, "client already registered")
+		}
 		s.sessions[sess.reg.ClientID] = sess
 		n := len(s.sessions)
 		reg := s.reg
@@ -247,61 +265,56 @@ func (s *Server) Registrations() []Register {
 	return out
 }
 
-// RunRound pushes params to the selected clients, waits for all
-// replies, and returns them. Transport errors abort the round.
-func (s *Server) RunRound(round int, selected []int, params []float64) ([]TrainReply, error) {
-	start := time.Now()
+// Train runs one request/reply exchange with a single registered
+// client: push the global parameters for the round, decode and validate
+// the reply. It is the transport primitive the round driver's proxies
+// call concurrently (one goroutine per selected client). Any failure —
+// connection error, EOF, malformed or mismatched reply — drops the
+// session so a dead or misbehaving client cannot wedge later rounds,
+// and returns the error (typed *EnvelopeError for protocol violations)
+// for the driver to record as a client failure.
+func (s *Server) Train(clientID, round int, params []float64) (TrainReply, error) {
 	s.mu.Lock()
-	sessions := make([]*session, 0, len(selected))
-	for _, id := range selected {
-		sess, ok := s.sessions[id]
-		if !ok {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("flnet: client %d not registered", id)
-		}
-		sessions = append(sessions, sess)
-	}
-	reg, tracer := s.reg, s.tracer
+	sess, ok := s.sessions[clientID]
 	s.mu.Unlock()
+	if !ok {
+		return TrainReply{}, envelopeErr(ErrNotRegistered, clientID, round, "no live session")
+	}
+	if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params}}); err != nil {
+		s.dropSession(clientID)
+		return TrainReply{}, fmt.Errorf("flnet: push to client %d: %w", clientID, err)
+	}
+	var env Envelope
+	if err := sess.dec.Decode(&env); err != nil {
+		s.dropSession(clientID)
+		return TrainReply{}, fmt.Errorf("flnet: receive from client %d: %w", clientID, err)
+	}
+	reply, err := checkReply(&env, clientID, round)
+	if err != nil {
+		s.dropSession(clientID)
+		return TrainReply{}, err
+	}
+	return *reply, nil
+}
 
-	replies := make([]TrainReply, len(sessions))
-	errs := make([]error, len(sessions))
-	var wg sync.WaitGroup
-	for i, sess := range sessions {
-		wg.Add(1)
-		go func(i int, sess *session) {
-			defer wg.Done()
-			if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params}}); err != nil {
-				errs[i] = err
-				return
-			}
-			var env Envelope
-			if err := sess.dec.Decode(&env); err != nil {
-				errs[i] = err
-				return
-			}
-			if env.Reply == nil {
-				errs[i] = fmt.Errorf("flnet: client %d sent non-reply", sess.reg.ClientID)
-				return
-			}
-			replies[i] = *env.Reply
-		}(i, sess)
+// dropSession closes and forgets one client session (after a transport
+// or protocol error). Future Train calls for the client fail fast with
+// ErrNotRegistered.
+func (s *Server) dropSession(clientID int) {
+	s.mu.Lock()
+	sess, ok := s.sessions[clientID]
+	if ok {
+		delete(s.sessions, clientID)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	wall := time.Since(start).Seconds()
-	if tracer != nil {
-		tracer.Emit(telemetry.NetRound(round, append([]int(nil), selected...), wall))
+	n := len(s.sessions)
+	reg := s.reg
+	s.mu.Unlock()
+	if ok {
+		sess.conn.Close()
 	}
 	if reg != nil {
-		reg.Counter("haccs_net_rounds_total", "Coordinator rounds completed.").Inc()
-		reg.Histogram("haccs_net_round_seconds", "Wall-clock duration of one coordinator round (push + all replies).", nil).Observe(wall)
+		reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(float64(n))
 	}
-	return replies, nil
 }
 
 // Close shuts down every session and the listener; see Shutdown.

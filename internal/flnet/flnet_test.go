@@ -1,7 +1,7 @@
 package flnet
 
 import (
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -80,14 +80,11 @@ func TestRegistrationCarriesSummary(t *testing.T) {
 func TestRoundTripTraining(t *testing.T) {
 	srv, _, wg := startCluster(t, 4)
 	params := []float64{1, 2, 3}
-	replies, err := srv.RunRound(7, []int{1, 3}, params)
-	if err != nil {
-		t.Fatalf("round: %v", err)
-	}
-	if len(replies) != 2 {
-		t.Fatalf("%d replies", len(replies))
-	}
-	for _, rep := range replies {
+	for _, id := range []int{1, 3} {
+		rep, err := srv.Train(id, 7, params)
+		if err != nil {
+			t.Fatalf("train client %d: %v", id, err)
+		}
 		if rep.Round != 7 {
 			t.Errorf("reply round %d", rep.Round)
 		}
@@ -110,11 +107,11 @@ func TestRoundTripTraining(t *testing.T) {
 func TestMultipleRoundsSameClients(t *testing.T) {
 	srv, _, wg := startCluster(t, 2)
 	for round := 0; round < 5; round++ {
-		replies, err := srv.RunRound(round, []int{0, 1}, []float64{float64(round)})
-		if err != nil {
-			t.Fatalf("round %d: %v", round, err)
-		}
-		for _, rep := range replies {
+		for id := 0; id < 2; id++ {
+			rep, err := srv.Train(id, round, []float64{float64(round)})
+			if err != nil {
+				t.Fatalf("round %d client %d: %v", round, id, err)
+			}
 			if rep.Params[0] != float64(round)+float64(rep.ClientID) {
 				t.Fatalf("round %d corrupt payload", round)
 			}
@@ -124,11 +121,12 @@ func TestMultipleRoundsSameClients(t *testing.T) {
 	wg.Wait()
 }
 
-func TestRunRoundUnknownClient(t *testing.T) {
+func TestTrainUnknownClient(t *testing.T) {
 	srv, _, wg := startCluster(t, 1)
-	_, err := srv.RunRound(0, []int{99}, []float64{1})
-	if err == nil || !strings.Contains(err.Error(), "not registered") {
-		t.Errorf("err = %v", err)
+	_, err := srv.Train(99, 0, []float64{1})
+	var ee *EnvelopeError
+	if !errors.As(err, &ee) || ee.Kind != ErrNotRegistered {
+		t.Errorf("err = %v, want ErrNotRegistered", err)
 	}
 	srv.Close()
 	wg.Wait()
@@ -153,7 +151,7 @@ func TestClientShutdownCleanly(t *testing.T) {
 	if _, err := srv.AcceptClients(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.RunRound(0, []int{0}, []float64{5}); err != nil {
+	if _, err := srv.Train(0, 0, []float64{5}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
@@ -214,11 +212,11 @@ func TestSummaryRefreshPiggyback(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 4; round++ {
-		replies, err := srv.RunRound(round, []int{0}, []float64{1})
+		rep, err := srv.Train(0, round, []float64{1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := replies[0].UpdatedLabelCounts
+		got := rep.UpdatedLabelCounts
 		if round == 2 {
 			if len(got) != 2 || got[1] != 10 {
 				t.Errorf("round 2 refresh missing: %v", got)

@@ -41,10 +41,17 @@ func TestCoordinatorTelemetryEndpoint(t *testing.T) {
 	if _, err := srv.AcceptClients(1); err != nil {
 		t.Fatal(err)
 	}
+	strat := &pickStrategy{sel: [][]int{{0}, {0}, {0}}}
+	coord, err := NewCoordinator(srv, CoordinatorConfig{
+		ClientsPerRound: 1,
+		Tracer:          ring,
+		Metrics:         reg,
+	}, strat, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for round := 0; round < 3; round++ {
-		if _, err := srv.RunRound(round, []int{0}, []float64{1}); err != nil {
-			t.Fatal(err)
-		}
+		coord.RunRound(round)
 	}
 
 	body := httpGet(t, addr, "/metrics")
@@ -52,6 +59,10 @@ func TestCoordinatorTelemetryEndpoint(t *testing.T) {
 		"haccs_net_rounds_total 3",
 		"haccs_net_registered_clients 1",
 		"haccs_net_round_seconds_count 3",
+		// The shared round driver's collectors flow into the same
+		// registry as the coordinator's net series.
+		"haccs_rounds_total 3",
+		"haccs_clients_selected_total 3",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
@@ -114,8 +125,16 @@ func TestShutdownLeavesNoGoroutines(t *testing.T) {
 		if _, err := srv.EnableTelemetry(reg, ring, ring, "127.0.0.1:0"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := srv.RunRound(0, []int{0, 1, 2, 3}, []float64{1, 2}); err != nil {
+		coord, err := NewCoordinator(srv, CoordinatorConfig{
+			ClientsPerRound: 4,
+			Tracer:          ring,
+			Metrics:         reg,
+		}, &pickStrategy{sel: [][]int{{0, 1, 2, 3}}}, []float64{1, 2})
+		if err != nil {
 			t.Fatal(err)
+		}
+		if out := coord.RunRound(0); !out.Aggregated {
+			t.Fatal("round did not aggregate")
 		}
 		if err := srv.Shutdown(); err != nil {
 			t.Fatal(err)

@@ -3,6 +3,11 @@
 // latency-tiered credit scheme (Chai et al., HPDC'20), and Oort's
 // utility-guided exploration/exploitation (Lai et al., OSDI'21). All
 // implement fl.Strategy so the engine can drive them interchangeably.
+//
+// Under a round deadline (partial aggregation), Update receives only
+// the clients that reported in time — see fl.Strategy — so the
+// loss-driven state below (TiFL credits, Oort utilities) is fed
+// exclusively by results that entered the aggregate.
 package selection
 
 import (

@@ -39,6 +39,15 @@ const (
 	// KindNetRound is one flnet coordinator round completing: Round,
 	// Clients, WallSec.
 	KindNetRound = "net_round"
+	// KindStragglerCut reports the selected clients whose updates were
+	// discarded at the round deadline: Round, Clients (cut, selection
+	// order), VirtualSec (the deadline).
+	KindStragglerCut = "straggler_cut"
+	// KindClientFailed reports selected clients whose transport failed
+	// mid-round (disconnect, protocol violation); they are excluded
+	// from aggregation and marked dead for future rounds: Round,
+	// Clients.
+	KindClientFailed = "client_failed"
 )
 
 // Event is one record in the round trace. It is a flat union: Kind
@@ -145,6 +154,22 @@ func Reclustered(round, clusters int, wallSec float64) Event {
 func NetRound(round int, clients []int, wallSec float64) Event {
 	e := newEvent(KindNetRound, round)
 	e.Clients, e.WallSec = clients, wallSec
+	return e
+}
+
+// StragglerCut builds a deadline-cutoff event listing the clients whose
+// updates were discarded.
+func StragglerCut(round int, clients []int, deadline float64) Event {
+	e := newEvent(KindStragglerCut, round)
+	e.Clients, e.VirtualSec = clients, deadline
+	return e
+}
+
+// ClientFailed builds a transport-failure event listing the clients that
+// died mid-round.
+func ClientFailed(round int, clients []int) Event {
+	e := newEvent(KindClientFailed, round)
+	e.Clients = clients
 	return e
 }
 
