@@ -218,6 +218,11 @@ func BenchmarkHellingerMatrix100(b *testing.B) { benchrun.HellingerMatrix100(b) 
 // instant proxies standing in for local training.
 func BenchmarkRoundsDriverOverhead(b *testing.B) { benchrun.RoundsDriverOverhead(b) }
 
+// BenchmarkSpanNilTracer measures a full nested span lifecycle against a
+// nil tracer; its allocs/op is the tracked zero-overhead signal
+// (target: exactly 0).
+func BenchmarkSpanNilTracer(b *testing.B) { benchrun.SpanNilTracer(b) }
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkMatMul measures the parallel GEMM kernel on a training-sized

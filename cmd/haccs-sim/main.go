@@ -18,6 +18,7 @@ import (
 	"haccs/internal/core"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
+	"haccs/internal/introspect"
 	"haccs/internal/metrics"
 	"haccs/internal/nn"
 	"haccs/internal/selection"
@@ -48,8 +49,9 @@ func main() {
 		csvPath  = flag.String("csv", "", "write the accuracy curve as CSV to this path")
 		jsonPath = flag.String("json", "", "write the run summary as JSON to this path")
 
-		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/trace on this address during the run")
+		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path (replay it with haccs-trace)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/trace, /debug/spans and /debug/selection on this address during the run")
+		pprof       = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
 		statsdAddr  = flag.String("statsd-addr", "", "flush metrics to this UDP statsd endpoint")
 		statsdEvery = flag.Duration("statsd-interval", 10*time.Second, "statsd flush interval")
@@ -117,14 +119,38 @@ func main() {
 		sinks = append(sinks, ring)
 	}
 	tracer = telemetry.Combine(sinks...)
+	// Spans ride the same sinks: nil when telemetry is entirely off, so
+	// the instrumented round loop stays zero-cost by default.
+	spans := telemetry.NewSpanTracer(tracer, reg)
+	if *pprof && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "haccs-sim: -pprof requires -metrics-addr")
+		os.Exit(2)
+	}
+
+	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed, tracer, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		opts := []telemetry.ServeOption{}
+		endpoints := "/metrics, /debug/trace and /debug/spans"
+		if insp, ok := strat.(introspect.SelectionInspector); ok {
+			opts = append(opts, telemetry.WithEndpoint("/debug/selection", introspect.Handler(insp)))
+			endpoints += ", /debug/selection"
+		}
+		if *pprof {
+			opts = append(opts, telemetry.WithPprof())
+			endpoints += ", /debug/pprof"
+		}
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: serving /metrics and /debug/trace on http://%s\n", srv.Addr())
+		fmt.Printf("telemetry: serving %s on http://%s\n", endpoints, srv.Addr())
 		if *metricsHold > 0 {
 			defer func() {
 				fmt.Printf("telemetry: holding the endpoint for %s\n", *metricsHold)
@@ -150,12 +176,6 @@ func main() {
 		}()
 	}
 
-	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed, tracer, reg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	cfg := fl.Config{
 		Arch:                modelFor(spec),
 		Seed:                stats.DeriveSeed(*seed, 12),
@@ -166,6 +186,7 @@ func main() {
 		PerSampleComputeSec: 0.01,
 		RoundDeadline:       *deadline,
 		Tracer:              tracer,
+		Spans:               spans,
 		Metrics:             reg,
 	}
 	if *dropout > 0 {

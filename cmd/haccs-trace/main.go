@@ -1,0 +1,63 @@
+// Command haccs-trace replays a flight-recorder JSONL stream (written
+// by haccs-sim -telemetry-jsonl or any telemetry.JSONLSink) into a
+// human-readable per-round timeline — selection, cutoffs, aggregation
+// and the span tree of every round — plus a per-cluster selection
+// summary table for the whole run.
+//
+// Example:
+//
+//	haccs-sim -strategy haccs-py -rounds 20 -telemetry-jsonl trace.jsonl
+//	haccs-trace trace.jsonl
+//	haccs-trace -selection=false trace.jsonl   # timeline only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haccs/internal/introspect"
+	"haccs/internal/telemetry"
+)
+
+func main() {
+	var (
+		timeline  = flag.Bool("timeline", true, "print the per-round timeline (events + span tree)")
+		selection = flag.Bool("selection", true, "print the per-cluster selection summary table")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: haccs-trace [flags] <trace.jsonl>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-trace:", err)
+		os.Exit(1)
+	}
+	events, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-trace:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		if err := introspect.WriteTimeline(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *selection {
+		if *timeline {
+			fmt.Println()
+		}
+		if err := introspect.WriteSelectionTable(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-trace:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 	"haccs/internal/tensor"
 )
 
@@ -55,6 +56,7 @@ func Suite() []Entry {
 		{Name: "local_train_round", Bench: LocalTrainRound},
 		{Name: "engine_run_5rounds", Bench: EngineRun, RoundsPerOp: engineRounds},
 		{Name: "rounds_driver_overhead", Bench: RoundsDriverOverhead, RoundsPerOp: driverRounds},
+		{Name: "span_nil_tracer", Bench: SpanNilTracer},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
 	}
 }
@@ -220,7 +222,7 @@ type instantProxy struct {
 	params []float64
 }
 
-func (p *instantProxy) Train(round, worker, slot int, _ []float64) (rounds.Result, error) {
+func (p *instantProxy) Train(round, worker, slot int, _ []float64, _ telemetry.SpanContext) (rounds.Result, error) {
 	return rounds.Result{ClientID: p.id, Params: p.params, NumSamples: 100, Loss: 1}, nil
 }
 
@@ -255,6 +257,27 @@ func RoundsDriverOverhead(b *testing.B) {
 		for r := 0; r < driverRounds; r++ {
 			d.RunRound(r)
 		}
+	}
+}
+
+// SpanNilTracer measures the fully instrumented span path with tracing
+// off: one root, one phase child, one per-client child and their Ends,
+// exactly the shape the round driver executes per dispatch. The tracked
+// contract is 0 allocs/op and single-digit nanoseconds — the guard that
+// keeps "instrument everything" free for the default untraced run
+// (bench-guard fails the build if allocations creep in).
+func SpanNilTracer(b *testing.B) {
+	var tr *telemetry.SpanTracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.Root("round", i)
+		sp := root.Child("dispatch")
+		ts := sp.ChildClient("train", 3)
+		_ = ts.Context()
+		ts.End()
+		sp.End()
+		root.End()
 	}
 }
 

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"haccs/internal/introspect"
+	"haccs/internal/telemetry"
+)
+
+// TestSelectionStateMatchesInternals checks the snapshot reports
+// exactly what the scheduler used: membership, the eq. 7 decomposition
+// of the last Select, the distance summary and the OPTICS plot.
+func TestSelectionStateMatchesInternals(t *testing.T) {
+	s, _ := testFixture(t, PY)
+
+	st := s.SelectionState()
+	if st.Strategy != "haccs-P(y)" {
+		t.Errorf("strategy %q", st.Strategy)
+	}
+	if st.Round != -1 {
+		t.Errorf("pre-Select round %d, want -1", st.Round)
+	}
+	if len(st.LastPicks) != 0 {
+		t.Errorf("pre-Select picks %v", st.LastPicks)
+	}
+
+	sel := s.Select(3, allAvailable(12), 4)
+	st = s.SelectionState()
+	if st.Round != 3 {
+		t.Errorf("round %d, want 3", st.Round)
+	}
+	if len(st.Clusters) != s.NumClusters() {
+		t.Fatalf("%d cluster states, want %d", len(st.Clusters), s.NumClusters())
+	}
+	for i, cs := range st.Clusters {
+		if cs.ID != i || !reflect.DeepEqual(cs.Members, s.clusters[i]) {
+			t.Errorf("cluster %d members %v, want %v", i, cs.Members, s.clusters[i])
+		}
+		p := s.lastParts[i]
+		if cs.Theta != p.Theta || cs.Tau != p.Tau || cs.ACL != p.ACL || cs.ACLShare != p.ACLShare || cs.Alive != p.Alive {
+			t.Errorf("cluster %d weights %+v, want %+v", i, cs, p)
+		}
+		if cs.Alive && cs.Theta <= 0 {
+			t.Errorf("cluster %d alive with theta %v", i, cs.Theta)
+		}
+	}
+	if len(st.LastPicks) != len(sel) {
+		t.Fatalf("%d picks, want %d", len(st.LastPicks), len(sel))
+	}
+	for i, p := range st.LastPicks {
+		if p.Client != sel[i] {
+			t.Errorf("pick %d client %d, want selection order %d", i, p.Client, sel[i])
+		}
+		if p.Round != 3 || p.Reason != "fastest" {
+			t.Errorf("pick %d rationale %+v", i, p)
+		}
+		if p.Latency != s.latency[p.Client] {
+			t.Errorf("pick %d latency %v, want %v", i, p.Latency, s.latency[p.Client])
+		}
+		if s.labels[p.Client] != p.Cluster {
+			t.Errorf("pick %d cluster %d, client lives in %d", i, p.Cluster, s.labels[p.Client])
+		}
+		if p.Theta != st.Clusters[p.Cluster].Theta {
+			t.Errorf("pick %d theta %v, cluster reports %v", i, p.Theta, st.Clusters[p.Cluster].Theta)
+		}
+	}
+
+	// The clustering artifacts match a recomputation over the same
+	// summaries.
+	m := DistanceMatrix(s.summaries)
+	if st.Distance != introspect.SummarizeDistances(m) {
+		t.Errorf("distance summary %+v", st.Distance)
+	}
+	if len(st.Order) != 12 || len(st.Reachability) != 12 {
+		t.Errorf("OPTICS plot sizes %d/%d, want 12", len(st.Order), len(st.Reachability))
+	}
+	for i, r := range st.Reachability {
+		if r != -1 && r < 0 {
+			t.Errorf("reachability[%d] = %v, want -1 or >= 0", i, r)
+		}
+	}
+
+	// Snapshots are copies: mutating one must not reach the scheduler.
+	st.Clusters[0].Members[0] = 99
+	if s.clusters[0][0] == 99 {
+		t.Error("snapshot aliases scheduler state")
+	}
+}
+
+// TestDebugSelectionEndpoint is the acceptance check: /debug/selection
+// served over the telemetry mux returns JSON whose per-cluster θ, τ,
+// ACL and member lists match the strategy's internal state.
+func TestDebugSelectionEndpoint(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	s.Select(0, allAvailable(12), 4)
+	s.Update(0, []int{0}, []float64{1.5})
+	s.Select(1, allAvailable(12), 4)
+
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, nil,
+		telemetry.WithEndpoint("/debug/selection", introspect.Handler(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/selection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var got introspect.State
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := s.SelectionState()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("served state diverges from SelectionState():\ngot  %+v\nwant %+v", got, want)
+	}
+	for i, cs := range got.Clusters {
+		if !reflect.DeepEqual(cs.Members, s.clusters[i]) {
+			t.Errorf("served cluster %d members %v, want %v", i, cs.Members, s.clusters[i])
+		}
+		p := s.lastParts[i]
+		if cs.Theta != p.Theta || cs.Tau != p.Tau || cs.ACL != p.ACL {
+			t.Errorf("served cluster %d θ/τ/ACL = %v/%v/%v, want %v/%v/%v",
+				i, cs.Theta, cs.Tau, cs.ACL, p.Theta, p.Tau, p.ACL)
+		}
+	}
+	if got.Round != 1 {
+		t.Errorf("served round %d, want 1", got.Round)
+	}
+}
+
+// TestClusterStateEvents checks Select writes one cluster_state record
+// per cluster into the trace — the flight-recorder form of
+// /debug/selection.
+func TestClusterStateEvents(t *testing.T) {
+	sink := &telemetry.MemorySink{}
+	s, _ := testFixture(t, PY)
+	s.cfg.Tracer = sink
+	s.Select(2, allAvailable(12), 4)
+
+	events := sink.Filter(telemetry.KindClusterState)
+	if len(events) != s.NumClusters() {
+		t.Fatalf("%d cluster_state events, want %d", len(events), s.NumClusters())
+	}
+	for i, e := range events {
+		if e.Round != 2 || e.Cluster != i {
+			t.Errorf("event %d round/cluster = %d/%d", i, e.Round, e.Cluster)
+		}
+		if !reflect.DeepEqual(e.Clients, s.clusters[i]) {
+			t.Errorf("event %d members %v, want %v", i, e.Clients, s.clusters[i])
+		}
+		p := s.lastParts[i]
+		if e.Theta != p.Theta || e.Tau != p.Tau || e.ACL != p.ACL || e.ACLShare != p.ACLShare {
+			t.Errorf("event %d decomposition %+v, want %+v", i, e, p)
+		}
+	}
+}
+
+// TestSelectionStateConcurrent races the snapshot against a running
+// selection loop — the /debug/selection handler does exactly this. The
+// race detector (make race, CI) is the real assertion.
+func TestSelectionStateConcurrent(t *testing.T) {
+	s, _ := testFixture(t, PY)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := s.SelectionState()
+					if len(st.Clusters) == 0 {
+						t.Error("empty snapshot mid-run")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for round := 0; round < 50; round++ {
+		sel := s.Select(round, allAvailable(12), 4)
+		losses := make([]float64, len(sel))
+		for i := range losses {
+			losses[i] = float64(round)
+		}
+		s.Update(round, sel, losses)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"time"
 
 	"haccs/internal/cluster"
 	"haccs/internal/fl"
+	"haccs/internal/introspect"
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
 )
@@ -103,6 +105,18 @@ type Scheduler struct {
 
 	labels   []int   // client -> cluster id (singletonized noise)
 	clusters [][]int // cluster id -> member client IDs
+
+	// Introspection snapshot: the scheduler's own loop (Init, Select,
+	// Update, UpdateSummaries) runs single-threaded on the round driver,
+	// but SelectionState is served from the telemetry HTTP goroutine
+	// mid-run, so everything it reads is written and read under mu.
+	mu        sync.Mutex
+	lastRound int
+	lastParts []clusterWeight
+	lastPicks []introspect.Pick
+	distance  introspect.DistanceSummary
+	order     []int
+	reach     []float64
 }
 
 // NewScheduler builds a HACCS scheduler from the clients' (possibly
@@ -118,7 +132,7 @@ func NewScheduler(cfg Config, summaries []Summary) *Scheduler {
 			panic("core: summary kind mismatch with config")
 		}
 	}
-	return &Scheduler{cfg: cfg, summaries: summaries}
+	return &Scheduler{cfg: cfg, summaries: summaries, lastRound: -1}
 }
 
 // Name implements fl.Strategy.
@@ -168,8 +182,13 @@ func (s *Scheduler) recluster() {
 			next++
 		}
 	}
+	s.mu.Lock()
 	s.labels = labels
 	s.clusters = cluster.Members(labels)
+	s.distance = introspect.SummarizeDistances(m)
+	s.order = append([]int(nil), res.Order...)
+	s.reach = introspect.EncodeReachability(res.Reach)
+	s.mu.Unlock()
 	if s.cfg.Tracer != nil {
 		// Round -1: clustering happens at Init and on summary updates,
 		// outside any specific round.
@@ -312,8 +331,22 @@ func (s *Scheduler) publishWeights(parts []clusterWeight) {
 func (s *Scheduler) Select(epoch int, available []bool, k int) []int {
 	weights, parts := s.clusterWeights(available)
 	s.publishWeights(parts)
+	reason := "fastest"
+	if s.cfg.IntraCluster == PickWeighted {
+		reason = "weighted"
+	}
+	if s.cfg.Tracer != nil {
+		// One cluster_state record per cluster per Select: the
+		// flight-recorder form of /debug/selection, so a finished run's
+		// JSONL can replay why every round's draw looked the way it did.
+		for i, p := range parts {
+			s.cfg.Tracer.Emit(telemetry.ClusterState(epoch, i, p.Theta, p.Tau, p.ACL, p.ACLShare,
+				append([]int(nil), s.clusters[i]...)))
+		}
+	}
 	picked := make(map[int]bool, k)
 	var selected []int
+	picks := make([]introspect.Pick, 0, k)
 	// remaining[i] counts available, unpicked members of cluster i.
 	remaining := make([]int, len(s.clusters))
 	anyRemaining := false
@@ -346,13 +379,55 @@ func (s *Scheduler) Select(epoch int, available []bool, k int) []int {
 		picked[best] = true
 		selected = append(selected, best)
 		remaining[c]--
+		picks = append(picks, introspect.Pick{
+			Round:   epoch,
+			Cluster: c,
+			Client:  best,
+			Latency: s.latency[best],
+			Theta:   parts[c].Theta,
+			Reason:  reason,
+		})
 		if s.cfg.Tracer != nil {
 			p := parts[c]
 			s.cfg.Tracer.Emit(telemetry.ClusterSampled(epoch, c, p.Theta, p.Tau, p.ACL, p.ACLShare))
-			s.cfg.Tracer.Emit(telemetry.ClientPicked(epoch, c, best, s.latency[best]))
+			s.cfg.Tracer.Emit(telemetry.ClientPicked(epoch, c, best, s.latency[best], reason))
 		}
 	}
+	s.mu.Lock()
+	s.lastRound = epoch
+	s.lastParts = parts
+	s.lastPicks = picks
+	s.mu.Unlock()
 	return selected
+}
+
+// SelectionState implements introspect.SelectionInspector: a consistent
+// snapshot of the live decision state — cluster membership with the
+// most recent eq. 7 weight decomposition, the distance-matrix summary
+// and OPTICS reachability behind the current clustering, and the last
+// round's pick rationale. Safe to call concurrently with a running
+// round (the /debug/selection handler does).
+func (s *Scheduler) SelectionState() introspect.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := introspect.State{
+		Strategy:     s.Name(),
+		Round:        s.lastRound,
+		Distance:     s.distance,
+		Order:        append([]int(nil), s.order...),
+		Reachability: append([]float64(nil), s.reach...),
+		LastPicks:    append([]introspect.Pick(nil), s.lastPicks...),
+		Clusters:     make([]introspect.ClusterState, len(s.clusters)),
+	}
+	for i, members := range s.clusters {
+		cs := introspect.ClusterState{ID: i, Members: append([]int(nil), members...)}
+		if i < len(s.lastParts) {
+			p := s.lastParts[i]
+			cs.Theta, cs.Tau, cs.ACL, cs.ACLShare, cs.Alive = p.Theta, p.Tau, p.ACL, p.ACLShare, p.Alive
+		}
+		st.Clusters[i] = cs
+	}
+	return st
 }
 
 // pickWithin chooses one available, unpicked device from cluster c
@@ -390,3 +465,4 @@ func (s *Scheduler) Update(epoch int, selected []int, losses []float64) {
 }
 
 var _ fl.Strategy = (*Scheduler)(nil)
+var _ introspect.SelectionInspector = (*Scheduler)(nil)

@@ -53,6 +53,9 @@ type Config struct {
 	// Implementations must tolerate concurrent Emit calls (client
 	// training events come from worker goroutines).
 	Tracer telemetry.Tracer
+	// Spans, when non-nil, times the round lifecycle as a span tree
+	// (see rounds.Config.Spans). A nil tracer costs nothing.
+	Spans *telemetry.SpanTracer
 	// Metrics, when non-nil, receives engine-level counters, gauges and
 	// histograms (see DESIGN.md "Observability" for the name contract).
 	Metrics *telemetry.Registry
@@ -223,6 +226,7 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		Deadline:        cfg.RoundDeadline,
 		Dropout:         cfg.Dropout,
 		Tracer:          cfg.Tracer,
+		Spans:           cfg.Spans,
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 	}, localTransport{e}, strategy, initial)

@@ -3,6 +3,7 @@ package fl
 import (
 	"haccs/internal/rounds"
 	"haccs/internal/stats"
+	"haccs/internal/telemetry"
 )
 
 // localTransport adapts the engine's in-process training substrate —
@@ -34,7 +35,9 @@ type localProxy struct {
 	latency float64
 }
 
-func (p *localProxy) Train(round, worker, slot int, params []float64) (rounds.Result, error) {
+// Train runs the job inline; the span context needs no propagation —
+// the driver's train span already covers this call exactly.
+func (p *localProxy) Train(round, worker, slot int, params []float64, _ telemetry.SpanContext) (rounds.Result, error) {
 	e := p.e
 	// Each (client, round) pair owns an independent stream so results do
 	// not depend on scheduling order.

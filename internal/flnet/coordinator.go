@@ -27,6 +27,11 @@ type CoordinatorConfig struct {
 	Dropout simnet.DropoutModel
 	// Tracer receives the round-trace event stream (nil = off).
 	Tracer telemetry.Tracer
+	// Spans, when non-nil, times the round lifecycle as a span tree
+	// (see rounds.Config.Spans) and additionally records each client's
+	// own local-train span shipped back over the wire, parented under
+	// the coordinator's per-client train span.
+	Spans *telemetry.SpanTracer
 	// Metrics, when non-nil, receives the driver's collectors plus the
 	// coordinator's haccs_net_* series.
 	Metrics *telemetry.Registry
@@ -67,12 +72,18 @@ type netProxy struct {
 	srv     *Server
 	id      int
 	latency float64
+	spans   *telemetry.SpanTracer
 }
 
-func (p *netProxy) Train(round, worker, slot int, params []float64) (rounds.Result, error) {
-	reply, err := p.srv.Train(p.id, round, params)
+func (p *netProxy) Train(round, worker, slot int, params []float64, sc telemetry.SpanContext) (rounds.Result, error) {
+	reply, err := p.srv.Train(p.id, round, params, sc)
 	if err != nil {
 		return rounds.Result{}, err
+	}
+	if ws := reply.TrainSpan; ws != nil {
+		// Validated by checkReply; record it as a foreign span (the
+		// client's clock is not comparable, so only the duration counts).
+		p.spans.EmitForeign(ws.Name, ws.TraceID, ws.SpanID, ws.ParentID, round, p.id, ws.DurSec)
 	}
 	return rounds.Result{
 		ClientID:   p.id,
@@ -103,7 +114,7 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		if proxies[r.ClientID] != nil {
 			return nil, fmt.Errorf("flnet: duplicate client ID %d in roster", r.ClientID)
 		}
-		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate}
+		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate, spans: cfg.Spans}
 	}
 	c := &Coordinator{srv: srv, tracer: cfg.Tracer, reg: cfg.Metrics}
 	c.driver = rounds.NewDriver(rounds.Config{
@@ -111,6 +122,7 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		Deadline:        cfg.Deadline,
 		Dropout:         cfg.Dropout,
 		Tracer:          cfg.Tracer,
+		Spans:           cfg.Spans,
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 	}, netTransport{proxies}, strategy, initial)

@@ -1,6 +1,11 @@
 package flnet
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"haccs/internal/telemetry"
+)
 
 // EnvelopeErrorKind classifies a protocol violation.
 type EnvelopeErrorKind string
@@ -26,6 +31,10 @@ const (
 	// ErrNotRegistered: a training dispatch targeted a client with no
 	// live session (never registered, or dropped after an earlier error).
 	ErrNotRegistered EnvelopeErrorKind = "not_registered"
+	// ErrBadTraceContext: a half-set span context on a TrainRequest, or
+	// a TrainReply span that is unsolicited, malformed, or belongs to a
+	// different trace than the request carried.
+	ErrBadTraceContext EnvelopeErrorKind = "bad_trace_context"
 )
 
 // EnvelopeError is the typed error for every protocol violation: a
@@ -95,8 +104,8 @@ func (env *Envelope) Check() error {
 }
 
 // checkReply validates a decoded envelope as the reply to a
-// TrainRequest sent to clientID for round.
-func checkReply(env *Envelope, clientID, round int) (*TrainReply, error) {
+// TrainRequest sent to clientID for round carrying span context sc.
+func checkReply(env *Envelope, clientID, round int, sc telemetry.SpanContext) (*TrainReply, error) {
 	if err := env.Check(); err != nil {
 		ee := err.(*EnvelopeError)
 		ee.ClientID, ee.Round = clientID, round
@@ -114,5 +123,42 @@ func checkReply(env *Envelope, clientID, round int) (*TrainReply, error) {
 		return nil, envelopeErr(ErrWrongClient, clientID, round,
 			fmt.Sprintf("reply claims client %d", env.Reply.ClientID))
 	}
+	if err := checkWireSpan(env.Reply.TrainSpan, clientID, round, sc); err != nil {
+		return nil, err
+	}
 	return env.Reply, nil
+}
+
+// checkWireSpan validates a reply's piggybacked span against the span
+// context the request carried. A nil span is always fine (span shipping
+// is optional); a present one must have been solicited, belong to the
+// request's trace, parent under the request's span, and carry a sane
+// measurement — anything else is a protocol violation that drops the
+// session, so a misbehaving client cannot corrupt the coordinator's
+// trace tree.
+func checkWireSpan(ws *WireSpan, clientID, round int, sc telemetry.SpanContext) error {
+	if ws == nil {
+		return nil
+	}
+	if sc.Zero() {
+		return envelopeErr(ErrBadTraceContext, clientID, round,
+			"unsolicited span on reply (request carried no trace)")
+	}
+	if ws.SpanID == 0 {
+		return envelopeErr(ErrBadTraceContext, clientID, round,
+			"reply span has zero span ID")
+	}
+	if ws.TraceID != sc.TraceID {
+		return envelopeErr(ErrBadTraceContext, clientID, round,
+			fmt.Sprintf("reply span trace %x does not match request trace %x", ws.TraceID, sc.TraceID))
+	}
+	if ws.ParentID != sc.SpanID {
+		return envelopeErr(ErrBadTraceContext, clientID, round,
+			fmt.Sprintf("reply span parent %x does not match request span %x", ws.ParentID, sc.SpanID))
+	}
+	if math.IsNaN(ws.DurSec) || math.IsInf(ws.DurSec, 0) || ws.DurSec < 0 {
+		return envelopeErr(ErrBadTraceContext, clientID, round,
+			fmt.Sprintf("reply span duration %v is not a finite non-negative number", ws.DurSec))
+	}
+	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net"
 	"testing"
+
+	"haccs/internal/telemetry"
 )
 
 func TestEnvelopeCheck(t *testing.T) {
@@ -56,7 +58,7 @@ func TestCheckReply(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			reply, err := checkReply(&tc.env, 3, 7)
+			reply, err := checkReply(&tc.env, 3, 7, telemetry.SpanContext{})
 			if tc.want == "" {
 				if err != nil || reply == nil {
 					t.Fatalf("checkReply = (%v, %v), want the reply", reply, err)
@@ -216,14 +218,14 @@ func TestMisbehavingRepliesDropSession(t *testing.T) {
 					_ = raw.enc.Encode(tc.reply(req))
 				}
 			}()
-			_, err = srv.Train(0, 4, []float64{1})
+			_, err = srv.Train(0, 4, []float64{1}, telemetry.SpanContext{})
 			<-done
 			var ee *EnvelopeError
 			if !errors.As(err, &ee) || ee.Kind != tc.want {
 				t.Fatalf("Train err = %v, want kind %s", err, tc.want)
 			}
 			// The session is gone: the next dispatch fails fast.
-			if _, err := srv.Train(0, 5, []float64{1}); !errors.As(err, &ee) || ee.Kind != ErrNotRegistered {
+			if _, err := srv.Train(0, 5, []float64{1}, telemetry.SpanContext{}); !errors.As(err, &ee) || ee.Kind != ErrNotRegistered {
 				t.Fatalf("post-violation Train err = %v, want ErrNotRegistered", err)
 			}
 		})

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
@@ -43,6 +44,24 @@ type Register struct {
 type TrainRequest struct {
 	Round  int
 	Params []float64
+	// Trace is the coordinator's per-client train span context, so the
+	// client's local-train span can parent under the coordinator's round
+	// span tree. Zero when span tracing is off; a half-set context is a
+	// protocol violation the client rejects as *EnvelopeError.
+	Trace telemetry.SpanContext
+}
+
+// WireSpan is a completed span shipped across the wire — the client's
+// local-train measurement riding back on the TrainReply. Only the
+// duration travels: client wall clocks are not comparable to the
+// coordinator's, so the receiving side records it as a foreign span
+// with an unknown start offset.
+type WireSpan struct {
+	Name     string
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	DurSec   float64
 }
 
 // TrainReply returns the locally updated parameters (Fig. 2, step 4).
@@ -59,6 +78,11 @@ type TrainReply struct {
 	// UpdatedLabelCounts, when non-nil, replaces the client's P(y)
 	// summary on the server.
 	UpdatedLabelCounts []float64
+	// TrainSpan, when non-nil, is the client's local-train span for this
+	// round, parented under the request's Trace. Clients attach it only
+	// when the request carried a trace; the server validates it against
+	// the context it sent (see checkWireSpan).
+	TrainSpan *WireSpan
 }
 
 // Shutdown ends the session.
@@ -123,13 +147,31 @@ func (c *Client) Run(addr string) (rounds int, err error) {
 		case env.Shutdown != nil:
 			return rounds, nil
 		case env.Request != nil:
+			if !env.Request.Trace.Valid() {
+				return rounds, envelopeErr(ErrBadTraceContext, c.Reg.ClientID, env.Request.Round,
+					"half-set span context on TrainRequest")
+			}
+			start := time.Now()
 			params, n, loss := c.Trainer.Train(env.Request.Round, env.Request.Params)
+			wall := time.Since(start).Seconds()
 			reply := TrainReply{
 				ClientID:   c.Reg.ClientID,
 				Round:      env.Request.Round,
 				Params:     params,
 				NumSamples: n,
 				Loss:       loss,
+			}
+			if sc := env.Request.Trace; !sc.Zero() {
+				// Ship the local-train measurement back, parented under
+				// the coordinator's train span. The client needs no
+				// SpanTracer of its own — just a fresh ID.
+				reply.TrainSpan = &WireSpan{
+					Name:     "client_train",
+					TraceID:  sc.TraceID,
+					SpanID:   telemetry.NewSpanID(),
+					ParentID: sc.SpanID,
+					DurSec:   wall,
+				}
 			}
 			if c.SummaryRefresh != nil {
 				reply.UpdatedLabelCounts = c.SummaryRefresh(env.Request.Round)
@@ -268,19 +310,22 @@ func (s *Server) Registrations() []Register {
 // Train runs one request/reply exchange with a single registered
 // client: push the global parameters for the round, decode and validate
 // the reply. It is the transport primitive the round driver's proxies
-// call concurrently (one goroutine per selected client). Any failure —
-// connection error, EOF, malformed or mismatched reply — drops the
-// session so a dead or misbehaving client cannot wedge later rounds,
-// and returns the error (typed *EnvelopeError for protocol violations)
-// for the driver to record as a client failure.
-func (s *Server) Train(clientID, round int, params []float64) (TrainReply, error) {
+// call concurrently (one goroutine per selected client). sc is the
+// caller's span context; it travels in the TrainRequest so the client's
+// local-train span parents under the coordinator's round tree, and the
+// reply's piggybacked span (if any) is validated against it. Any
+// failure — connection error, EOF, malformed or mismatched reply —
+// drops the session so a dead or misbehaving client cannot wedge later
+// rounds, and returns the error (typed *EnvelopeError for protocol
+// violations) for the driver to record as a client failure.
+func (s *Server) Train(clientID, round int, params []float64, sc telemetry.SpanContext) (TrainReply, error) {
 	s.mu.Lock()
 	sess, ok := s.sessions[clientID]
 	s.mu.Unlock()
 	if !ok {
 		return TrainReply{}, envelopeErr(ErrNotRegistered, clientID, round, "no live session")
 	}
-	if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params}}); err != nil {
+	if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params, Trace: sc}}); err != nil {
 		s.dropSession(clientID)
 		return TrainReply{}, fmt.Errorf("flnet: push to client %d: %w", clientID, err)
 	}
@@ -289,7 +334,7 @@ func (s *Server) Train(clientID, round int, params []float64) (TrainReply, error
 		s.dropSession(clientID)
 		return TrainReply{}, fmt.Errorf("flnet: receive from client %d: %w", clientID, err)
 	}
-	reply, err := checkReply(&env, clientID, round)
+	reply, err := checkReply(&env, clientID, round, sc)
 	if err != nil {
 		s.dropSession(clientID)
 		return TrainReply{}, err

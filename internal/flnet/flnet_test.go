@@ -4,7 +4,13 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"haccs/internal/telemetry"
 )
+
+// noTrace is the off span context every plain exchange in these tests
+// sends.
+var noTrace = telemetry.SpanContext{}
 
 // echoTrainer returns the received params shifted by a constant, so the
 // test can verify payload integrity end to end.
@@ -81,7 +87,7 @@ func TestRoundTripTraining(t *testing.T) {
 	srv, _, wg := startCluster(t, 4)
 	params := []float64{1, 2, 3}
 	for _, id := range []int{1, 3} {
-		rep, err := srv.Train(id, 7, params)
+		rep, err := srv.Train(id, 7, params, noTrace)
 		if err != nil {
 			t.Fatalf("train client %d: %v", id, err)
 		}
@@ -108,7 +114,7 @@ func TestMultipleRoundsSameClients(t *testing.T) {
 	srv, _, wg := startCluster(t, 2)
 	for round := 0; round < 5; round++ {
 		for id := 0; id < 2; id++ {
-			rep, err := srv.Train(id, round, []float64{float64(round)})
+			rep, err := srv.Train(id, round, []float64{float64(round)}, noTrace)
 			if err != nil {
 				t.Fatalf("round %d client %d: %v", round, id, err)
 			}
@@ -123,7 +129,7 @@ func TestMultipleRoundsSameClients(t *testing.T) {
 
 func TestTrainUnknownClient(t *testing.T) {
 	srv, _, wg := startCluster(t, 1)
-	_, err := srv.Train(99, 0, []float64{1})
+	_, err := srv.Train(99, 0, []float64{1}, noTrace)
 	var ee *EnvelopeError
 	if !errors.As(err, &ee) || ee.Kind != ErrNotRegistered {
 		t.Errorf("err = %v, want ErrNotRegistered", err)
@@ -151,7 +157,7 @@ func TestClientShutdownCleanly(t *testing.T) {
 	if _, err := srv.AcceptClients(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Train(0, 0, []float64{5}); err != nil {
+	if _, err := srv.Train(0, 0, []float64{5}, noTrace); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
@@ -212,7 +218,7 @@ func TestSummaryRefreshPiggyback(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 4; round++ {
-		rep, err := srv.Train(0, round, []float64{1})
+		rep, err := srv.Train(0, round, []float64{1}, noTrace)
 		if err != nil {
 			t.Fatal(err)
 		}

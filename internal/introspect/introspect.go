@@ -1,0 +1,157 @@
+// Package introspect is the selection-introspection layer: a live,
+// structured view of why the scheduler is picking what it picks. A
+// strategy that implements SelectionInspector publishes its current
+// decision state — cluster assignments with their eq. 7 weight
+// decomposition, a distance-matrix summary, the OPTICS reachability
+// plot, and the most recent per-round pick rationale — and Handler
+// serves it as JSON at /debug/selection on the telemetry HTTP mux.
+//
+// The package sits above telemetry and below the strategies: it defines
+// only data types and an HTTP/replay surface, so internal/core can
+// depend on it without internal/telemetry having to know strategies
+// exist.
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// SelectionInspector is implemented by strategies that can report
+// their live decision state. Implementations must be safe to call
+// concurrently with Select/Update (the HTTP handler races a training
+// run by design).
+type SelectionInspector interface {
+	SelectionState() State
+}
+
+// State is one consistent snapshot of a strategy's decision state.
+type State struct {
+	// Strategy is the strategy's self-reported name.
+	Strategy string `json:"strategy"`
+	// Round is the last round Select ran for (-1 before the first).
+	Round int `json:"round"`
+	// Clusters is the per-cluster scheduling state, indexed by cluster
+	// ID.
+	Clusters []ClusterState `json:"clusters"`
+	// Distance summarizes the pairwise summary-distance matrix behind
+	// the current clustering.
+	Distance DistanceSummary `json:"distance"`
+	// Order is the OPTICS visiting order behind the current clustering;
+	// Reachability[i] is the reachability distance of Order[i], with
+	// unreachable points (+Inf in the raw result, the starts of new
+	// density-connected components) encoded as -1 so the state stays
+	// JSON-representable.
+	Order        []int     `json:"optics_order,omitempty"`
+	Reachability []float64 `json:"reachability,omitempty"`
+	// LastPicks is the pick rationale of the most recent Select call,
+	// in selection order.
+	LastPicks []Pick `json:"last_picks,omitempty"`
+}
+
+// ClusterState is the live scheduling state of one cluster: its
+// membership and the eq. 7 weight decomposition from the most recent
+// Select call.
+type ClusterState struct {
+	ID      int   `json:"id"`
+	Members []int `json:"members"`
+	// Theta is the eq. 7 sampling weight θ = ρ·τ + (1−ρ)·ACLShare.
+	Theta float64 `json:"theta"`
+	// Tau is the latency term 1 − Latency_i/Latency_max.
+	Tau float64 `json:"tau"`
+	// ACL is the average last-known loss of the cluster's available
+	// members; ACLShare its normalized share across clusters.
+	ACL      float64 `json:"acl"`
+	ACLShare float64 `json:"acl_share"`
+	// Alive reports whether the cluster had any available member at the
+	// last Select (dead clusters keep zero weights).
+	Alive bool `json:"alive"`
+}
+
+// Pick records one intra-cluster device choice and its rationale.
+type Pick struct {
+	Round   int     `json:"round"`
+	Cluster int     `json:"cluster"`
+	Client  int     `json:"client"`
+	Latency float64 `json:"latency"`
+	// Theta is the sampled cluster's weight at pick time.
+	Theta float64 `json:"theta"`
+	// Reason names the intra-cluster policy that made the pick
+	// (e.g. "fastest", "weighted").
+	Reason string `json:"reason"`
+}
+
+// DistanceSummary compresses the pairwise distance matrix to the
+// figures a human checks first (N is the client count; Min/Mean/Max
+// range over the strict upper triangle).
+type DistanceSummary struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// DistanceMatrix is the read surface SummarizeDistances needs;
+// cluster.Matrix satisfies it structurally, keeping introspect free of
+// a clustering dependency.
+type DistanceMatrix interface {
+	Len() int
+	At(i, j int) float64
+}
+
+// SummarizeDistances builds a DistanceSummary from a symmetric pairwise
+// distance matrix (only the strict upper triangle is read). An empty or
+// single-point matrix yields the zero summary with N set.
+func SummarizeDistances(m DistanceMatrix) DistanceSummary {
+	s := DistanceSummary{N: m.Len()}
+	cnt := 0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			d := m.At(i, j)
+			if cnt == 0 || d < s.Min {
+				s.Min = d
+			}
+			if d > s.Max {
+				s.Max = d
+			}
+			s.Mean += d
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		s.Mean /= float64(cnt)
+	}
+	return s
+}
+
+// EncodeReachability copies an OPTICS reachability plot for JSON
+// transport, replacing +Inf (unreachable) with -1.
+func EncodeReachability(reach []float64) []float64 {
+	if reach == nil {
+		return nil
+	}
+	out := make([]float64, len(reach))
+	for i, r := range reach {
+		if r > 1e308 || r != r { // +Inf or NaN cannot survive JSON
+			out[i] = -1
+			continue
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Handler serves the inspector's state as JSON — mount it at
+// /debug/selection via telemetry.WithEndpoint.
+func Handler(insp SelectionInspector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if insp == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(insp.SelectionState())
+	})
+}

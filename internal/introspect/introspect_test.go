@@ -1,0 +1,204 @@
+package introspect
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"haccs/internal/telemetry"
+)
+
+// sliceMatrix adapts a dense symmetric matrix to DistanceMatrix.
+type sliceMatrix [][]float64
+
+func (m sliceMatrix) Len() int            { return len(m) }
+func (m sliceMatrix) At(i, j int) float64 { return m[i][j] }
+
+func TestSummarizeDistances(t *testing.T) {
+	m := sliceMatrix{
+		{0, 0.2, 0.8},
+		{0.2, 0, 0.5},
+		{0.8, 0.5, 0},
+	}
+	s := SummarizeDistances(m)
+	want := DistanceSummary{N: 3, Min: 0.2, Mean: 0.5, Max: 0.8}
+	if s != want {
+		t.Errorf("summary = %+v, want %+v", s, want)
+	}
+
+	// Degenerate sizes keep the zero stats with N set.
+	for _, m := range []sliceMatrix{{}, {{0}}} {
+		s := SummarizeDistances(m)
+		if s != (DistanceSummary{N: len(m)}) {
+			t.Errorf("n=%d summary = %+v", len(m), s)
+		}
+	}
+}
+
+func TestEncodeReachability(t *testing.T) {
+	in := []float64{math.Inf(1), 0.3, math.NaN(), 0, 1.5}
+	got := EncodeReachability(in)
+	want := []float64{-1, 0.3, -1, 0, 1.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("encoded = %v, want %v", got, want)
+	}
+	if !math.IsInf(in[0], 1) {
+		t.Error("input mutated")
+	}
+	if EncodeReachability(nil) != nil {
+		t.Error("nil input should stay nil")
+	}
+	// The encoded form must survive JSON.
+	if _, err := json.Marshal(got); err != nil {
+		t.Errorf("encoded reachability not JSON-safe: %v", err)
+	}
+}
+
+// stateFunc adapts a fixed State to SelectionInspector.
+type stateFunc State
+
+func (s stateFunc) SelectionState() State { return State(s) }
+
+func TestHandler(t *testing.T) {
+	st := State{
+		Strategy: "haccs-P(y)",
+		Round:    5,
+		Clusters: []ClusterState{{ID: 0, Members: []int{0, 1}, Theta: 0.6, Alive: true}},
+		Distance: DistanceSummary{N: 2, Min: 0.1, Mean: 0.1, Max: 0.1},
+	}
+	rec := httptest.NewRecorder()
+	Handler(stateFunc(st)).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/selection", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got State
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round-tripped state = %+v, want %+v", got, st)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/selection", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil inspector status %d, want 404", rec.Code)
+	}
+}
+
+// replayEvents is a small synthetic run: one round with selection,
+// spans, aggregation, and the introspection records.
+func replayEvents() []telemetry.Event {
+	return []telemetry.Event{
+		telemetry.Reclustered(-1, 2, 0.002),
+		telemetry.ClusterState(0, 0, 0.7, 0.9, 1.2, 0.55, []int{0, 1}),
+		telemetry.ClusterState(0, 1, 0.3, 0.1, 1.0, 0.45, []int{2}),
+		telemetry.ClusterSampled(0, 0, 0.7, 0.9, 1.2, 0.55),
+		telemetry.ClientPicked(0, 0, 1, 2.5, "fastest"),
+		telemetry.ClusterSampled(0, 1, 0.3, 0.1, 1.0, 0.45),
+		telemetry.ClientPicked(0, 1, 2, 4.0, "fastest"),
+		telemetry.Selection(0, []int{1, 2}),
+		telemetry.SpanEnded("round", 0xa, 0xb, 0, 0, -1, 0, 0.01),
+		telemetry.SpanEnded("dispatch", 0xa, 0xc, 0xb, 0, -1, 0.001, 0.008),
+		telemetry.Aggregated(0, []int{1, 2}, 4.0, 4.0),
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, replayEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== round -1 ==",
+		"reclustered     2 clusters in 0.002s",
+		"== round 0 ==",
+		"selected        [1 2]",
+		"pick            client 1 from cluster 0 (fastest, latency 2.5s)",
+		"aggregated      2 updates, round 4.0s, clock 4.0s",
+		"trace a round 0",
+		"round",
+		"dispatch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The span tree nests dispatch under round.
+	if strings.Index(out, "trace a") > strings.Index(out, "  dispatch") {
+		t.Errorf("span tree ordering wrong:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := WriteTimeline(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no round events") {
+		t.Errorf("empty timeline output %q", sb.String())
+	}
+}
+
+func TestWriteSelectionTable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSelectionTable(&sb, replayEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + 2 clusters + policies:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "cluster") {
+		t.Errorf("header %q", lines[0])
+	}
+	for _, want := range []string{"[0 1]", "[2]", "0.7000", "0.4500", "pick policies: fastest=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := WriteSelectionTable(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no selection events") {
+		t.Errorf("empty table output %q", sb.String())
+	}
+}
+
+// TestReplayFromJSONL checks the replay path haccs-trace uses: events
+// written by the JSONL sink decode back and render identically to the
+// in-memory originals.
+func TestReplayFromJSONL(t *testing.T) {
+	var buf strings.Builder
+	sink := telemetry.NewJSONLSink(writerOnly{&buf})
+	for _, e := range replayEvents() {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, replayed strings.Builder
+	if err := WriteTimeline(&direct, replayEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&replayed, events); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != replayed.String() {
+		t.Errorf("JSONL round trip changed the timeline:\n--- direct\n%s--- replayed\n%s", direct.String(), replayed.String())
+	}
+}
+
+// writerOnly hides Reader methods so bufio targets a plain io.Writer.
+type writerOnly struct{ w *strings.Builder }
+
+func (w writerOnly) Write(p []byte) (int, error) { return w.w.Write(p) }

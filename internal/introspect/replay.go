@@ -1,0 +1,165 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"haccs/internal/telemetry"
+)
+
+// Replay turns a flight-recorder JSONL stream back into the two views
+// haccs-trace prints: a per-round timeline (key round events plus the
+// span tree) and a per-cluster selection summary table aggregated over
+// the whole run.
+
+// WriteTimeline renders the per-round timeline: for each round, the
+// selection, straggler/failure and aggregation events in arrival order,
+// followed by that round's span tree (when the run recorded spans).
+func WriteTimeline(w io.Writer, events []telemetry.Event) error {
+	rounds, order := groupByRound(events)
+	if len(order) == 0 {
+		_, err := fmt.Fprintln(w, "no round events recorded")
+		return err
+	}
+	for _, r := range order {
+		if _, err := fmt.Fprintf(w, "== round %d ==\n", r); err != nil {
+			return err
+		}
+		var spans []telemetry.Event
+		for _, e := range rounds[r] {
+			switch e.Kind {
+			case telemetry.KindSpan:
+				spans = append(spans, e)
+			case telemetry.KindUnavailable:
+				fmt.Fprintf(w, "  unavailable     %v\n", e.Clients)
+			case telemetry.KindSelection:
+				fmt.Fprintf(w, "  selected        %v\n", e.Clients)
+			case telemetry.KindClientPicked:
+				fmt.Fprintf(w, "  pick            client %d from cluster %d (%s, latency %.1fs)\n",
+					e.Client, e.Cluster, e.Reason, e.Latency)
+			case telemetry.KindStragglerCut:
+				fmt.Fprintf(w, "  straggler cut   %v at deadline %.1fs\n", e.Clients, e.VirtualSec)
+			case telemetry.KindClientFailed:
+				fmt.Fprintf(w, "  failed          %v\n", e.Clients)
+			case telemetry.KindAggregated:
+				fmt.Fprintf(w, "  aggregated      %d updates, round %.1fs, clock %.1fs\n",
+					len(e.Clients), e.VirtualSec, e.Clock)
+			case telemetry.KindEvaluated:
+				fmt.Fprintf(w, "  evaluated       acc %.4f loss %.4f at clock %.1fs\n", e.Acc, e.Loss, e.Clock)
+			case telemetry.KindNetRound:
+				fmt.Fprintf(w, "  net round       %.3fs wall\n", e.WallSec)
+			case telemetry.KindReclustered:
+				fmt.Fprintf(w, "  reclustered     %d clusters in %.3fs\n", e.Clusters, e.WallSec)
+			}
+		}
+		if len(spans) > 0 {
+			if err := telemetry.WriteSpanTree(w, spans); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// groupByRound buckets events by round, preserving arrival order within
+// a round, and returns the sorted round keys. Round -1 (Init-time
+// reclustering) sorts first.
+func groupByRound(events []telemetry.Event) (map[int][]telemetry.Event, []int) {
+	rounds := map[int][]telemetry.Event{}
+	for _, e := range events {
+		rounds[e.Round] = append(rounds[e.Round], e)
+	}
+	order := make([]int, 0, len(rounds))
+	for r := range rounds {
+		order = append(order, r)
+	}
+	sort.Ints(order)
+	return rounds, order
+}
+
+// clusterAgg accumulates one cluster's selection activity over a run.
+type clusterAgg struct {
+	sampled int
+	picks   int
+	members []int
+	// last-seen weight decomposition (cluster_state, falling back to
+	// cluster_sampled for pre-introspection recordings).
+	theta, tau, acl, aclShare float64
+}
+
+// WriteSelectionTable renders the per-cluster selection summary: how
+// often each cluster was sampled and picked from across the run, its
+// membership, and its final eq. 7 weight decomposition.
+func WriteSelectionTable(w io.Writer, events []telemetry.Event) error {
+	aggs := map[int]*clusterAgg{}
+	get := func(c int) *clusterAgg {
+		a := aggs[c]
+		if a == nil {
+			a = &clusterAgg{}
+			aggs[c] = a
+		}
+		return a
+	}
+	reasons := map[string]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindClusterSampled:
+			a := get(e.Cluster)
+			a.sampled++
+			a.theta, a.tau, a.acl, a.aclShare = e.Theta, e.Tau, e.ACL, e.ACLShare
+		case telemetry.KindClientPicked:
+			get(e.Cluster).picks++
+			if e.Reason != "" {
+				reasons[e.Reason]++
+			}
+		case telemetry.KindClusterState:
+			a := get(e.Cluster)
+			a.members = e.Clients
+			a.theta, a.tau, a.acl, a.aclShare = e.Theta, e.Tau, e.ACL, e.ACLShare
+		}
+	}
+	if len(aggs) == 0 {
+		_, err := fmt.Fprintln(w, "no selection events recorded")
+		return err
+	}
+	ids := make([]int, 0, len(aggs))
+	for c := range aggs {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	if _, err := fmt.Fprintf(w, "%-8s %-8s %-8s %-20s %8s %8s %8s %8s\n",
+		"cluster", "sampled", "picks", "members", "theta", "tau", "acl", "share"); err != nil {
+		return err
+	}
+	for _, c := range ids {
+		a := aggs[c]
+		members := "?"
+		if a.members != nil {
+			members = fmt.Sprintf("%v", a.members)
+		}
+		if _, err := fmt.Fprintf(w, "%-8d %-8d %-8d %-20s %8.4f %8.4f %8.4f %8.4f\n",
+			c, a.sampled, a.picks, members, a.theta, a.tau, a.acl, a.aclShare); err != nil {
+			return err
+		}
+	}
+	if len(reasons) > 0 {
+		names := make([]string, 0, len(reasons))
+		for r := range reasons {
+			names = append(names, r)
+		}
+		sort.Strings(names)
+		if _, err := fmt.Fprintf(w, "pick policies:"); err != nil {
+			return err
+		}
+		for _, r := range names {
+			if _, err := fmt.Fprintf(w, " %s=%d", r, reasons[r]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -43,6 +43,13 @@ type Config struct {
 	// disables tracing. Implementations must tolerate concurrent Emit
 	// calls (client-trained events come from worker goroutines).
 	Tracer telemetry.Tracer
+	// Spans, when non-nil, times every phase of the round lifecycle
+	// (availability → select → dispatch → per-client train → collect →
+	// aggregate → update) as a span tree rooted at the round span. The
+	// per-client train span's context is handed to Proxy.Train so
+	// network transports can propagate it on the wire. A nil tracer
+	// costs nothing (zero-alloc, pinned by benchmark).
+	Spans *telemetry.SpanTracer
 	// Metrics, when non-nil, receives the driver's counters, gauges
 	// and histograms (see DESIGN.md "Observability").
 	Metrics *telemetry.Registry
@@ -211,12 +218,16 @@ func (d *Driver) Dead(id int) bool { return d.dead[id] }
 // RunRound executes one full round: availability masking, strategy
 // selection, dispatch, collection with the deadline cutoff, partial
 // FedAvg over the reporters, telemetry, summary forwarding, and loss
-// feedback to the strategy.
+// feedback to the strategy. With Config.Spans set, every phase is
+// timed under one round-rooted span tree.
 func (d *Driver) RunRound(round int) Outcome {
 	tracer := d.cfg.Tracer
+	root := d.cfg.Spans.Root("round", round)
+	defer root.End()
 	if tracer != nil {
 		tracer.Emit(telemetry.RoundStart(round))
 	}
+	sp := root.Child("availability")
 	mask := d.cfg.Dropout.Unavailable(round, len(d.proxies))
 	available := d.available
 	down := d.down[:0]
@@ -227,6 +238,7 @@ func (d *Driver) RunRound(round int) Outcome {
 		}
 	}
 	d.down = down
+	sp.End()
 	if len(down) > 0 {
 		if tracer != nil {
 			tracer.Emit(telemetry.Unavailable(round, down))
@@ -235,7 +247,9 @@ func (d *Driver) RunRound(round int) Outcome {
 			d.met.unavailable.Add(float64(len(down)))
 		}
 	}
+	sp = root.Child("select")
 	selected := d.strategy.Select(round, available, d.cfg.ClientsPerRound)
+	sp.End()
 	if tracer != nil {
 		tracer.Emit(telemetry.Selection(round, append([]int(nil), selected...)))
 	}
@@ -252,10 +266,13 @@ func (d *Driver) RunRound(round int) Outcome {
 	}
 	d.validateSelection(selected, available)
 
-	d.dispatch(round, selected)
+	sp = root.Child("dispatch")
+	d.dispatch(round, selected, sp)
+	sp.End()
 
 	// Collect: partition the selection into reporters, deadline-cut
 	// stragglers and transport failures, preserving selection order.
+	sp = root.Child("collect")
 	deadline := d.cfg.Deadline
 	reporters := d.reporters[:0]
 	repIDs := d.repIDs[:0]
@@ -286,6 +303,7 @@ func (d *Driver) RunRound(round int) Outcome {
 	}
 	d.reporters, d.repIDs, d.losses = reporters, repIDs, losses
 	d.cut, d.failed = cut, failed
+	sp.End()
 
 	// The round lasts as long as its slowest reporter; when anyone was
 	// cut or died, the server waits out the deadline (or, without one,
@@ -298,10 +316,12 @@ func (d *Driver) RunRound(round int) Outcome {
 			roundTime = maxAll
 		}
 	}
+	sp = root.Child("aggregate")
 	if len(reporters) > 0 {
 		FedAvgInto(d.global, reporters)
 	}
 	d.clock += roundTime
+	sp.End()
 
 	if len(cut) > 0 && tracer != nil {
 		tracer.Emit(telemetry.StragglerCut(round, append([]int(nil), cut...), deadline))
@@ -324,6 +344,7 @@ func (d *Driver) RunRound(round int) Outcome {
 		d.met.roundVirt.Observe(roundTime)
 		d.met.clock.Set(d.clock)
 	}
+	sp = root.Child("update")
 	if d.cfg.OnSummary != nil {
 		for i := range reporters {
 			if s := reporters[i].Summary; s != nil {
@@ -332,6 +353,7 @@ func (d *Driver) RunRound(round int) Outcome {
 		}
 	}
 	d.strategy.Update(round, repIDs, losses)
+	sp.End()
 	return Outcome{
 		Selected:     selected,
 		Reporters:    repIDs,
@@ -373,8 +395,10 @@ func (d *Driver) validateSelection(selected []int, available []bool) {
 // counter; no semaphore churn and no per-job closure allocations.
 // Results are independent of scheduling because transports derive all
 // per-job randomness from the (client, round) pair and each selection
-// slot owns its result buffer.
-func (d *Driver) dispatch(round int, selected []int) {
+// slot owns its result buffer. Each job gets a per-client "train" span
+// parented under disp; its context rides to the proxy so network
+// transports can propagate it on the wire.
+func (d *Driver) dispatch(round int, selected []int, disp telemetry.Span) {
 	results := d.results[:len(selected)]
 	errs := d.errs[:len(selected)]
 	for i := range errs {
@@ -397,7 +421,9 @@ func (d *Driver) dispatch(round int, selected []int) {
 				if d.cfg.Tracer != nil || d.met != nil {
 					start = time.Now()
 				}
-				res, err := d.proxies[id].Train(round, w, i, d.global)
+				ts := disp.ChildClient("train", id)
+				res, err := d.proxies[id].Train(round, w, i, d.global, ts.Context())
+				ts.End()
 				if err != nil {
 					errs[i] = err
 					continue

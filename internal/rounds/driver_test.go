@@ -21,7 +21,7 @@ type fakeProxy struct {
 	calls   int
 }
 
-func (p *fakeProxy) Train(round, worker, slot int, params []float64) (Result, error) {
+func (p *fakeProxy) Train(round, worker, slot int, params []float64, _ telemetry.SpanContext) (Result, error) {
 	p.calls++
 	if p.fail[round] {
 		return Result{}, errors.New("fake transport failure")
@@ -340,5 +340,79 @@ func TestFedAvgRenormalizesOverReporters(t *testing.T) {
 		if math.Abs(v-want) > 1e-15 {
 			t.Fatalf("avg[%d] = %v, want %v", i, v, want)
 		}
+	}
+}
+
+// TestDriverSpanTree checks the round lifecycle span shape: one root
+// "round" span per round, the six phase children under it, and one
+// train span per selected client under dispatch.
+func TestDriverSpanTree(t *testing.T) {
+	sink := &telemetry.MemorySink{}
+	spans := telemetry.NewSpanTracer(sink, nil)
+	_, tr := newFakeCluster([]float64{1, 2, 3}, []int{10, 10, 10})
+	strat := &scriptStrategy{selections: [][]int{{0, 2}}}
+	d := NewDriver(Config{ClientsPerRound: 2, Spans: spans}, tr, strat, make([]float64, testDim))
+	d.RunRound(0)
+
+	byName := map[string][]telemetry.Event{}
+	for _, e := range sink.Filter(telemetry.KindSpan) {
+		byName[e.Span] = append(byName[e.Span], e)
+	}
+	if len(byName["round"]) != 1 {
+		t.Fatalf("round spans = %d, want 1", len(byName["round"]))
+	}
+	root := byName["round"][0]
+	if root.ParentID != "" {
+		t.Fatalf("round span has parent %q", root.ParentID)
+	}
+	for _, phase := range []string{"availability", "select", "dispatch", "collect", "aggregate", "update"} {
+		evs := byName[phase]
+		if len(evs) != 1 {
+			t.Fatalf("%q spans = %d, want 1", phase, len(evs))
+		}
+		e := evs[0]
+		if e.ParentID != root.SpanID || e.TraceID != root.TraceID {
+			t.Errorf("%q parent/trace = %s/%s, want %s/%s", phase, e.ParentID, e.TraceID, root.SpanID, root.TraceID)
+		}
+		if e.Round != 0 || e.Client != -1 {
+			t.Errorf("%q round/client = %d/%d", phase, e.Round, e.Client)
+		}
+	}
+	dispatch := byName["dispatch"][0]
+	trains := byName["train"]
+	if len(trains) != 2 {
+		t.Fatalf("train spans = %d, want 2", len(trains))
+	}
+	clients := map[int]bool{}
+	for _, e := range trains {
+		if e.ParentID != dispatch.SpanID || e.TraceID != root.TraceID {
+			t.Errorf("train span parent/trace = %s/%s, want under dispatch %s", e.ParentID, e.TraceID, dispatch.SpanID)
+		}
+		clients[e.Client] = true
+	}
+	if !clients[0] || !clients[2] {
+		t.Errorf("train spans cover clients %v, want 0 and 2", clients)
+	}
+}
+
+// TestDriverSpanTreeEmptySelection checks an empty round still closes
+// its spans without a dispatch subtree.
+func TestDriverSpanTreeEmptySelection(t *testing.T) {
+	sink := &telemetry.MemorySink{}
+	spans := telemetry.NewSpanTracer(sink, nil)
+	_, tr := newFakeCluster([]float64{1}, []int{10})
+	strat := &scriptStrategy{selections: [][]int{nil}}
+	d := NewDriver(Config{ClientsPerRound: 1, Spans: spans}, tr, strat, make([]float64, testDim))
+	d.RunRound(0)
+
+	names := map[string]int{}
+	for _, e := range sink.Filter(telemetry.KindSpan) {
+		names[e.Span]++
+	}
+	if names["round"] != 1 || names["availability"] != 1 || names["select"] != 1 {
+		t.Fatalf("span counts = %v", names)
+	}
+	if names["train"] != 0 {
+		t.Fatalf("empty selection produced %d train spans", names["train"])
 	}
 }

@@ -12,6 +12,8 @@
 // one place).
 package rounds
 
+import "haccs/internal/telemetry"
+
 // Result is what one client returns to the server after local
 // training. internal/fl aliases its TrainResult to this type, so the
 // in-process proxy returns it without conversion.
@@ -39,8 +41,12 @@ type Proxy interface {
 	// identifies the calling worker so in-process transports can pin
 	// per-worker scratch state, and slot is the job's selection-order
 	// index so transports can reuse per-slot result buffers. Network
-	// transports ignore both. Implementations must not retain params.
-	Train(round, worker, slot int, params []float64) (Result, error)
+	// transports ignore both. sc is the driver's per-client train span
+	// context (zero when span tracing is off); network transports
+	// propagate it on the wire so the remote side can parent its local
+	// spans under this dispatch, in-process transports may ignore it.
+	// Implementations must not retain params.
+	Train(round, worker, slot int, params []float64, sc telemetry.SpanContext) (Result, error)
 	// Latency is the client's expected round latency in virtual
 	// seconds — the driver's clock advance and deadline-cutoff input.
 	Latency() float64

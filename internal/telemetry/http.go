@@ -4,20 +4,49 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 )
+
+// ServeOption customizes the observability mux built by Handler/Serve.
+type ServeOption func(mux *http.ServeMux)
+
+// WithEndpoint mounts an extra handler on the observability mux — the
+// hook higher layers (e.g. internal/introspect's /debug/selection) use
+// without telemetry depending on them.
+func WithEndpoint(path string, h http.Handler) ServeOption {
+	return func(mux *http.ServeMux) { mux.Handle(path, h) }
+}
+
+// WithPprof mounts the net/http/pprof profiling endpoints under
+// /debug/pprof/. Deliberately opt-in (profiling endpoints expose stack
+// and heap contents); cmds gate it behind a -pprof flag.
+func WithPprof() ServeOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+}
 
 // Handler serves the observability endpoints:
 //
 //	/metrics      — Prometheus text exposition of reg
 //	/debug/trace  — JSONL tail of the ring buffer (?n=100 limits it)
+//	/debug/spans  — span-tree view of the ring's span events
+//	               (?n limits the tail scanned, ?format=json for raw)
 //
 // Either argument may be nil; the corresponding endpoint then reports
-// 404.
-func Handler(reg *Registry, ring *RingSink) http.Handler {
+// 404. Options mount additional endpoints (selection introspection,
+// pprof).
+func Handler(reg *Registry, ring *RingSink, opts ...ServeOption) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if reg == nil {
@@ -32,14 +61,9 @@ func Handler(reg *Registry, ring *RingSink) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		n := 0
-		if q := req.URL.Query().Get("n"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v < 0 {
-				http.Error(w, "telemetry: bad n", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, ok := tailParam(w, req)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
@@ -49,7 +73,117 @@ func Handler(reg *Registry, ring *RingSink) http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		n, ok := tailParam(w, req)
+		if !ok {
+			return
+		}
+		var spans []Event
+		for _, e := range ring.Tail(n) {
+			if e.Kind == KindSpan {
+				spans = append(spans, e)
+			}
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteSpanTree(w, spans)
+	})
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
+}
+
+// tailParam parses the ?n= tail limit shared by the ring-backed
+// endpoints, reporting 400 on malformed input.
+func tailParam(w http.ResponseWriter, req *http.Request) (int, bool) {
+	q := req.URL.Query().Get("n")
+	if q == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		http.Error(w, "telemetry: bad n", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteSpanTree renders completed-span events as indented per-trace
+// trees, oldest trace first — the /debug/spans text view and the
+// haccs-trace replay share it. Spans arrive in completion order;
+// parents complete after their children, so the tree is rebuilt from
+// the ID links. Orphans (parent outside the window) are promoted to
+// roots rather than dropped.
+func WriteSpanTree(w io.Writer, spans []Event) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "no spans recorded")
+		return err
+	}
+	byID := make(map[string]int, len(spans))
+	for i, s := range spans {
+		byID[s.SpanID] = i
+	}
+	children := make(map[string][]int, len(spans))
+	var roots []int
+	for i, s := range spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	// Children render in start order where starts are comparable
+	// (foreign spans sort last, preserving arrival order).
+	order := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool {
+			sa, sb := spans[idx[a]].StartSec, spans[idx[b]].StartSec
+			if sa < 0 || sb < 0 {
+				return false
+			}
+			return sa < sb
+		})
+	}
+	order(roots)
+	var render func(i, depth int) error
+	render = func(i, depth int) error {
+		s := spans[i]
+		label := s.Span
+		if s.Client >= 0 {
+			label += fmt.Sprintf(" client=%d", s.Client)
+		}
+		if _, err := fmt.Fprintf(w, "%*s%-*s %9.3fms\n", 2*depth, "", 36-2*depth, label, s.WallSec*1000); err != nil {
+			return err
+		}
+		kids := children[s.SpanID]
+		order(kids)
+		for _, k := range kids {
+			if err := render(k, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		s := spans[r]
+		if _, err := fmt.Fprintf(w, "trace %s round %d\n", s.TraceID, s.Round); err != nil {
+			return err
+		}
+		if err := render(r, 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // HTTPServer is a running observability endpoint with a graceful
@@ -70,14 +204,15 @@ func (s *HTTPServer) Close() error {
 	return s.srv.Shutdown(ctx)
 }
 
-// Serve starts an HTTP server for Handler(reg, ring) on addr and
-// returns once the listener is bound, so scrapes succeed immediately.
-func Serve(addr string, reg *Registry, ring *RingSink) (*HTTPServer, error) {
+// Serve starts an HTTP server for Handler(reg, ring, opts...) on addr
+// and returns once the listener is bound, so scrapes succeed
+// immediately.
+func Serve(addr string, reg *Registry, ring *RingSink, opts ...ServeOption) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, ring)}
+	srv := &http.Server{Handler: Handler(reg, ring, opts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &HTTPServer{srv: srv, addr: ln.Addr().String()}, nil
 }

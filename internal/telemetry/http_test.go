@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -97,3 +98,116 @@ func (r *recorder) Header() http.Header { return r.header }
 func (r *recorder) WriteHeader(code int) { r.status = code }
 
 func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// TestDebugSpansEndpoint exercises the span-tree view over HTTP in both
+// renderings, fed by real spans recorded into the ring.
+func TestDebugSpansEndpoint(t *testing.T) {
+	ring := NewRingSink(32)
+	tr := NewSpanTracer(ring, nil)
+	root := tr.Root("round", 2)
+	disp := root.Child("dispatch")
+	ts := disp.ChildClient("train", 5)
+	ts.End()
+	disp.End()
+	root.End()
+	ring.Emit(RoundStart(2)) // non-span noise the endpoint must filter
+
+	srv, err := Serve("127.0.0.1:0", nil, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/spans", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"round 2", "round", "dispatch", "train client=5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("span tree missing %q:\n%s", want, text)
+		}
+	}
+	// Nesting: train is indented deeper than dispatch.
+	if strings.Index(text, "  dispatch") > strings.Index(text, "    train") {
+		t.Errorf("span tree not nested:\n%s", text)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/spans?format=json", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []Event
+	err = json.NewDecoder(resp.Body).Decode(&spans)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("json view has %d spans, want 3 (non-span events filtered)", len(spans))
+	}
+	for _, e := range spans {
+		if e.Kind != KindSpan {
+			t.Errorf("non-span event leaked: %+v", e)
+		}
+	}
+}
+
+// TestServeOptions checks the extension hooks: an extra endpoint mounts
+// on the mux and WithPprof exposes the profile index.
+func TestServeOptions(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil,
+		WithEndpoint("/debug/custom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "custom ok")
+		})),
+		WithPprof(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/custom", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "custom ok" {
+		t.Errorf("custom endpoint body %q", body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d body %.80q", resp.StatusCode, body)
+	}
+}
+
+// TestWriteSpanTreeOrphans checks spans whose parents fell out of the
+// ring window are promoted to roots instead of vanishing.
+func TestWriteSpanTreeOrphans(t *testing.T) {
+	spans := []Event{
+		SpanEnded("train", 0xa, 0x2, 0x1 /* parent not in window */, 0, 3, 0.1, 0.5),
+	}
+	var sb strings.Builder
+	if err := WriteSpanTree(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "train client=3") {
+		t.Errorf("orphan dropped:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteSpanTree(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans recorded") {
+		t.Errorf("empty output %q", sb.String())
+	}
+}

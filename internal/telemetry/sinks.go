@@ -48,9 +48,11 @@ func (m *MemorySink) Len() int {
 	return len(m.events)
 }
 
-// JSONLSink streams events as one JSON object per line. Writes are
-// serialized; encoding errors are sticky and reported by Close so hot
-// paths never handle I/O errors.
+// JSONLSink streams events as one JSON object per line. Emit encodes
+// into an in-memory buffer — the underlying writer sees data only when
+// the buffer fills, on Flush, or on Close — so the round hot path never
+// blocks on a syscall per event. Writes are serialized; I/O errors are
+// sticky and reported by Flush/Close so hot paths never handle them.
 type JSONLSink struct {
 	mu  sync.Mutex
 	enc *json.Encoder
@@ -59,10 +61,23 @@ type JSONLSink struct {
 	err error
 }
 
-// NewJSONLSink wraps w. The caller owns w's lifetime; call Close to
-// flush buffering.
+// jsonlBufferBytes is the default Emit buffer: large enough that a
+// typical round's worth of events (a few KiB) coalesces into one write.
+const jsonlBufferBytes = 64 << 10
+
+// NewJSONLSink wraps w with the default buffer. The caller owns w's
+// lifetime; call Close to flush buffering.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	buf := bufio.NewWriter(w)
+	return NewJSONLSinkSize(w, jsonlBufferBytes)
+}
+
+// NewJSONLSinkSize wraps w with an explicit buffer size in bytes
+// (values < 1 fall back to the default).
+func NewJSONLSinkSize(w io.Writer, size int) *JSONLSink {
+	if size < 1 {
+		size = jsonlBufferBytes
+	}
+	buf := bufio.NewWriterSize(w, size)
 	return &JSONLSink{enc: json.NewEncoder(buf), buf: buf}
 }
 
@@ -85,6 +100,18 @@ func (s *JSONLSink) Emit(e Event) {
 		s.err = s.enc.Encode(e)
 	}
 	s.mu.Unlock()
+}
+
+// Flush pushes the buffered events to the underlying writer, returning
+// the first error the sink has hit so far (errors are sticky). Use it
+// to checkpoint a long run; Close flushes implicitly.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
 // Close flushes and (when the sink owns its file) closes the

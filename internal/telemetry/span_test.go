@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestSpanIDRoundTrip pins the hex wire form of span IDs and the
+// malformed-input contract (0, which is never a live ID).
+func TestSpanIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, 1 << 63, ^uint64(0)} {
+		s := FormatSpanID(id)
+		if got := ParseSpanID(s); got != id {
+			t.Errorf("round trip %d -> %q -> %d", id, s, got)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "-1", "1g", "ffffffffffffffff0"} {
+		if got := ParseSpanID(bad); got != 0 {
+			t.Errorf("ParseSpanID(%q) = %d, want 0", bad, got)
+		}
+	}
+}
+
+// TestNewSpanIDUnique checks IDs are non-zero and distinct.
+func TestNewSpanIDUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id == 0 {
+			t.Fatal("zero span ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanContextValid pins the half-set-is-a-protocol-error contract.
+func TestSpanContextValid(t *testing.T) {
+	cases := []struct {
+		sc    SpanContext
+		zero  bool
+		valid bool
+	}{
+		{SpanContext{}, true, true},
+		{SpanContext{TraceID: 1, SpanID: 2}, false, true},
+		{SpanContext{TraceID: 1}, false, false},
+		{SpanContext{SpanID: 2}, false, false},
+	}
+	for _, c := range cases {
+		if c.sc.Zero() != c.zero || c.sc.Valid() != c.valid {
+			t.Errorf("%+v: Zero()=%v Valid()=%v, want %v %v",
+				c.sc, c.sc.Zero(), c.sc.Valid(), c.zero, c.valid)
+		}
+	}
+}
+
+// TestNewSpanTracerOff pins the documented off state: both inputs nil
+// means a nil tracer.
+func TestNewSpanTracerOff(t *testing.T) {
+	if tr := NewSpanTracer(nil, nil); tr != nil {
+		t.Errorf("NewSpanTracer(nil, nil) = %v, want nil", tr)
+	}
+}
+
+// TestSpanTree drives the full round span shape against a memory sink
+// and checks every parent link, round/client attribution and the
+// histogram family.
+func TestSpanTree(t *testing.T) {
+	sink := &MemorySink{}
+	reg := NewRegistry()
+	tr := NewSpanTracer(sink, reg)
+
+	root := tr.Root("round", 7)
+	disp := root.Child("dispatch")
+	train := disp.ChildClient("train", 3)
+	train.End()
+	disp.End()
+	root.End()
+
+	events := sink.Filter(KindSpan)
+	if len(events) != 3 {
+		t.Fatalf("got %d span events, want 3", len(events))
+	}
+	// Ends arrive innermost first.
+	evTrain, evDisp, evRoot := events[0], events[1], events[2]
+	if evTrain.Span != "train" || evDisp.Span != "dispatch" || evRoot.Span != "round" {
+		t.Fatalf("span names %q %q %q", evTrain.Span, evDisp.Span, evRoot.Span)
+	}
+	trace := evRoot.TraceID
+	if ParseSpanID(trace) == 0 {
+		t.Fatalf("root trace ID %q unparsable", trace)
+	}
+	for _, e := range events {
+		if e.TraceID != trace {
+			t.Errorf("span %q trace %q, want %q", e.Span, e.TraceID, trace)
+		}
+		if e.Round != 7 {
+			t.Errorf("span %q round %d", e.Span, e.Round)
+		}
+		if e.StartSec < 0 {
+			t.Errorf("span %q start %v, want >= 0", e.Span, e.StartSec)
+		}
+		if e.WallSec < 0 {
+			t.Errorf("span %q duration %v", e.Span, e.WallSec)
+		}
+	}
+	if evRoot.ParentID != "" {
+		t.Errorf("root parent %q, want empty", evRoot.ParentID)
+	}
+	if evDisp.ParentID != evRoot.SpanID {
+		t.Errorf("dispatch parent %q, want %q", evDisp.ParentID, evRoot.SpanID)
+	}
+	if evTrain.ParentID != evDisp.SpanID {
+		t.Errorf("train parent %q, want %q", evTrain.ParentID, evDisp.SpanID)
+	}
+	if evTrain.Client != 3 {
+		t.Errorf("train client %d, want 3", evTrain.Client)
+	}
+	if evRoot.Client != -1 || evDisp.Client != -1 {
+		t.Errorf("non-client spans carry clients %d %d", evRoot.Client, evDisp.Client)
+	}
+
+	// Each name observed once into haccs_span_seconds{span=<name>}.
+	counts := map[string]uint64{}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "haccs_span_seconds" {
+			counts[s.LabelValue] = s.Hist.Count
+		}
+	}
+	for _, name := range []string{"round", "dispatch", "train"} {
+		if counts[name] != 1 {
+			t.Errorf("haccs_span_seconds{span=%q} count %d, want 1", name, counts[name])
+		}
+	}
+}
+
+// TestSpanFromContext checks the receiving side of wire propagation
+// parents correctly, and that empty/half-set contexts yield no-op
+// spans.
+func TestSpanFromContext(t *testing.T) {
+	sink := &MemorySink{}
+	tr := NewSpanTracer(sink, nil)
+
+	sc := SpanContext{TraceID: 0xabc, SpanID: 0xdef}
+	sp := tr.FromContext(sc, "client_train", 4, 9)
+	sp.End()
+
+	events := sink.Filter(KindSpan)
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	e := events[0]
+	if e.TraceID != FormatSpanID(0xabc) || e.ParentID != FormatSpanID(0xdef) {
+		t.Errorf("trace/parent = %q/%q", e.TraceID, e.ParentID)
+	}
+	if e.Round != 4 || e.Client != 9 {
+		t.Errorf("round/client = %d/%d", e.Round, e.Client)
+	}
+
+	for _, bad := range []SpanContext{{}, {TraceID: 1}, {SpanID: 1}} {
+		sp := tr.FromContext(bad, "x", 0, 0)
+		sp.End()
+	}
+	if n := len(sink.Filter(KindSpan)); n != 1 {
+		t.Errorf("invalid contexts produced %d extra span events", n-1)
+	}
+}
+
+// TestEmitForeign checks wire-shipped spans keep their minted IDs and
+// get the unknown-clock start marker.
+func TestEmitForeign(t *testing.T) {
+	sink := &MemorySink{}
+	reg := NewRegistry()
+	tr := NewSpanTracer(sink, reg)
+
+	tr.EmitForeign("client_train", 0x11, 0x22, 0x33, 5, 8, 0.25)
+
+	events := sink.Filter(KindSpan)
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	e := events[0]
+	if e.Span != "client_train" || e.TraceID != "11" || e.SpanID != "22" || e.ParentID != "33" {
+		t.Errorf("IDs mangled: %+v", e)
+	}
+	if e.StartSec != -1 {
+		t.Errorf("foreign start %v, want -1 (incomparable clock)", e.StartSec)
+	}
+	if e.WallSec != 0.25 || e.Round != 5 || e.Client != 8 {
+		t.Errorf("payload mangled: %+v", e)
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "haccs_span_seconds" && s.LabelValue == "client_train" && s.Hist.Count != 1 {
+			t.Errorf("foreign span not observed into histogram")
+		}
+	}
+
+	// Nil tracer: no-op, no panic.
+	var off *SpanTracer
+	off.EmitForeign("x", 1, 2, 3, 0, 0, 1)
+}
+
+// TestSpanNilTracerZeroAlloc pins the zero-overhead contract: the fully
+// instrumented span lifecycle allocates nothing when tracing is off.
+func TestSpanNilTracerZeroAlloc(t *testing.T) {
+	var tr *SpanTracer
+	allocs := testing.AllocsPerRun(100, func() {
+		root := tr.Root("round", 1)
+		sp := root.Child("dispatch")
+		ts := sp.ChildClient("train", 3)
+		if !ts.Context().Zero() {
+			t.Error("nil-tracer span leaked a context")
+		}
+		fc := tr.FromContext(SpanContext{TraceID: 1, SpanID: 2}, "client_train", 1, 3)
+		fc.End()
+		ts.End()
+		sp.End()
+		root.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer span lifecycle allocates %v/op, want 0", allocs)
+	}
+}

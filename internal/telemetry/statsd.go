@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,8 +19,14 @@ import (
 type Statsd struct {
 	prefix string
 
+	// dropped counts flushes whose UDP write failed (the datagrams are
+	// gone — statsd is fire-and-forget). Exposed via Dropped and as the
+	// haccs_statsd_dropped_flushes_total self-metric so silent loss is
+	// visible on the next successful flush.
+	dropped atomic.Uint64
+
 	mu   sync.Mutex
-	conn net.Conn
+	conn io.WriteCloser
 	// last remembers the previous flush's counter readings so deltas
 	// can be computed; keyed by the rendered bucket name.
 	last map[string]float64
@@ -32,8 +39,17 @@ func NewStatsd(addr, prefix string) (*Statsd, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: statsd dial %s: %w", addr, err)
 	}
-	return &Statsd{prefix: prefix, conn: conn, last: map[string]float64{}}, nil
+	return NewStatsdConn(conn, prefix), nil
 }
+
+// NewStatsdConn wraps an already-connected destination (any
+// WriteCloser; tests inject failing writers here).
+func NewStatsdConn(conn io.WriteCloser, prefix string) *Statsd {
+	return &Statsd{prefix: prefix, conn: conn, last: map[string]float64{}}
+}
+
+// Dropped returns how many flushes have been lost to write errors.
+func (s *Statsd) Dropped() uint64 { return s.dropped.Load() }
 
 // NewStatsdWriter returns an emitter that formats to an arbitrary
 // writer instead of the network — the testable core of the sink.
@@ -99,7 +115,10 @@ func (s *Statsd) EmitTo(w io.Writer, reg *Registry) error {
 	return nil
 }
 
-// Flush sends one snapshot over the dialled connection.
+// Flush sends one snapshot over the dialled connection. A failed write
+// is counted in the dropped-flush self-metric (registered into reg, so
+// the loss surfaces in the next successful flush and on /metrics)
+// rather than silently discarded by the periodic Start loop.
 func (s *Statsd) Flush(reg *Registry) error {
 	var sb strings.Builder
 	if err := s.EmitTo(&sb, reg); err != nil {
@@ -113,8 +132,15 @@ func (s *Statsd) Flush(reg *Registry) error {
 	if s.conn == nil {
 		return fmt.Errorf("telemetry: statsd emitter has no connection")
 	}
-	_, err := io.WriteString(s.conn, sb.String())
-	return err
+	if _, err := io.WriteString(s.conn, sb.String()); err != nil {
+		s.dropped.Add(1)
+		if reg != nil {
+			reg.Counter("haccs_statsd_dropped_flushes_total",
+				"Statsd flushes lost to UDP write errors.").Inc()
+		}
+		return fmt.Errorf("telemetry: statsd flush: %w", err)
+	}
+	return nil
 }
 
 // Start flushes the registry every interval until the returned stop

@@ -48,6 +48,17 @@ const (
 	// from aggregation and marked dead for future rounds: Round,
 	// Clients.
 	KindClientFailed = "client_failed"
+	// KindSpan is one completed timed span of the round lifecycle:
+	// Span (name), TraceID, SpanID, ParentID (absent for roots), Round,
+	// Client (-1 unless client-scoped), StartSec (host seconds since
+	// the tracer started; -1 for foreign spans shipped over the wire),
+	// WallSec (duration).
+	KindSpan = "span"
+	// KindClusterState is the per-round introspection record of one
+	// cluster's live scheduling state: Round, Cluster, Theta, Tau, ACL,
+	// ACLShare, Clients (member IDs). Emitted once per cluster per
+	// Select call, it is the flight-recorder form of /debug/selection.
+	KindClusterState = "cluster_state"
 )
 
 // Event is one record in the round trace. It is a flat union: Kind
@@ -80,6 +91,21 @@ type Event struct {
 	Acc        float64 `json:"acc,omitempty"`
 	NumSamples int     `json:"num_samples,omitempty"`
 	Clusters   int     `json:"clusters,omitempty"`
+
+	// Span fields (KindSpan): the span name and its hex-rendered
+	// trace/span/parent IDs (see FormatSpanID). StartSec is the span's
+	// start offset in host seconds since its tracer was constructed, or
+	// -1 for foreign spans whose clock is not comparable.
+	Span     string  `json:"span,omitempty"`
+	TraceID  string  `json:"trace_id,omitempty"`
+	SpanID   string  `json:"span_id,omitempty"`
+	ParentID string  `json:"parent_id,omitempty"`
+	StartSec float64 `json:"start_sec,omitempty"`
+
+	// Reason is the human-readable rationale attached to a decision
+	// event (KindClientPicked: the intra-cluster policy that chose the
+	// device).
+	Reason string `json:"reason,omitempty"`
 }
 
 // newEvent returns an event with the index fields neutralized.
@@ -106,10 +132,12 @@ func ClusterSampled(round, cluster int, theta, tau, acl, aclShare float64) Event
 	return e
 }
 
-// ClientPicked builds an intra-cluster device choice event.
-func ClientPicked(round, cluster, client int, latency float64) Event {
+// ClientPicked builds an intra-cluster device choice event; reason
+// names the policy that made the pick (e.g. "fastest", "weighted").
+func ClientPicked(round, cluster, client int, latency float64, reason string) Event {
 	e := newEvent(KindClientPicked, round)
 	e.Cluster, e.Client, e.Latency = cluster, client, latency
+	e.Reason = reason
 	return e
 }
 
@@ -170,6 +198,33 @@ func StragglerCut(round int, clients []int, deadline float64) Event {
 func ClientFailed(round int, clients []int) Event {
 	e := newEvent(KindClientFailed, round)
 	e.Clients = clients
+	return e
+}
+
+// SpanEnded builds a completed-span event. parent 0 marks a trace
+// root; startSec -1 marks a foreign span with an incomparable clock.
+func SpanEnded(name string, trace, span, parent uint64, round, client int, startSec, durSec float64) Event {
+	e := newEvent(KindSpan, round)
+	e.Span = name
+	e.TraceID = FormatSpanID(trace)
+	e.SpanID = FormatSpanID(span)
+	if parent != 0 {
+		e.ParentID = FormatSpanID(parent)
+	}
+	e.Client = client
+	e.StartSec = startSec
+	e.WallSec = durSec
+	return e
+}
+
+// ClusterState builds the per-round introspection record of one
+// cluster's scheduling state. members is retained by the event — pass a
+// copy.
+func ClusterState(round, cluster int, theta, tau, acl, aclShare float64, members []int) Event {
+	e := newEvent(KindClusterState, round)
+	e.Cluster = cluster
+	e.Theta, e.Tau, e.ACL, e.ACLShare = theta, tau, acl, aclShare
+	e.Clients = members
 	return e
 }
 

@@ -12,7 +12,7 @@ func sampleEvents() []Event {
 		RoundStart(0),
 		Unavailable(0, []int{3, 7}),
 		ClusterSampled(0, 2, 0.4, 0.6, 1.9, 0.25),
-		ClientPicked(0, 2, 11, 42.5),
+		ClientPicked(0, 2, 11, 42.5, "fastest"),
 		Selection(0, []int{11, 4}),
 		ClientTrained(0, 11, 1.7, 120, 0.004, 42.5),
 		Aggregated(0, []int{11, 4}, 55.5, 55.5),
