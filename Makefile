@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench-guard bench bench-json
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke
 
 ## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
 check: vet fmt-check build race
@@ -29,6 +29,25 @@ race:
 ## benchmark fails CI without paying full measurement time.
 bench-guard:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## resume-smoke: end-to-end crash-recovery check. Leg 1 runs 5 rounds
+## with per-round checkpointing and exits (the "crash"); leg 2 resumes
+## from the newest snapshot and finishes a 10-round budget; the
+## reference runs all 10 rounds uninterrupted. The summary JSONs must
+## be byte-identical — resume is bit-exact or this target fails.
+SMOKE := $(or $(TMPDIR),/tmp)/haccs-resume-smoke
+SMOKE_FLAGS := -strategy haccs-py -clients 12 -k 4 -size 8 -seed 7
+resume-smoke:
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) build -o $(SMOKE)/haccs-sim ./cmd/haccs-sim
+	$(SMOKE)/haccs-sim $(SMOKE_FLAGS) -rounds 5 \
+		-checkpoint-dir $(SMOKE)/ckpt -checkpoint-retain 12
+	$(SMOKE)/haccs-sim $(SMOKE_FLAGS) -rounds 10 -resume \
+		-checkpoint-dir $(SMOKE)/ckpt -checkpoint-retain 12 \
+		-json $(SMOKE)/resumed.json
+	$(SMOKE)/haccs-sim $(SMOKE_FLAGS) -rounds 10 -json $(SMOKE)/reference.json
+	diff $(SMOKE)/resumed.json $(SMOKE)/reference.json
+	@echo "resume-smoke: resumed summary matches the uninterrupted reference"
 
 ## bench: full benchmark pass (slow; for local measurement only).
 bench:

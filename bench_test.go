@@ -223,6 +223,15 @@ func BenchmarkRoundsDriverOverhead(b *testing.B) { benchrun.RoundsDriverOverhead
 // (target: exactly 0).
 func BenchmarkSpanNilTracer(b *testing.B) { benchrun.SpanNilTracer(b) }
 
+// BenchmarkCheckpointEncode measures capturing and gob-encoding a
+// LeNet-sized run snapshot — the per-checkpoint serialization cost.
+func BenchmarkCheckpointEncode(b *testing.B) { benchrun.CheckpointEncode(b) }
+
+// BenchmarkCheckpointDisabled measures the round loop's checkpoint
+// hook with checkpointing off; its allocs/op is the tracked
+// zero-overhead signal (target: exactly 0).
+func BenchmarkCheckpointDisabled(b *testing.B) { benchrun.CheckpointDisabled(b) }
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkMatMul measures the parallel GEMM kernel on a training-sized

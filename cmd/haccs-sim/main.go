@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"haccs/internal/checkpoint"
 	"haccs/internal/core"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
@@ -49,6 +50,11 @@ func main() {
 		csvPath  = flag.String("csv", "", "write the accuracy curve as CSV to this path")
 		jsonPath = flag.String("json", "", "write the run summary as JSON to this path")
 
+		ckptDir    = flag.String("checkpoint-dir", "", "persist run-state snapshots into this directory (crash recovery; see -resume)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in rounds when -checkpoint-dir is set")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "how many snapshots to keep on disk")
+		resume     = flag.Bool("resume", false, "resume from the newest good snapshot in -checkpoint-dir and continue to -rounds")
+
 		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path (replay it with haccs-trace)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/trace, /debug/spans and /debug/selection on this address during the run")
 		pprof       = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
@@ -58,8 +64,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if *deadline < 0 {
-		fmt.Fprintln(os.Stderr, "haccs-sim: -deadline must be >= 0")
+	if err := validateFlags(simFlags{
+		Rounds: *rounds, Clients: *clients, Classes: *classes, K: *k, Size: *size, Epochs: *epochs,
+		Dropout: *dropout, Deadline: *deadline, Rho: *rho, Policy: *policy,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, CheckpointRetain: *ckptRetain, Resume: *resume,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-sim:", err)
 		os.Exit(2)
 	}
 	spec, err := specFor(*family, *classes, *size)
@@ -81,12 +91,10 @@ func main() {
 		trainSets[i] = cd.Train
 	}
 
+	// validateFlags pinned *policy to fastest|weighted already.
 	intra := core.PickFastest
 	if *policy == "weighted" {
 		intra = core.PickWeighted
-	} else if *policy != "fastest" {
-		fmt.Fprintf(os.Stderr, "haccs-sim: unknown policy %q\n", *policy)
-		os.Exit(2)
 	}
 	// Telemetry: registry + trace sinks are only allocated when a flag
 	// asks for them; engines treat nil as "off".
@@ -197,12 +205,36 @@ func main() {
 		}
 	}
 
+	var store *checkpoint.Store
+	if *ckptDir != "" {
+		store, err = checkpoint.NewStore(*ckptDir, *ckptRetain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-sim:", err)
+			os.Exit(1)
+		}
+		cfg.Checkpoint = store
+		cfg.CheckpointEvery = *ckptEvery
+	}
+
 	fmt.Printf("haccs-sim: %s on %s, %d clients, k=%d, %d rounds, seed=%d\n",
 		strat.Name(), spec.Name, *clients, *k, *rounds, *seed)
 	if *deadline > 0 {
 		fmt.Printf("haccs-sim: straggler deadline %.1f virtual seconds (partial aggregation)\n", *deadline)
 	}
-	res := fl.NewEngine(cfg, roster, strat).Run()
+	eng := fl.NewEngine(cfg, roster, strat)
+	if *resume {
+		snap, err := store.LoadLatest()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-sim:", err)
+			os.Exit(1)
+		}
+		if err := eng.Restore(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("haccs-sim: resumed from snapshot after round %d in %s\n", snap.Round, *ckptDir)
+	}
+	res := eng.Run()
 
 	tab := metrics.NewTable("round", "virtual-time", "accuracy", "loss")
 	for _, p := range res.History {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodFlags returns a baseline that passes validation; cases mutate
+// one field each.
+func goodFlags() simFlags {
+	return simFlags{
+		Rounds: 100, Clients: 30, Classes: 10, K: 6, Size: 8, Epochs: 2,
+		Dropout: 0, Deadline: 0, Rho: 0.75, Policy: "fastest",
+		CheckpointEvery: 1, CheckpointRetain: 3,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*simFlags)
+		wantErr string // empty = valid
+	}{
+		{"baseline", func(f *simFlags) {}, ""},
+		{"negative_rounds", func(f *simFlags) { f.Rounds = -1 }, "-rounds"},
+		{"zero_rounds", func(f *simFlags) { f.Rounds = 0 }, "-rounds"},
+		{"negative_clients", func(f *simFlags) { f.Clients = -5 }, "-clients"},
+		{"negative_k", func(f *simFlags) { f.K = -2 }, "-k"},
+		{"zero_k", func(f *simFlags) { f.K = 0 }, "-k"},
+		{"zero_classes", func(f *simFlags) { f.Classes = 0 }, "-classes"},
+		{"zero_size", func(f *simFlags) { f.Size = 0 }, "-size"},
+		{"zero_epochs", func(f *simFlags) { f.Epochs = 0 }, "-epochs"},
+		{"dropout_negative", func(f *simFlags) { f.Dropout = -0.1 }, "-dropout"},
+		{"dropout_over_one", func(f *simFlags) { f.Dropout = 1.5 }, "-dropout"},
+		{"deadline_negative", func(f *simFlags) { f.Deadline = -1 }, "-deadline"},
+		{"rho_out_of_range", func(f *simFlags) { f.Rho = 1.2 }, "-rho"},
+		{"unknown_policy", func(f *simFlags) { f.Policy = "slowest" }, "-policy"},
+		{"resume_without_dir", func(f *simFlags) { f.Resume = true }, "-resume requires -checkpoint-dir"},
+		{"resume_with_dir", func(f *simFlags) { f.Resume = true; f.CheckpointDir = "/tmp/ck" }, ""},
+		{"checkpoint_every_zero", func(f *simFlags) { f.CheckpointDir = "/tmp/ck"; f.CheckpointEvery = 0 }, "-checkpoint-every"},
+		{"checkpoint_retain_zero", func(f *simFlags) { f.CheckpointDir = "/tmp/ck"; f.CheckpointRetain = 0 }, "-checkpoint-retain"},
+		{"every_zero_without_dir_ok", func(f *simFlags) { f.CheckpointEvery = 0 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFlags()
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

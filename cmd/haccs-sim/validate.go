@@ -1,0 +1,61 @@
+package main
+
+import "fmt"
+
+// simFlags collects the flag values subject to validation, so the
+// checks can be exercised by tests without spawning the binary.
+type simFlags struct {
+	Rounds, Clients, Classes, K, Size, Epochs int
+	Dropout, Deadline, Rho                    float64
+	Policy                                    string
+	CheckpointDir                             string
+	CheckpointEvery, CheckpointRetain         int
+	Resume                                    bool
+}
+
+// validateFlags rejects flag combinations that would otherwise panic
+// deep inside the engine (negative budgets) or silently do the wrong
+// thing (-resume with nowhere to resume from). The caller prints the
+// error and exits with status 2.
+func validateFlags(f simFlags) error {
+	positive := []struct {
+		name string
+		v    int
+	}{
+		{"-rounds", f.Rounds},
+		{"-clients", f.Clients},
+		{"-classes", f.Classes},
+		{"-k", f.K},
+		{"-size", f.Size},
+		{"-epochs", f.Epochs},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("%s must be positive (got %d)", p.name, p.v)
+		}
+	}
+	if f.Dropout < 0 || f.Dropout > 1 {
+		return fmt.Errorf("-dropout must be in [0,1] (got %v)", f.Dropout)
+	}
+	if f.Deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (got %v)", f.Deadline)
+	}
+	if f.Rho < 0 || f.Rho > 1 {
+		return fmt.Errorf("-rho must be in [0,1] (got %v)", f.Rho)
+	}
+	if f.Policy != "fastest" && f.Policy != "weighted" {
+		return fmt.Errorf("unknown -policy %q (want fastest or weighted)", f.Policy)
+	}
+	if f.Resume && f.CheckpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir (nowhere to resume from)")
+	}
+	if f.CheckpointDir != "" {
+		if f.CheckpointEvery <= 0 {
+			return fmt.Errorf("-checkpoint-every must be positive (got %d)", f.CheckpointEvery)
+		}
+		if f.CheckpointRetain <= 0 {
+			return fmt.Errorf("-checkpoint-retain must be positive (got %d)", f.CheckpointRetain)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ package benchrun
 import (
 	"testing"
 
+	"haccs/internal/checkpoint"
 	"haccs/internal/cluster"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
@@ -57,6 +58,8 @@ func Suite() []Entry {
 		{Name: "engine_run_5rounds", Bench: EngineRun, RoundsPerOp: engineRounds},
 		{Name: "rounds_driver_overhead", Bench: RoundsDriverOverhead, RoundsPerOp: driverRounds},
 		{Name: "span_nil_tracer", Bench: SpanNilTracer},
+		{Name: "checkpoint_encode", Bench: CheckpointEncode},
+		{Name: "checkpoint_disabled", Bench: CheckpointDisabled},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
 	}
 }
@@ -278,6 +281,52 @@ func SpanNilTracer(b *testing.B) {
 		ts.End()
 		sp.End()
 		root.End()
+	}
+}
+
+// CheckpointEncode measures capturing and gob-encoding one run
+// snapshot whose model component is the paper-scale LeNet parameter
+// vector — the dominant cost of a per-round checkpoint before it
+// reaches the disk. SetBytes is the raw parameter payload, so MB/s
+// reads as serialization throughput.
+func CheckpointEncode(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	net := nn.NewLeNet(3, 32, 32, 10, 6, 16, rng)
+	params := net.ParamsVector()
+	comps := []checkpoint.Component{{
+		Name: "model",
+		S: checkpoint.Model{
+			Params:    func() []float64 { return params },
+			SetParams: func([]float64) error { return nil },
+		},
+	}}
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(params)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := checkpoint.Capture(i+1, comps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CheckpointDisabled pins the cost the checkpoint hook adds to the
+// round hot path when checkpointing is off: a nil Saver's MaybeSave
+// must stay a zero-allocation no-op (the contract
+// checkpoint.TestNilSaverZeroAllocs enforces; this entry tracks it in
+// the benchmark trajectory).
+func CheckpointDisabled(b *testing.B) {
+	var s *checkpoint.Saver
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if saved, err := s.MaybeSave(i + 1); saved || err != nil {
+			b.Fatal("nil saver must never save or fail")
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+// Package checkpoint provides durable run-state snapshots with
+// bit-identical crash recovery. A Snapshot is a versioned bundle of
+// opaque per-component payloads — the global model, each selection
+// strategy's mutable state, the round driver's clock, the dropout
+// schedule — captured through the Snapshotter interface and persisted
+// by a file-backed Store (atomic temp-file + rename writes, CRC32
+// checksums in a JSON manifest, bounded retention, and fallback past
+// corrupt snapshots to the newest good one).
+//
+// The contract that makes resume exact rather than approximate: every
+// stateful layer of a run implements Snapshotter, all remaining
+// randomness is either derived statelessly from (seed, round) pairs or
+// carried inside a snapshotted stats.RNG stream, and restoring a
+// Snapshot into a freshly constructed run (same config, same roster)
+// reproduces the uninterrupted trajectory bit for bit — pinned by
+// experiments.TestResumeBitIdentical.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// FormatVersion is the snapshot format version this build writes and
+// the only one it accepts on decode.
+const FormatVersion = 1
+
+// Snapshotter is implemented by every stateful layer that participates
+// in checkpointing. SnapshotState serializes the component's mutable
+// state; RestoreState overwrites it from a previously captured payload.
+// RestoreState is only called on a component that has been constructed
+// and initialized exactly as it was for the run that produced the
+// snapshot (same config, same roster) — implementations validate what
+// they can (lengths, seeds) and return an error on mismatch rather
+// than restoring a half-compatible state.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
+// Component pairs a Snapshotter with the stable name it is stored
+// under inside a Snapshot.
+type Component struct {
+	Name string
+	S    Snapshotter
+}
+
+// Snapshot is one captured run state: the number of rounds completed
+// when it was taken plus each component's opaque payload.
+type Snapshot struct {
+	// Version is the snapshot format version (FormatVersion).
+	Version int
+	// Round is the number of rounds completed at capture time; a
+	// resumed run continues with round index Round.
+	Round int
+	// Components maps component name to its serialized state.
+	Components map[string][]byte
+}
+
+// Capture snapshots every component into a new Snapshot taken after
+// roundsDone completed rounds.
+func Capture(roundsDone int, comps []Component) (*Snapshot, error) {
+	snap := &Snapshot{Version: FormatVersion, Round: roundsDone, Components: make(map[string][]byte, len(comps))}
+	for _, c := range comps {
+		if _, dup := snap.Components[c.Name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate component %q", c.Name)
+		}
+		data, err := c.S.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: snapshot component %q: %w", c.Name, err)
+		}
+		snap.Components[c.Name] = data
+	}
+	return snap, nil
+}
+
+// Restore replays the snapshot into every component. Each component
+// listed must be present in the snapshot; payloads for components not
+// listed are ignored (a run configured without an optional layer can
+// still consume a snapshot that captured one, but never the reverse).
+func (s *Snapshot) Restore(comps []Component) error {
+	if s.Version != FormatVersion {
+		return fmt.Errorf("checkpoint: snapshot format version %d, this build reads %d", s.Version, FormatVersion)
+	}
+	for _, c := range comps {
+		data, ok := s.Components[c.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: snapshot has no %q component (components: %d)", c.Name, len(s.Components))
+		}
+		if err := c.S.RestoreState(data); err != nil {
+			return fmt.Errorf("checkpoint: restore component %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot as a gob stream.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a gob-encoded snapshot and validates its format
+// version.
+func Decode(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode snapshot: %w", err)
+	}
+	if snap.Version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: snapshot format version %d, this build reads %d", snap.Version, FormatVersion)
+	}
+	return &snap, nil
+}

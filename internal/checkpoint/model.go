@@ -1,0 +1,47 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+
+	"haccs/internal/nn"
+)
+
+// Model is the Snapshotter for a flat global parameter vector, stamped
+// with its architecture so restores are validated — it reuses the
+// nn.Checkpoint wire form, keeping the model component readable by the
+// same tooling that reads bare weight checkpoints. Arch may be the
+// zero value when the owning transport does not know the model family
+// (e.g. a generic flnet coordinator); validation then reduces to the
+// parameter count.
+type Model struct {
+	// Arch stamps and validates the payload.
+	Arch nn.Arch
+	// Params returns the live parameter vector (read-only view).
+	Params func() []float64
+	// SetParams overwrites the live parameter vector from a restored
+	// copy of equal length.
+	SetParams func(params []float64) error
+}
+
+// SnapshotState implements Snapshotter.
+func (m Model) SnapshotState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.EncodeCheckpoint(&buf, m.Arch, m.Params(), 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (m Model) RestoreState(data []byte) error {
+	want := len(m.Params())
+	params, _, err := nn.DecodeCheckpoint(bytes.NewReader(data), m.Arch, want)
+	if err != nil {
+		return err
+	}
+	if err := m.SetParams(params); err != nil {
+		return fmt.Errorf("checkpoint: restore model params: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"haccs/internal/cluster"
+	"haccs/internal/stats"
+)
+
+// schedulerStateVersion versions the scheduler's gob payload.
+const schedulerStateVersion = 1
+
+// schedulerState is the HACCS scheduler's serialized mutable state:
+// the Weighted-SRSWR RNG stream, every client's last observed loss
+// (the ACL inputs), and the cluster assignment in force when the
+// snapshot was taken. Latencies and summaries are rebuilt by Init;
+// the labels are restored rather than re-derived so a snapshot taken
+// after a §IV-C UpdateSummaries re-clustering resumes with the same
+// clusters the interrupted run was scheduling over.
+type schedulerState struct {
+	Version  int
+	RNG      stats.RNGState
+	LastLoss []float64
+	Labels   []int
+}
+
+// SnapshotState implements checkpoint.Snapshotter.
+func (s *Scheduler) SnapshotState() ([]byte, error) {
+	if s.rng == nil {
+		return nil, errors.New("core: scheduler not initialized")
+	}
+	s.mu.Lock()
+	labels := append([]int(nil), s.labels...)
+	s.mu.Unlock()
+	st := schedulerState{
+		Version:  schedulerStateVersion,
+		RNG:      s.rng.State(),
+		LastLoss: append([]float64(nil), s.lastLoss...),
+		Labels:   labels,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encode scheduler state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter (restore-after-Init:
+// Init must have run with the same roster and summaries as the run
+// that produced the snapshot).
+func (s *Scheduler) RestoreState(data []byte) error {
+	if s.rng == nil {
+		return errors.New("core: scheduler not initialized")
+	}
+	var st schedulerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode scheduler state: %w", err)
+	}
+	if st.Version != schedulerStateVersion {
+		return fmt.Errorf("core: scheduler state version %d, this build reads %d", st.Version, schedulerStateVersion)
+	}
+	if len(st.LastLoss) != len(s.lastLoss) || len(st.Labels) != len(s.summaries) {
+		return fmt.Errorf("core: scheduler snapshot for %d clients, scheduler has %d", len(st.Labels), len(s.summaries))
+	}
+	copy(s.lastLoss, st.LastLoss)
+	s.mu.Lock()
+	s.labels = append(s.labels[:0], st.Labels...)
+	s.clusters = cluster.Members(s.labels)
+	s.mu.Unlock()
+	s.rng.SetState(st.RNG)
+	return nil
+}

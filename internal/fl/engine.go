@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"haccs/internal/checkpoint"
 	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
@@ -63,6 +64,16 @@ type Config struct {
 	// piggybacked on training replies (unused by the simulated local
 	// transport today; part of the shared round-driver contract).
 	OnSummary func(clientID int, labelCounts []float64)
+	// Checkpoint, when non-nil, durably persists the full run state
+	// (model, driver clock, strategy, run progress, dropout schedule)
+	// into the store every CheckpointEvery rounds; a run restored from
+	// such a snapshot (see Engine.Restore) reproduces the uninterrupted
+	// trajectory bit for bit. Nil disables checkpointing at zero cost
+	// to the round hot path.
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the snapshot cadence in rounds when Checkpoint
+	// is set (<= 0 means every round).
+	CheckpointEvery int
 }
 
 func (c *Config) validate() {
@@ -149,6 +160,20 @@ type Engine struct {
 
 	evalLoss []float64
 
+	// Run-level progress lives on the engine (not a Run-local Result)
+	// so checkpoints can capture it and Restore can replay it: a
+	// resumed run's Result carries the full history, not a suffix.
+	history      []Point
+	perClientAcc []float64
+	selected     [][]int
+	roundsDone   int
+	// startRound is where the next Run call begins: 0 for a fresh
+	// engine, the snapshot round after Restore.
+	startRound int
+	// saver persists snapshots on cadence; nil = checkpointing off
+	// (MaybeSave on a nil saver is a zero-alloc no-op).
+	saver *checkpoint.Saver
+
 	// met caches the engine's evaluation gauges (nil when metrics are
 	// off); the round-level collectors are owned by the driver.
 	met *engineMetrics
@@ -230,6 +255,7 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 	}, localTransport{e}, strategy, initial)
+	e.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, e.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return e
 }
 
@@ -243,20 +269,22 @@ func (e *Engine) ClientLatency(id int) float64 {
 }
 
 // Run executes the configured number of rounds (or stops early at the
-// target accuracy) and returns the result.
+// target accuracy) and returns the result. After Restore it continues
+// from the snapshot round; the returned Result spans the whole run,
+// restored prefix included.
 func (e *Engine) Run() *Result {
-	res := &Result{Strategy: e.strategy.Name()}
-	for round := 0; round < e.cfg.MaxRounds; round++ {
+	for round := e.startRound; round < e.cfg.MaxRounds; round++ {
 		out := e.driver.RunRound(round)
-		res.Rounds = round + 1
+		e.roundsDone = round + 1
 		if e.cfg.RecordSelections {
-			res.Selected = append(res.Selected, out.Selected)
+			e.selected = append(e.selected, out.Selected)
 		}
+		stop := false
 		last := round == e.cfg.MaxRounds-1
 		if (round+1)%e.cfg.EvalEvery == 0 || last {
 			acc, loss, perClient := e.Evaluate()
-			res.History = append(res.History, Point{Round: round + 1, Time: e.driver.Clock(), Acc: acc, Loss: loss})
-			res.PerClientAcc = perClient
+			e.history = append(e.history, Point{Round: round + 1, Time: e.driver.Clock(), Acc: acc, Loss: loss})
+			e.perClientAcc = perClient
 			if e.cfg.Tracer != nil {
 				e.cfg.Tracer.Emit(telemetry.Evaluated(round, acc, loss, e.driver.Clock()))
 			}
@@ -265,13 +293,28 @@ func (e *Engine) Run() *Result {
 				e.met.evalLoss.Set(loss)
 			}
 			if e.cfg.TargetAccuracy > 0 && acc >= e.cfg.TargetAccuracy {
-				break
+				stop = true
 			}
 		}
+		// The snapshot is taken after the round's evaluation so its
+		// history prefix matches what an uninterrupted run would have
+		// accumulated by this point.
+		if _, err := e.saver.MaybeSave(round + 1); err != nil {
+			panic(fmt.Sprintf("fl: checkpoint save after round %d: %v", round+1, err))
+		}
+		if stop {
+			break
+		}
 	}
-	res.Clock = e.driver.Clock()
-	res.FinalParams = append([]float64(nil), e.driver.Global()...)
-	return res
+	return &Result{
+		Strategy:     e.strategy.Name(),
+		History:      append([]Point(nil), e.history...),
+		PerClientAcc: e.perClientAcc,
+		Selected:     append([][]int(nil), e.selected...),
+		Rounds:       e.roundsDone,
+		Clock:        e.driver.Clock(),
+		FinalParams:  append([]float64(nil), e.driver.Global()...),
+	}
 }
 
 // RunRound executes one round through the shared driver and returns its

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"haccs/internal/checkpoint"
+	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
 	"haccs/internal/telemetry"
@@ -39,6 +41,20 @@ type CoordinatorConfig struct {
 	// training replies (TrainReply.UpdatedLabelCounts); wire it to the
 	// HACCS scheduler's UpdateSummaries for §IV-C re-clustering.
 	OnSummary func(clientID int, labelCounts []float64)
+	// Checkpoint, when non-nil, durably persists the coordinator's run
+	// state (model, driver clock and dead mask, strategy) every
+	// CheckpointEvery rounds, so a coordinator that dies mid-run can be
+	// rebuilt over a fresh server — clients re-registering — and
+	// continue the round sequence exactly where it stopped (see
+	// Coordinator.Restore).
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the snapshot cadence in rounds when Checkpoint
+	// is set (<= 0 means every round).
+	CheckpointEvery int
+	// Arch stamps the model component of snapshots. It may be the zero
+	// value when the coordinator does not know the model family; the
+	// restore validation then reduces to the parameter count.
+	Arch nn.Arch
 }
 
 // Coordinator drives federated rounds over registered flnet clients
@@ -47,8 +63,16 @@ type CoordinatorConfig struct {
 // with the gob protocol as the transport. Build it after AcceptClients
 // has gathered the full roster.
 type Coordinator struct {
-	srv    *Server
-	driver *rounds.Driver
+	srv      *Server
+	driver   *rounds.Driver
+	strategy rounds.Strategy
+	arch     nn.Arch
+	dropout  simnet.DropoutModel
+
+	// saver persists snapshots on cadence (nil = off); startRound is
+	// where the round sequence continues after Restore.
+	saver      *checkpoint.Saver
+	startRound int
 
 	tracer telemetry.Tracer
 	reg    *telemetry.Registry
@@ -116,7 +140,7 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		}
 		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate, spans: cfg.Spans}
 	}
-	c := &Coordinator{srv: srv, tracer: cfg.Tracer, reg: cfg.Metrics}
+	c := &Coordinator{srv: srv, strategy: strategy, arch: cfg.Arch, dropout: cfg.Dropout, tracer: cfg.Tracer, reg: cfg.Metrics}
 	c.driver = rounds.NewDriver(rounds.Config{
 		ClientsPerRound: cfg.ClientsPerRound,
 		Deadline:        cfg.Deadline,
@@ -126,8 +150,51 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 	}, netTransport{proxies}, strategy, initial)
+	c.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, c.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return c, nil
 }
+
+// checkpointComponents lists the coordinator's stateful layers under
+// the same component names the fl engine uses, so tooling can read
+// either transport's snapshots.
+func (c *Coordinator) checkpointComponents() []checkpoint.Component {
+	comps := []checkpoint.Component{
+		{Name: "model", S: checkpoint.Model{Arch: c.arch, Params: c.driver.Global, SetParams: c.driver.SetGlobal}},
+		{Name: "driver", S: c.driver},
+	}
+	if s, ok := c.strategy.(checkpoint.Snapshotter); ok {
+		comps = append(comps, checkpoint.Component{Name: "strategy", S: s})
+	}
+	if d, ok := c.dropout.(checkpoint.Snapshotter); ok {
+		comps = append(comps, checkpoint.Component{Name: "dropout", S: d})
+	}
+	return comps
+}
+
+// Snapshot captures the coordinator's run state after roundsDone
+// completed rounds, independent of any configured store.
+func (c *Coordinator) Snapshot(roundsDone int) (*checkpoint.Snapshot, error) {
+	return checkpoint.Capture(roundsDone, c.checkpointComponents())
+}
+
+// Restore replays a snapshot into a freshly built coordinator: same
+// strategy (constructed and Init-ed with the same roster), same model
+// dimensions, clients re-registered on the new server under their old
+// dense IDs. NextRound then reports where the round sequence
+// continues. Restart recipe: bring up a new Server, let the clients
+// re-register, rebuild and Init the strategy, NewCoordinator, then
+// Restore(store.LoadLatest()).
+func (c *Coordinator) Restore(snap *checkpoint.Snapshot) error {
+	if err := snap.Restore(c.checkpointComponents()); err != nil {
+		return err
+	}
+	c.startRound = snap.Round
+	return nil
+}
+
+// NextRound returns the round index to continue from: 0 on a fresh
+// coordinator, the snapshot round after Restore.
+func (c *Coordinator) NextRound() int { return c.startRound }
 
 // RunRound executes one full round over the wire through the shared
 // driver and reports the outcome (see rounds.Outcome for buffer
@@ -143,6 +210,9 @@ func (c *Coordinator) RunRound(round int) rounds.Outcome {
 	if c.reg != nil {
 		c.reg.Counter("haccs_net_rounds_total", "Coordinator rounds completed.").Inc()
 		c.reg.Histogram("haccs_net_round_seconds", "Wall-clock duration of one coordinator round (push + all replies).", nil).Observe(wall)
+	}
+	if _, err := c.saver.MaybeSave(round + 1); err != nil {
+		panic(fmt.Sprintf("flnet: checkpoint save after round %d: %v", round+1, err))
 	}
 	return out
 }

@@ -1,0 +1,160 @@
+package flnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"haccs/internal/checkpoint"
+	"haccs/internal/selection"
+	"haccs/internal/stats"
+)
+
+const (
+	recoveryClients = 4
+	recoveryK       = 2
+	recoveryRounds  = 8
+	recoveryCrashAt = 5 // coordinator dies after this many completed rounds
+	recoverySeed    = 99
+	recoveryDim     = 3
+)
+
+// recoveryCluster is startCluster without the client-error assertion:
+// a coordinator crash kills the live connections, so the clients of
+// the crashed leg exit with transport errors by design.
+func recoveryCluster(t *testing.T, n int) (*Server, *sync.WaitGroup) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := &Client{
+				Reg:     RegisterFromSummary(id, []float64{float64(id), 1}, nil, float64(id)+0.5, 50+10*id),
+				Trainer: echoTrainer(id, float64(id+1)),
+			}
+			_, _ = c.Run(srv.Addr())
+		}(id)
+	}
+	if _, err := srv.AcceptClients(n); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	return srv, &wg
+}
+
+// recoveryStrategy returns a fresh random strategy on the canonical
+// seed, as each coordinator process (original and restarted) builds it.
+func recoveryStrategy() *selection.Random {
+	s := selection.NewRandom()
+	s.Init(nil, stats.NewRNG(stats.DeriveSeed(recoverySeed, 1)))
+	return s
+}
+
+func recoveryCoordinator(t *testing.T, srv *Server, store *checkpoint.Store) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(srv, CoordinatorConfig{
+		ClientsPerRound: recoveryK,
+		Checkpoint:      store,
+		CheckpointEvery: 1,
+	}, recoveryStrategy(), make([]float64, recoveryDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestCoordinatorCrashRecovery is the wire-transport acceptance test:
+// a coordinator checkpoints every round, dies after round 5, the
+// newest snapshot is corrupted on disk, and a rebuilt coordinator —
+// new server, clients re-registered, strategy rebuilt from scratch —
+// falls back to the round-4 snapshot and finishes the run with the
+// exact global parameters of a coordinator that never crashed.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	// Reference: one coordinator runs all rounds uninterrupted.
+	srv, wg := recoveryCluster(t, recoveryClients)
+	coord := recoveryCoordinator(t, srv, nil)
+	for round := 0; round < recoveryRounds; round++ {
+		coord.RunRound(round)
+	}
+	wantGlobal := append([]float64(nil), coord.Global()...)
+	wantClock := coord.Clock()
+	srv.Close()
+	wg.Wait()
+
+	// Leg 1: checkpoint every round, then crash after recoveryCrashAt.
+	dir := t.TempDir()
+	store, err := checkpoint.NewStore(dir, recoveryRounds+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, wg = recoveryCluster(t, recoveryClients)
+	coord = recoveryCoordinator(t, srv, store)
+	for round := 0; round < recoveryCrashAt; round++ {
+		coord.RunRound(round)
+	}
+	srv.Close() // the crash: live client connections die with the server
+	wg.Wait()
+
+	// Corrupt the newest snapshot so recovery must fall back one round.
+	latest := filepath.Join(dir, fmt.Sprintf("snap-%08d.ckpt", recoveryCrashAt))
+	raw, err := os.ReadFile(latest)
+	if err != nil {
+		t.Fatalf("read latest snapshot: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(latest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 2: a new process. Fresh server, clients re-register under
+	// their old IDs, fresh store handle over the same directory, fresh
+	// strategy, then Restore from the newest snapshot that checks out.
+	store2, err := checkpoint.NewStore(dir, recoveryRounds+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, wg = recoveryCluster(t, recoveryClients)
+	defer func() {
+		srv.Close()
+		wg.Wait()
+	}()
+	coord = recoveryCoordinator(t, srv, store2)
+	snap, err := store2.LoadLatest()
+	if err != nil {
+		var corrupt *checkpoint.CorruptSnapshotError
+		if errors.As(err, &corrupt) {
+			t.Fatalf("LoadLatest did not skip the corrupt snapshot: %v", err)
+		}
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if snap.Round != recoveryCrashAt-1 {
+		t.Fatalf("recovered snapshot round = %d, want fallback to %d", snap.Round, recoveryCrashAt-1)
+	}
+	if err := coord.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for round := coord.NextRound(); round < recoveryRounds; round++ {
+		coord.RunRound(round)
+	}
+
+	if got, want := math.Float64bits(coord.Clock()), math.Float64bits(wantClock); got != want {
+		t.Errorf("clock bits = %#x, want %#x (%v vs %v)", got, want, coord.Clock(), wantClock)
+	}
+	got := coord.Global()
+	if len(got) != len(wantGlobal) {
+		t.Fatalf("global has %d params, want %d", len(got), len(wantGlobal))
+	}
+	for i, v := range got {
+		if math.Float64bits(v) != math.Float64bits(wantGlobal[i]) {
+			t.Errorf("global[%d] = %v, want %v", i, v, wantGlobal[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -22,34 +23,82 @@ type Checkpoint struct {
 	Round int
 }
 
+// ErrCorruptCheckpoint marks a checkpoint stream that could not be
+// decoded: truncated file, torn write, or bytes that were never a gob
+// checkpoint. Match with errors.Is.
+var ErrCorruptCheckpoint = errors.New("nn: corrupt or truncated checkpoint")
+
+// ArchMismatchError reports a checkpoint whose architecture stamp or
+// parameter count does not match what the caller expects. Match with
+// errors.As.
+type ArchMismatchError struct {
+	Got, Want Arch
+	// GotParams/WantParams are filled when the architectures matched
+	// but the stored vector has the wrong length (a checkpoint written
+	// by an incompatible build, or silent truncation upstream).
+	GotParams, WantParams int
+}
+
+func (e *ArchMismatchError) Error() string {
+	if e.WantParams > 0 && e.GotParams != e.WantParams {
+		return fmt.Sprintf("nn: checkpoint has %d params, architecture needs %d", e.GotParams, e.WantParams)
+	}
+	return fmt.Sprintf("nn: checkpoint architecture %+v does not match expected %+v", e.Got, e.Want)
+}
+
+// EncodeCheckpoint writes a parameter vector (with its architecture
+// stamp) as a gob stream.
+func EncodeCheckpoint(w io.Writer, arch Arch, params []float64, round int) error {
+	cp := Checkpoint{Arch: arch, Params: params, Round: round}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpoint reads one checkpoint and validates it against the
+// expected architecture, returning the stored parameter vector and
+// round. wantParams, when positive, additionally pins the parameter
+// count (architectures alone do not determine it without building the
+// network). Decode failures wrap ErrCorruptCheckpoint; validation
+// failures return an *ArchMismatchError.
+func DecodeCheckpoint(r io.Reader, expect Arch, wantParams int) ([]float64, int, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	if !archEqual(cp.Arch, expect) {
+		return nil, 0, &ArchMismatchError{Got: cp.Arch, Want: expect}
+	}
+	if wantParams > 0 && len(cp.Params) != wantParams {
+		return nil, 0, &ArchMismatchError{Got: cp.Arch, Want: expect, GotParams: len(cp.Params), WantParams: wantParams}
+	}
+	return cp.Params, cp.Round, nil
+}
+
 // SaveCheckpoint writes the network's parameters (with its architecture
 // stamp) as a gob stream.
 func SaveCheckpoint(w io.Writer, arch Arch, n *Network, round int) error {
-	cp := Checkpoint{Arch: arch, Params: n.ParamsVector(), Round: round}
-	if err := gob.NewEncoder(w).Encode(cp); err != nil {
-		return fmt.Errorf("nn: save checkpoint: %w", err)
-	}
-	return nil
+	return EncodeCheckpoint(w, arch, n.ParamsVector(), round)
 }
 
 // LoadCheckpoint reads a checkpoint and validates it against the
 // expected architecture; on success it returns a freshly built network
 // holding the stored parameters and the recorded round. The RNG seeds
 // the throwaway initialization that the stored parameters overwrite.
+// Decode failures wrap ErrCorruptCheckpoint; architecture or
+// parameter-count mismatches return an *ArchMismatchError.
 func LoadCheckpoint(r io.Reader, expect Arch, seedRNG *stats.RNG) (*Network, int, error) {
-	var cp Checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, 0, fmt.Errorf("nn: load checkpoint: %w", err)
-	}
-	if !archEqual(cp.Arch, expect) {
-		return nil, 0, fmt.Errorf("nn: checkpoint architecture %+v does not match expected %+v", cp.Arch, expect)
+	params, round, err := DecodeCheckpoint(r, expect, 0)
+	if err != nil {
+		return nil, 0, err
 	}
 	n := expect.Build(seedRNG)
-	if len(cp.Params) != n.NumParams() {
-		return nil, 0, fmt.Errorf("nn: checkpoint has %d params, architecture needs %d", len(cp.Params), n.NumParams())
+	if len(params) != n.NumParams() {
+		return nil, 0, &ArchMismatchError{Got: expect, Want: expect, GotParams: len(params), WantParams: n.NumParams()}
 	}
-	n.SetParamsVector(cp.Params)
-	return n, cp.Round, nil
+	n.SetParamsVector(params)
+	return n, round, nil
 }
 
 func archEqual(a, b Arch) bool {

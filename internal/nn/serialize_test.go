@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"haccs/internal/stats"
@@ -79,5 +80,86 @@ func TestArchEqual(t *testing.T) {
 	c.Kind = "lenet"
 	if archEqual(a, c) {
 		t.Error("different kinds equal")
+	}
+}
+
+// TestLoadCheckpointTypedErrors pins the error taxonomy of the load
+// path: stream-level damage (truncation, garbage, empty input) wraps
+// ErrCorruptCheckpoint, while structurally valid checkpoints for the
+// wrong model surface an *ArchMismatchError carrying both sides.
+func TestLoadCheckpointTypedErrors(t *testing.T) {
+	arch := Arch{Kind: "mlp", In: 6, Hidden: []int{5}, Classes: 3}
+	var good bytes.Buffer
+	if err := SaveCheckpoint(&good, arch, arch.Build(stats.NewRNG(1)), 3); err != nil {
+		t.Fatal(err)
+	}
+	wrongArch := Arch{Kind: "mlp", In: 6, Hidden: []int{7}, Classes: 3}
+	var wrongBuf bytes.Buffer
+	if err := SaveCheckpoint(&wrongBuf, wrongArch, wrongArch.Build(stats.NewRNG(1)), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint whose arch stamp matches but whose vector is short:
+	// hand-encode a Checkpoint with a truncated Params slice.
+	var shortVec bytes.Buffer
+	if err := EncodeCheckpoint(&shortVec, arch, make([]float64, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		data        []byte
+		wantCorrupt bool
+		wantArch    bool
+	}{
+		{"empty", nil, true, false},
+		{"garbage", []byte("not a gob stream at all"), true, false},
+		{"truncated", good.Bytes()[:len(good.Bytes())/2], true, false},
+		{"single_byte", good.Bytes()[:1], true, false},
+		{"wrong_arch", wrongBuf.Bytes(), false, true},
+		{"short_param_vector", shortVec.Bytes(), false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadCheckpoint(bytes.NewReader(tc.data), arch, stats.NewRNG(9))
+			if err == nil {
+				t.Fatal("bad checkpoint accepted")
+			}
+			if got := errors.Is(err, ErrCorruptCheckpoint); got != tc.wantCorrupt {
+				t.Errorf("errors.Is(err, ErrCorruptCheckpoint) = %v, want %v (err: %v)", got, tc.wantCorrupt, err)
+			}
+			var am *ArchMismatchError
+			if got := errors.As(err, &am); got != tc.wantArch {
+				t.Errorf("errors.As(err, *ArchMismatchError) = %v, want %v (err: %v)", got, tc.wantArch, err)
+			}
+			if tc.wantArch && tc.name == "wrong_arch" {
+				if !archEqual(am.Want, arch) || archEqual(am.Got, arch) {
+					t.Errorf("ArchMismatchError sides wrong: got %+v want %+v", am.Got, am.Want)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeCheckpointParamCountPin covers the wantParams guard that
+// the checkpoint subsystem's model component relies on.
+func TestDecodeCheckpointParamCountPin(t *testing.T) {
+	arch := Arch{Kind: "mlp", In: 4, Hidden: []int{3}, Classes: 2}
+	n := arch.Build(stats.NewRNG(4))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, arch, n, 11); err != nil {
+		t.Fatal(err)
+	}
+	params, round, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), arch, n.NumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 11 || len(params) != n.NumParams() {
+		t.Fatalf("round=%d len=%d", round, len(params))
+	}
+	var am *ArchMismatchError
+	if _, _, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), arch, n.NumParams()+1); !errors.As(err, &am) {
+		t.Fatalf("wrong wantParams not rejected with ArchMismatchError: %v", err)
+	} else if am.GotParams != n.NumParams() || am.WantParams != n.NumParams()+1 {
+		t.Fatalf("counts not carried: %+v", am)
 	}
 }

@@ -1,0 +1,69 @@
+package rounds
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// driverStateVersion versions the driver's gob payload.
+const driverStateVersion = 1
+
+// driverState is the round driver's serialized mutable state beyond
+// the global model (which travels as its own snapshot component): the
+// virtual clock and the dead-client mask. The round counter lives with
+// the caller's loop and is recorded in the snapshot header; all
+// per-(client, round) training randomness is derived statelessly by
+// the transports, so nothing else needs to travel.
+type driverState struct {
+	Version int
+	Clock   float64
+	Dead    []bool
+}
+
+// SnapshotState implements checkpoint.Snapshotter.
+func (d *Driver) SnapshotState() ([]byte, error) {
+	st := driverState{
+		Version: driverStateVersion,
+		Clock:   d.clock,
+		Dead:    append([]bool(nil), d.dead...),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("rounds: encode driver state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter. The driver must have
+// been constructed over the same roster as the run that produced the
+// snapshot.
+func (d *Driver) RestoreState(data []byte) error {
+	var st driverState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("rounds: decode driver state: %w", err)
+	}
+	if st.Version != driverStateVersion {
+		return fmt.Errorf("rounds: driver state version %d, this build reads %d", st.Version, driverStateVersion)
+	}
+	if len(st.Dead) != len(d.proxies) {
+		return fmt.Errorf("rounds: driver snapshot for %d clients, driver has %d", len(st.Dead), len(d.proxies))
+	}
+	d.clock = st.Clock
+	copy(d.dead, st.Dead)
+	if d.met != nil {
+		d.met.clock.Set(d.clock)
+	}
+	return nil
+}
+
+// SetGlobal overwrites the driver-owned global parameter vector — the
+// restore path of the model snapshot component. The dimension must
+// match the vector the driver was constructed with.
+func (d *Driver) SetGlobal(params []float64) error {
+	if len(params) != len(d.global) {
+		return fmt.Errorf("rounds: SetGlobal with %d params, driver has %d", len(params), len(d.global))
+	}
+	copy(d.global, params)
+	return nil
+}

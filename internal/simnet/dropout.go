@@ -1,5 +1,10 @@
 package simnet
 
+import (
+	"fmt"
+	"math"
+)
+
 // DropoutModel decides which clients are unavailable in a given epoch.
 // The paper exercises three regimes: no dropout (scheduling experiments),
 // per-epoch transient dropout with recovery (§V-C), and permanent dropout
@@ -46,6 +51,32 @@ func (t TransientDropout) Unavailable(epoch, n int) []bool {
 		mask[i] = r.Float64() < t.Rate
 	}
 	return mask
+}
+
+// SnapshotState implements checkpoint.Snapshotter. The per-epoch mask
+// is a pure function of (Seed, epoch), so the schedule carries no
+// mutable state — the payload records the configuration so a resumed
+// run can verify it reproduces the identical dropout sequence.
+func (t TransientDropout) SnapshotState() ([]byte, error) {
+	if t.Rate < 0 || t.Rate > 1 {
+		return nil, fmt.Errorf("simnet: TransientDropout rate %v out of [0,1]", t.Rate)
+	}
+	return fmt.Appendf(nil, "transient v1 rate=%x seed=%d", math.Float64bits(t.Rate), t.Seed), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter: it verifies (bit
+// for bit) that the configured schedule matches the snapshotted one
+// rather than mutating anything, since the schedule is stateless.
+func (t TransientDropout) RestoreState(data []byte) error {
+	var rateBits, seed uint64
+	if _, err := fmt.Sscanf(string(data), "transient v1 rate=%x seed=%d", &rateBits, &seed); err != nil {
+		return fmt.Errorf("simnet: decode TransientDropout state %q: %w", data, err)
+	}
+	if rateBits != math.Float64bits(t.Rate) || seed != t.Seed {
+		return fmt.Errorf("simnet: snapshot dropout (rate=%v seed=%d) does not match configured (rate=%v seed=%d)",
+			math.Float64frombits(rateBits), seed, t.Rate, t.Seed)
+	}
+	return nil
 }
 
 // PermanentDropout removes a fixed set of clients from a given epoch

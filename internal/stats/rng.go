@@ -56,6 +56,34 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// RNGState is the complete serializable state of an RNG: the four
+// xoshiro256** words plus the cached Box-Muller spare. Restoring it
+// with SetState continues the stream exactly where State captured it,
+// which is what makes checkpoint/resume bit-identical for every
+// consumer of engine randomness.
+type RNGState struct {
+	S        [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState overwrites the generator's state with a previously captured
+// one. It panics on an all-zero xoshiro state, which the generator can
+// never reach from a valid seed.
+func (r *RNG) SetState(st RNGState) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		panic("stats: SetState with all-zero xoshiro state")
+	}
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -275,3 +275,53 @@ func TestPermIntoMatchesPerm(t *testing.T) {
 		}
 	}
 }
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(7)
+	// Burn an odd number of normal draws so the Box-Muller spare is
+	// cached: the snapshot must carry it, or the restored stream skips
+	// one deviate.
+	for i := 0; i < 5; i++ {
+		r.Normal(0, 1)
+	}
+	st := r.State()
+	if !st.HasSpare {
+		t.Fatal("expected a cached Box-Muller spare after 5 Normal draws")
+	}
+	want := make([]float64, 64)
+	for i := range want {
+		switch i % 3 {
+		case 0:
+			want[i] = r.Float64()
+		case 1:
+			want[i] = r.Normal(2, 3)
+		default:
+			want[i] = float64(r.Intn(1000))
+		}
+	}
+	fresh := NewRNG(12345)
+	fresh.SetState(st)
+	for i := range want {
+		var got float64
+		switch i % 3 {
+		case 0:
+			got = fresh.Float64()
+		case 1:
+			got = fresh.Normal(2, 3)
+		default:
+			got = float64(fresh.Intn(1000))
+		}
+		if got != want[i] {
+			t.Fatalf("draw %d after SetState = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestRNGSetStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState with all-zero state did not panic")
+		}
+	}()
+	NewRNG(1).SetState(RNGState{})
+}

@@ -59,6 +59,11 @@ const (
 	// ACLShare, Clients (member IDs). Emitted once per cluster per
 	// Select call, it is the flight-recorder form of /debug/selection.
 	KindClusterState = "cluster_state"
+	// KindCheckpointSaved reports one durable run-state snapshot
+	// reaching disk: Round (rounds completed at capture), Bytes
+	// (encoded snapshot size), WallSec (capture + write duration), Path
+	// (the store directory).
+	KindCheckpointSaved = "checkpoint_saved"
 )
 
 // Event is one record in the round trace. It is a flat union: Kind
@@ -91,6 +96,11 @@ type Event struct {
 	Acc        float64 `json:"acc,omitempty"`
 	NumSamples int     `json:"num_samples,omitempty"`
 	Clusters   int     `json:"clusters,omitempty"`
+
+	// Checkpoint fields (KindCheckpointSaved): the encoded snapshot
+	// size and the store directory it landed in.
+	Bytes int    `json:"bytes,omitempty"`
+	Path  string `json:"path,omitempty"`
 
 	// Span fields (KindSpan): the span name and its hex-rendered
 	// trace/span/parent IDs (see FormatSpanID). StartSec is the span's
@@ -225,6 +235,14 @@ func ClusterState(round, cluster int, theta, tau, acl, aclShare float64, members
 	e.Cluster = cluster
 	e.Theta, e.Tau, e.ACL, e.ACLShare = theta, tau, acl, aclShare
 	e.Clients = members
+	return e
+}
+
+// CheckpointSaved builds a snapshot-persisted event. round is the
+// number of rounds completed at capture time.
+func CheckpointSaved(round, bytes int, wallSec float64, path string) Event {
+	e := newEvent(KindCheckpointSaved, round)
+	e.Bytes, e.WallSec, e.Path = bytes, wallSec, path
 	return e
 }
 
