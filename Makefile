@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke
 
 ## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
 check: vet fmt-check build race
@@ -48,6 +48,20 @@ resume-smoke:
 	$(SMOKE)/haccs-sim $(SMOKE_FLAGS) -rounds 10 -json $(SMOKE)/reference.json
 	diff $(SMOKE)/resumed.json $(SMOKE)/reference.json
 	@echo "resume-smoke: resumed summary matches the uninterrupted reference"
+
+## fleet-smoke: end-to-end fleet health check through the real binary.
+## A short HACCS run with a tight deadline (2s virtual — tight enough
+## that cuts must occur on the 12-client roster) and dropout, then the
+## binary self-scrapes /debug/fleet and fails unless every round was
+## recorded, Jain fairness is in (0,1], and at least one straggler cut
+## landed in the registry.
+FLEETSMOKE := $(or $(TMPDIR),/tmp)/haccs-fleet-smoke
+fleet-smoke:
+	rm -rf $(FLEETSMOKE) && mkdir -p $(FLEETSMOKE)
+	$(GO) build -o $(FLEETSMOKE)/haccs-sim ./cmd/haccs-sim
+	$(FLEETSMOKE)/haccs-sim -strategy haccs-py -clients 12 -k 4 -size 8 \
+		-rounds 10 -deadline 2 -dropout 0.1 -seed 7 \
+		-metrics-addr 127.0.0.1:0 -fleet-check
 
 ## bench: full benchmark pass (slow; for local measurement only).
 bench:

@@ -232,6 +232,11 @@ func BenchmarkCheckpointEncode(b *testing.B) { benchrun.CheckpointEncode(b) }
 // zero-overhead signal (target: exactly 0).
 func BenchmarkCheckpointDisabled(b *testing.B) { benchrun.CheckpointDisabled(b) }
 
+// BenchmarkFleetRecordDisabled measures the round loop's fleet health
+// hook with the registry off (nil); its allocs/op is the tracked
+// zero-overhead signal (target: exactly 0).
+func BenchmarkFleetRecordDisabled(b *testing.B) { benchrun.FleetRecordDisabled(b) }
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkMatMul measures the parallel GEMM kernel on a training-sized

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"haccs/internal/fleet"
+)
+
+// checkFleetEndpoint self-scrapes /debug/fleet after a run and verifies
+// the registry actually observed the workload: every round recorded, a
+// fairness index inside (0,1], and at least one straggler cut (the
+// -fleet-check smoke invocation runs with a deadline precisely so cuts
+// must occur). A failure exits the binary nonzero, which is what the
+// fleet-smoke CI target asserts on.
+func checkFleetEndpoint(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var st fleet.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	if st.Rounds == 0 {
+		return fmt.Errorf("registry observed no rounds")
+	}
+	if !(st.Fairness > 0 && st.Fairness <= 1) {
+		return fmt.Errorf("fairness %v outside (0,1]", st.Fairness)
+	}
+	cuts := 0
+	for _, c := range st.Clients {
+		cuts += c.StragglerCut
+	}
+	if cuts == 0 {
+		return fmt.Errorf("no straggler cuts recorded (is -deadline set?)")
+	}
+	return nil
+}

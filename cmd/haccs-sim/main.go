@@ -19,6 +19,7 @@ import (
 	"haccs/internal/core"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
+	"haccs/internal/fleet"
 	"haccs/internal/introspect"
 	"haccs/internal/metrics"
 	"haccs/internal/nn"
@@ -56,7 +57,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from the newest good snapshot in -checkpoint-dir and continue to -rounds")
 
 		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path (replay it with haccs-trace)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/trace, /debug/spans and /debug/selection on this address during the run")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/trace, /debug/spans, /debug/selection and /debug/fleet on this address during the run")
+		fleetCheck  = flag.Bool("fleet-check", false, "after the run, self-scrape /debug/fleet and fail unless the fleet registry recorded straggler cuts and a sane fairness index (requires -metrics-addr; smoke-test hook)")
 		pprof       = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
 		statsdAddr  = flag.String("statsd-addr", "", "flush metrics to this UDP statsd endpoint")
@@ -68,6 +70,7 @@ func main() {
 		Rounds: *rounds, Clients: *clients, Classes: *classes, K: *k, Size: *size, Epochs: *epochs,
 		Dropout: *dropout, Deadline: *deadline, Rho: *rho, Policy: *policy,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, CheckpointRetain: *ckptRetain, Resume: *resume,
+		FleetCheck: *fleetCheck, MetricsAddr: *metricsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "haccs-sim:", err)
 		os.Exit(2)
@@ -141,6 +144,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fleet health registry: on whenever any telemetry surface is on, so
+	// the same run that traces or serves metrics also accumulates the
+	// longitudinal per-client view. HACCS strategies additionally feed
+	// the per-cluster share/target/drift gauges.
+	var fleetReg *fleet.Registry
+	if reg != nil {
+		var src fleet.ClusterSource
+		if cs, ok := strat.(fleet.ClusterSource); ok {
+			src = cs
+		}
+		fleetReg = fleet.NewRegistry(len(roster), fleet.Options{Tracer: tracer, Metrics: reg, Source: src})
+	}
+
+	var srv *telemetry.HTTPServer
 	if *metricsAddr != "" {
 		opts := []telemetry.ServeOption{}
 		endpoints := "/metrics, /debug/trace and /debug/spans"
@@ -148,11 +165,13 @@ func main() {
 			opts = append(opts, telemetry.WithEndpoint("/debug/selection", introspect.Handler(insp)))
 			endpoints += ", /debug/selection"
 		}
+		opts = append(opts, telemetry.WithEndpoint("/debug/fleet", fleet.Handler(fleetReg)))
+		endpoints += ", /debug/fleet"
 		if *pprof {
 			opts = append(opts, telemetry.WithPprof())
 			endpoints += ", /debug/pprof"
 		}
-		srv, err := telemetry.Serve(*metricsAddr, reg, ring, opts...)
+		srv, err = telemetry.Serve(*metricsAddr, reg, ring, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -196,6 +215,7 @@ func main() {
 		Tracer:              tracer,
 		Spans:               spans,
 		Metrics:             reg,
+		Fleet:               fleetReg,
 	}
 	if *dropout > 0 {
 		cfg.Dropout = simnet.TransientDropout{
@@ -235,6 +255,14 @@ func main() {
 		fmt.Printf("haccs-sim: resumed from snapshot after round %d in %s\n", snap.Round, *ckptDir)
 	}
 	res := eng.Run()
+
+	if *fleetCheck {
+		if err := checkFleetEndpoint("http://" + srv.Addr() + "/debug/fleet"); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-sim: fleet-check:", err)
+			os.Exit(1)
+		}
+		fmt.Println("fleet-check: /debug/fleet healthy (straggler cuts recorded, fairness in (0,1])")
+	}
 
 	tab := metrics.NewTable("round", "virtual-time", "accuracy", "loss")
 	for _, p := range res.History {

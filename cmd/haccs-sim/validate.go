@@ -11,6 +11,8 @@ type simFlags struct {
 	CheckpointDir                             string
 	CheckpointEvery, CheckpointRetain         int
 	Resume                                    bool
+	FleetCheck                                bool
+	MetricsAddr                               string
 }
 
 // validateFlags rejects flag combinations that would otherwise panic
@@ -48,6 +50,9 @@ func validateFlags(f simFlags) error {
 	}
 	if f.Resume && f.CheckpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir (nowhere to resume from)")
+	}
+	if f.FleetCheck && f.MetricsAddr == "" {
+		return fmt.Errorf("-fleet-check requires -metrics-addr (nothing to scrape)")
 	}
 	if f.CheckpointDir != "" {
 		if f.CheckpointEvery <= 0 {

@@ -2,13 +2,18 @@
 // by haccs-sim -telemetry-jsonl or any telemetry.JSONLSink) into a
 // human-readable per-round timeline — selection, cutoffs, aggregation
 // and the span tree of every round — plus a per-cluster selection
-// summary table for the whole run.
+// summary table and a fleet health summary (top stragglers, fairness
+// trajectory, cluster drift timeline) for the whole run.
+//
+// Malformed or truncated lines — the normal tail state of a trace cut
+// off by a crash — are skipped with a warning instead of aborting the
+// replay; the skip count is reported so a corrupted stream is visible.
 //
 // Example:
 //
 //	haccs-sim -strategy haccs-py -rounds 20 -telemetry-jsonl trace.jsonl
 //	haccs-trace trace.jsonl
-//	haccs-trace -selection=false trace.jsonl   # timeline only
+//	haccs-trace -selection=false -fleet=false trace.jsonl   # timeline only
 package main
 
 import (
@@ -16,14 +21,17 @@ import (
 	"fmt"
 	"os"
 
+	"haccs/internal/fleet"
 	"haccs/internal/introspect"
 	"haccs/internal/telemetry"
 )
 
 func main() {
 	var (
-		timeline  = flag.Bool("timeline", true, "print the per-round timeline (events + span tree)")
-		selection = flag.Bool("selection", true, "print the per-cluster selection summary table")
+		timeline   = flag.Bool("timeline", true, "print the per-round timeline (events + span tree)")
+		selection  = flag.Bool("selection", true, "print the per-cluster selection summary table")
+		fleetSum   = flag.Bool("fleet", true, "print the fleet health summary (stragglers, fairness, drift)")
+		quietSkips = flag.Bool("quiet-skips", false, "suppress per-line warnings for malformed JSONL lines (the total is still reported)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: haccs-trace [flags] <trace.jsonl>\n")
@@ -39,7 +47,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "haccs-trace:", err)
 		os.Exit(1)
 	}
-	events, err := telemetry.ReadJSONL(f)
+	onSkip := func(line int, err error) {
+		if !*quietSkips {
+			fmt.Fprintf(os.Stderr, "haccs-trace: %s:%d: skipping malformed line: %v\n", flag.Arg(0), line, err)
+		}
+	}
+	events, skipped, err := telemetry.ReadJSONLLenient(f, onSkip)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "haccs-trace:", err)
@@ -59,5 +72,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "haccs-trace:", err)
 			os.Exit(1)
 		}
+	}
+	if *fleetSum {
+		if *timeline || *selection {
+			fmt.Println()
+		}
+		fleet.WriteReplaySummary(os.Stdout, events)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "haccs-trace: skipped %d malformed line(s) of %s\n", skipped, flag.Arg(0))
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"haccs/internal/cluster"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
+	"haccs/internal/fleet"
 	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
@@ -60,6 +61,7 @@ func Suite() []Entry {
 		{Name: "span_nil_tracer", Bench: SpanNilTracer},
 		{Name: "checkpoint_encode", Bench: CheckpointEncode},
 		{Name: "checkpoint_disabled", Bench: CheckpointDisabled},
+		{Name: "fleet_record_disabled", Bench: FleetRecordDisabled},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
 	}
 }
@@ -326,6 +328,29 @@ func CheckpointDisabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if saved, err := s.MaybeSave(i + 1); saved || err != nil {
 			b.Fatal("nil saver must never save or fail")
+		}
+	}
+}
+
+// FleetRecordDisabled pins the cost the fleet health hook adds to the
+// round hot path when observability is off: a nil *fleet.Registry's
+// ObserveRound and State must stay zero-allocation no-ops, exactly
+// like the nil checkpoint Saver and nil span tracer it sits beside.
+func FleetRecordDisabled(b *testing.B) {
+	var r *fleet.Registry
+	obs := fleet.RoundObservation{
+		Round:    1,
+		Selected: []int{0, 1, 2},
+		Reports:  []fleet.ClientReport{{ClientID: 0, NumSamples: 10, VirtualSec: 1}},
+		Cut:      []int{1},
+		Clock:    1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ObserveRound(obs)
+		if r.State().Rounds != 0 {
+			b.Fatal("nil registry must record nothing")
 		}
 	}
 }

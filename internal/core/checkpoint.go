@@ -10,21 +10,25 @@ import (
 	"haccs/internal/stats"
 )
 
-// schedulerStateVersion versions the scheduler's gob payload.
-const schedulerStateVersion = 1
+// schedulerStateVersion versions the scheduler's gob payload. Version 2
+// added the per-cluster baseline centroids behind the fleet drift gauge.
+const schedulerStateVersion = 2
 
 // schedulerState is the HACCS scheduler's serialized mutable state:
 // the Weighted-SRSWR RNG stream, every client's last observed loss
-// (the ACL inputs), and the cluster assignment in force when the
-// snapshot was taken. Latencies and summaries are rebuilt by Init;
-// the labels are restored rather than re-derived so a snapshot taken
+// (the ACL inputs), the cluster assignment in force when the snapshot
+// was taken, and the label-distribution centroids captured at cluster
+// time. Latencies and summaries are rebuilt by Init; the labels and
+// baselines are restored rather than re-derived so a snapshot taken
 // after a §IV-C UpdateSummaries re-clustering resumes with the same
-// clusters the interrupted run was scheduling over.
+// clusters — and the same drift reference — the interrupted run was
+// scheduling over.
 type schedulerState struct {
-	Version  int
-	RNG      stats.RNGState
-	LastLoss []float64
-	Labels   []int
+	Version   int
+	RNG       stats.RNGState
+	LastLoss  []float64
+	Labels    []int
+	Baselines [][]float64
 }
 
 // SnapshotState implements checkpoint.Snapshotter.
@@ -34,12 +38,17 @@ func (s *Scheduler) SnapshotState() ([]byte, error) {
 	}
 	s.mu.Lock()
 	labels := append([]int(nil), s.labels...)
+	baselines := make([][]float64, len(s.baseline))
+	for i, b := range s.baseline {
+		baselines[i] = append([]float64(nil), b...)
+	}
 	s.mu.Unlock()
 	st := schedulerState{
-		Version:  schedulerStateVersion,
-		RNG:      s.rng.State(),
-		LastLoss: append([]float64(nil), s.lastLoss...),
-		Labels:   labels,
+		Version:   schedulerStateVersion,
+		RNG:       s.rng.State(),
+		LastLoss:  append([]float64(nil), s.lastLoss...),
+		Labels:    labels,
+		Baselines: baselines,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -69,6 +78,7 @@ func (s *Scheduler) RestoreState(data []byte) error {
 	s.mu.Lock()
 	s.labels = append(s.labels[:0], st.Labels...)
 	s.clusters = cluster.Members(s.labels)
+	s.baseline = st.Baselines
 	s.mu.Unlock()
 	s.rng.SetState(st.RNG)
 	return nil

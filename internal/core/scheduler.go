@@ -9,6 +9,7 @@ import (
 
 	"haccs/internal/cluster"
 	"haccs/internal/fl"
+	"haccs/internal/fleet"
 	"haccs/internal/introspect"
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
@@ -106,6 +107,12 @@ type Scheduler struct {
 	labels   []int   // client -> cluster id (singletonized noise)
 	clusters [][]int // cluster id -> member client IDs
 
+	// baseline holds each cluster's label-distribution centroid captured
+	// at cluster time — the reference point for the fleet drift gauge.
+	// Re-clustering (Init or UpdateSummaries) resets it, so drift always
+	// means "change since the clustering currently in force".
+	baseline [][]float64
+
 	// Introspection snapshot: the scheduler's own loop (Init, Select,
 	// Update, UpdateSummaries) runs single-threaded on the round driver,
 	// but SelectionState is served from the telemetry HTTP goroutine
@@ -185,6 +192,7 @@ func (s *Scheduler) recluster() {
 	s.mu.Lock()
 	s.labels = labels
 	s.clusters = cluster.Members(labels)
+	s.baseline = s.labelCentroids(s.clusters)
 	s.distance = introspect.SummarizeDistances(m)
 	s.order = append([]int(nil), res.Order...)
 	s.reach = introspect.EncodeReachability(res.Reach)
@@ -464,5 +472,105 @@ func (s *Scheduler) Update(epoch int, selected []int, losses []float64) {
 	}
 }
 
+// labelCentroids computes each cluster's label-distribution centroid
+// from the current summaries: for P(y) the normalized sum of the
+// members' label histograms, for P(X|y) the normalized per-class mass
+// vector (how much of the cluster's data sits under each class).
+// Noised summaries can carry negative mass; it clamps at zero, and an
+// entirely massless cluster yields the uniform distribution so the
+// drift distance stays well defined.
+func (s *Scheduler) labelCentroids(clusters [][]int) [][]float64 {
+	out := make([][]float64, len(clusters))
+	for i, members := range clusters {
+		out[i] = s.labelCentroid(members)
+	}
+	return out
+}
+
+func (s *Scheduler) labelCentroid(members []int) []float64 {
+	var acc []float64
+	for _, id := range members {
+		sum := s.summaries[id]
+		switch sum.Kind {
+		case PY:
+			if acc == nil {
+				acc = make([]float64, len(sum.Label.Counts))
+			}
+			for b, c := range sum.Label.Counts {
+				acc[b] += math.Max(0, c)
+			}
+		case PXY:
+			if acc == nil {
+				acc = make([]float64, len(sum.Feature))
+			}
+			for cls, h := range sum.Feature {
+				if h != nil {
+					acc[cls] += math.Max(0, h.Total())
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	if total <= 0 {
+		u := 1.0 / float64(len(acc))
+		for i := range acc {
+			acc[i] = u
+		}
+		return acc
+	}
+	for i := range acc {
+		acc[i] /= total
+	}
+	return acc
+}
+
+// FleetClusterState implements fleet.ClusterSource: the cluster
+// membership in force, each cluster's normalized share of the eq. 7
+// sampling weight (the scheduler's intent, against which the fleet
+// registry reports realized selection share), and each cluster's
+// Hellinger drift — current label-distribution centroid vs. the
+// centroid captured when the clustering was computed. Before the first
+// Select the θ targets fall back to uniform. Called on the round-driver
+// goroutine by the fleet registry; summary reads are safe because
+// UpdateSummaries runs on the same loop.
+func (s *Scheduler) FleetClusterState() fleet.ClusterTargets {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.clusters)
+	t := fleet.ClusterTargets{
+		Members: make([][]int, n),
+		Theta:   make([]float64, n),
+		Drift:   make([]float64, n),
+	}
+	totalTheta := 0.0
+	for i, members := range s.clusters {
+		t.Members[i] = append([]int(nil), members...)
+		if i < len(s.lastParts) && s.lastParts[i].Alive {
+			t.Theta[i] = s.lastParts[i].Theta
+		}
+		totalTheta += t.Theta[i]
+	}
+	if totalTheta > 0 {
+		for i := range t.Theta {
+			t.Theta[i] /= totalTheta
+		}
+	} else if n > 0 {
+		for i := range t.Theta {
+			t.Theta[i] = 1 / float64(n)
+		}
+	}
+	for i, members := range s.clusters {
+		cur := s.labelCentroid(members)
+		if i < len(s.baseline) && len(s.baseline[i]) == len(cur) {
+			t.Drift[i] = stats.Hellinger(cur, s.baseline[i])
+		}
+	}
+	return t
+}
+
 var _ fl.Strategy = (*Scheduler)(nil)
 var _ introspect.SelectionInspector = (*Scheduler)(nil)
+var _ fleet.ClusterSource = (*Scheduler)(nil)

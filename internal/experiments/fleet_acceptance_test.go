@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"haccs/internal/fleet"
+	"haccs/internal/telemetry"
+)
+
+// TestFleetEndpointAcceptance is the /debug/fleet acceptance gate: after
+// a multi-round run with dropout and a straggler deadline, the JSON the
+// endpoint serves must decode to exactly the registry's State snapshot,
+// and the workload must have actually exercised the interesting signals
+// (straggler cuts, a meaningful fairness index, the HACCS cluster view).
+func TestFleetEndpointAcceptance(t *testing.T) {
+	eng, reg := resumeEngine(t, 3, nil) // haccs-py: registry gets a ClusterSource
+	eng.Run()
+
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, nil,
+		telemetry.WithEndpoint("/debug/fleet", fleet.Handler(reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var served fleet.State
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if want := reg.State(); !reflect.DeepEqual(served, want) {
+		t.Errorf("served state = %+v\nwant %+v", served, want)
+	}
+
+	if served.Rounds != resumeRounds {
+		t.Errorf("rounds = %d, want %d", served.Rounds, resumeRounds)
+	}
+	if served.Fairness <= 0 || served.Fairness > 1 {
+		t.Errorf("fairness = %v, want in (0,1]", served.Fairness)
+	}
+	cuts := 0
+	for _, c := range served.Clients {
+		cuts += c.StragglerCut
+	}
+	if cuts == 0 {
+		t.Error("RoundDeadline=6 workload recorded no straggler cuts")
+	}
+	if len(served.Clusters) == 0 {
+		t.Fatal("HACCS run served no cluster view")
+	}
+	shareSum := 0.0
+	for _, ch := range served.Clusters {
+		if len(ch.Members) == 0 {
+			t.Errorf("cluster %d has no members", ch.ID)
+		}
+		shareSum += ch.Share
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("cluster shares sum to %v, want ~1", shareSum)
+	}
+}

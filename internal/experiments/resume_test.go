@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"haccs/internal/checkpoint"
 	"haccs/internal/fl"
+	"haccs/internal/fleet"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
 )
@@ -27,9 +29,10 @@ const (
 )
 
 // resumeEngine builds one engine over a freshly materialized canonical
-// workload, as a restarted process would. store == nil disables
-// checkpointing.
-func resumeEngine(t *testing.T, stratIdx int, store *checkpoint.Store) *fl.Engine {
+// workload, as a restarted process would, with a fleet health registry
+// attached so the suite also proves the registry's state is part of the
+// bit-identical contract. store == nil disables checkpointing.
+func resumeEngine(t *testing.T, stratIdx int, store *checkpoint.Store) (*fl.Engine, *fleet.Registry) {
 	t.Helper()
 	w := buildStandardWorkload("cifar", 10, Quick, resumeSeed)
 	ec := defaultEngine(Quick, 0) // no target: every leg runs to MaxRounds
@@ -48,7 +51,23 @@ func resumeEngine(t *testing.T, stratIdx int, store *checkpoint.Store) *fl.Engin
 		cfg.CheckpointEvery = 1
 	}
 	s := buildStrategyForRun(w, stratIdx, 0, 0.75, resumeSeed)
-	return fl.NewEngine(cfg, w.Clients, s)
+	var src fleet.ClusterSource
+	if cs, ok := s.(fleet.ClusterSource); ok {
+		src = cs // HACCS strategies expose cluster targets
+	}
+	reg := fleet.NewRegistry(len(w.Clients), fleet.Options{Source: src})
+	cfg.Fleet = reg
+	return fl.NewEngine(cfg, w.Clients, s), reg
+}
+
+// fleetSnapshot serializes a registry, failing the test on error.
+func fleetSnapshot(t *testing.T, r *fleet.Registry) []byte {
+	t.Helper()
+	b, err := r.SnapshotState()
+	if err != nil {
+		t.Fatalf("fleet snapshot: %v", err)
+	}
+	return b
 }
 
 // assertSameResult compares two runs bit for bit: float64 fields by
@@ -111,20 +130,25 @@ func TestResumeBitIdentical(t *testing.T) {
 	names := []string{"random", "tifl", "oort", "haccs-py", "haccs-pxy"}
 	for i, name := range names {
 		t.Run(name, func(t *testing.T) {
-			ref := resumeEngine(t, i, nil).Run()
+			refEng, refFleet := resumeEngine(t, i, nil)
+			ref := refEng.Run()
+			refBytes := fleetSnapshot(t, refFleet)
 
 			store, err := checkpoint.NewStore(t.TempDir(), resumeRounds+2)
 			if err != nil {
 				t.Fatal(err)
 			}
-			chk := resumeEngine(t, i, store).Run()
-			assertSameResult(t, "checkpointed", chk, ref)
+			chkEng, chkFleet := resumeEngine(t, i, store)
+			assertSameResult(t, "checkpointed", chkEng.Run(), ref)
+			if !bytes.Equal(fleetSnapshot(t, chkFleet), refBytes) {
+				t.Error("checkpointed: fleet registry state differs from reference")
+			}
 
 			snap, err := store.Load(resumeSnapAt)
 			if err != nil {
 				t.Fatalf("load mid-run snapshot: %v", err)
 			}
-			eng := resumeEngine(t, i, nil)
+			eng, resFleet := resumeEngine(t, i, nil)
 			if err := eng.Restore(snap); err != nil {
 				t.Fatalf("restore: %v", err)
 			}
@@ -132,6 +156,9 @@ func TestResumeBitIdentical(t *testing.T) {
 				t.Fatalf("StartRound = %d, want %d", eng.StartRound(), resumeSnapAt)
 			}
 			assertSameResult(t, "resumed", eng.Run(), ref)
+			if !bytes.Equal(fleetSnapshot(t, resFleet), refBytes) {
+				t.Error("resumed: fleet registry state differs from reference")
+			}
 		})
 	}
 }
@@ -144,7 +171,7 @@ func TestRestoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := resumeEngine(t, 0, store)
+	eng, _ := resumeEngine(t, 0, store)
 	snap, err := eng.Snapshot(0)
 	if err != nil {
 		t.Fatal(err)
@@ -154,13 +181,13 @@ func TestRestoreValidation(t *testing.T) {
 	}
 
 	t.Run("wrong_strategy", func(t *testing.T) {
-		other := resumeEngine(t, 1, nil) // tifl, snapshot is random
+		other, _ := resumeEngine(t, 1, nil) // tifl, snapshot is random
 		if err := other.Restore(snap); err == nil {
 			t.Fatal("snapshot restored into a different strategy")
 		}
 	})
 	t.Run("already_ran", func(t *testing.T) {
-		ran := resumeEngine(t, 0, nil)
+		ran, _ := resumeEngine(t, 0, nil)
 		ran.Run()
 		if err := ran.Restore(snap); err == nil {
 			t.Fatal("snapshot restored into an engine that already ran")

@@ -86,6 +86,9 @@ func (e *Engine) checkpointComponents() []checkpoint.Component {
 	if d, ok := e.cfg.Dropout.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "dropout", S: d})
 	}
+	if e.cfg.Fleet != nil {
+		comps = append(comps, checkpoint.Component{Name: "fleet", S: e.cfg.Fleet})
+	}
 	return comps
 }
 

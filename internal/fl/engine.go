@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"haccs/internal/checkpoint"
+	"haccs/internal/fleet"
 	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
@@ -64,6 +65,13 @@ type Config struct {
 	// piggybacked on training replies (unused by the simulated local
 	// transport today; part of the shared round-driver contract).
 	OnSummary func(clientID int, labelCounts []float64)
+	// Fleet, when non-nil, is the per-client health registry fed one
+	// observation per round by the driver (see internal/fleet). On the
+	// in-process transport its latency statistics are simulated virtual
+	// seconds, keeping registry state deterministic; it joins the
+	// checkpoint component set so resumed runs keep their fleet history
+	// bit-identically. Nil disables fleet recording at zero cost.
+	Fleet *fleet.Registry
 	// Checkpoint, when non-nil, durably persists the full run state
 	// (model, driver clock, strategy, run progress, dropout schedule)
 	// into the store every CheckpointEvery rounds; a run restored from
@@ -254,6 +262,7 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		Spans:           cfg.Spans,
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
+		Fleet:           cfg.Fleet,
 	}, localTransport{e}, strategy, initial)
 	e.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, e.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return e

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The registry checkpoints itself the same way the rounds driver does:
+// a versioned gob payload of every field that feeds future
+// observations. Because ObserveRound is deterministic in the round
+// history and the P² estimators serialize their full marker state, a
+// restored registry continues byte-identically to an uninterrupted one
+// (pinned by the experiments resume test).
+
+// registryStateVersion tags the snapshot payload layout.
+const registryStateVersion = 1
+
+// registryState is the serialized form of a Registry.
+type registryState struct {
+	Version       int
+	Rounds        int
+	Clock         float64
+	TotalSelected int
+	Fairness      float64
+	Clients       []clientHealth
+	Clusters      []clusterHealth
+}
+
+// SnapshotState implements checkpoint.Snapshotter.
+func (r *Registry) SnapshotState() ([]byte, error) {
+	r.mu.Lock()
+	st := registryState{
+		Version:       registryStateVersion,
+		Rounds:        r.rounds,
+		Clock:         r.clock,
+		TotalSelected: r.totalSelected,
+		Fairness:      r.fairness,
+		Clients:       append([]clientHealth(nil), r.clients...),
+		Clusters:      make([]clusterHealth, len(r.clusters)),
+	}
+	for i := range r.clusters {
+		st.Clusters[i] = r.clusters[i]
+		st.Clusters[i].Members = append([]int(nil), r.clusters[i].Members...)
+	}
+	r.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter. The receiver must
+// have been built for the same roster size as the snapshot.
+func (r *Registry) RestoreState(data []byte) error {
+	var st registryState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("fleet: restore: %w", err)
+	}
+	if st.Version != registryStateVersion {
+		return fmt.Errorf("fleet: restore: snapshot version %d, want %d", st.Version, registryStateVersion)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(st.Clients) != len(r.clients) {
+		return fmt.Errorf("fleet: restore: snapshot has %d clients, registry %d", len(st.Clients), len(r.clients))
+	}
+	r.rounds = st.Rounds
+	r.clock = st.Clock
+	r.totalSelected = st.TotalSelected
+	r.fairness = st.Fairness
+	copy(r.clients, st.Clients)
+	r.clusters = st.Clusters
+	return nil
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"haccs/internal/telemetry"
+)
+
+func TestHandlerServesJSONSnapshot(t *testing.T) {
+	r := NewRegistry(3, Options{})
+	feed(r, 0, 10)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got State
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := r.State(); !reflect.DeepEqual(got, want) {
+		t.Errorf("served state = %+v, want %+v", got, want)
+	}
+}
+
+func TestHandlerTable(t *testing.T) {
+	src := staticSource{ClusterTargets{
+		Members: [][]int{{0, 1, 2}},
+		Theta:   []float64{1},
+		Drift:   []float64{0.1},
+	}}
+	r := NewRegistry(3, Options{Source: src})
+	// Client 2 is the designated straggler.
+	r.ObserveRound(RoundObservation{Round: 0, Selected: []int{0, 2}, Cut: []int{2},
+		Reports: []ClientReport{{ClientID: 0, NumSamples: 1, VirtualSec: 1}}})
+	r.ObserveRound(RoundObservation{Round: 1, Selected: []int{2}, Cut: []int{2}})
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?format=table&sort=cut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if !strings.Contains(out, "fleet: rounds 2") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Line 0 header, 1 blank, 2 column names, 3 first client row —
+	// sorted by cut descending, so client 2 leads.
+	if !strings.HasPrefix(strings.TrimSpace(lines[3]), "2 ") {
+		t.Errorf("sort=cut did not rank client 2 first:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster") || !strings.Contains(out, "drift") {
+		t.Errorf("missing cluster table:\n%s", out)
+	}
+}
+
+func TestWriteReplaySummary(t *testing.T) {
+	events := []telemetry.Event{
+		telemetry.Selection(0, []int{0, 1}),
+		telemetry.Selection(1, []int{0, 2}),
+		telemetry.StragglerCut(0, []int{1}, 5),
+		telemetry.ClientFailed(1, []int{2}),
+		telemetry.FleetHealth(0, 0.5, 5),
+		telemetry.FleetHealth(1, 0.8, 10),
+		telemetry.FleetClusterHealth(0, 0, 0.6, 0.5, 0.0),
+		telemetry.FleetClusterHealth(1, 0, 0.55, 0.5, 0.12),
+	}
+	var sb strings.Builder
+	WriteReplaySummary(&sb, events)
+	out := sb.String()
+	for _, want := range []string{
+		"== fleet summary ==",
+		"top stragglers",
+		"fairness trajectory",
+		"round     1  0.8000",
+		"cluster drift timeline",
+		"r1=0.1200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReplaySummaryEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteReplaySummary(&sb, nil)
+	out := sb.String()
+	if !strings.Contains(out, "no straggler cuts or failures recorded") ||
+		!strings.Contains(out, "no fleet_health events recorded") {
+		t.Errorf("empty summary:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"haccs/internal/telemetry"
+)
+
+// WriteReplaySummary reconstructs a fleet health summary from a
+// recorded JSONL event stream (cmd/haccs-trace drives it): top
+// stragglers aggregated from the per-round selection/cut/failure
+// events, the fairness trajectory and the per-cluster drift timeline
+// from the fleet_health records.
+func WriteReplaySummary(w io.Writer, events []telemetry.Event) {
+	type tally struct{ selected, cut, failed int }
+	perClient := map[int]*tally{}
+	get := func(id int) *tally {
+		t, ok := perClient[id]
+		if !ok {
+			t = &tally{}
+			perClient[id] = t
+		}
+		return t
+	}
+	type fairPoint struct {
+		round    int
+		fairness float64
+	}
+	var fairness []fairPoint
+	drift := map[int][]fairPoint{} // cluster -> (round, drift)
+
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindSelection:
+			for _, id := range e.Clients {
+				get(id).selected++
+			}
+		case telemetry.KindStragglerCut:
+			for _, id := range e.Clients {
+				get(id).cut++
+			}
+		case telemetry.KindClientFailed:
+			for _, id := range e.Clients {
+				get(id).failed++
+			}
+		case telemetry.KindFleetHealth:
+			if e.Cluster < 0 {
+				fairness = append(fairness, fairPoint{e.Round, e.Fairness})
+			} else {
+				drift[e.Cluster] = append(drift[e.Cluster], fairPoint{e.Round, e.Drift})
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "== fleet summary ==\n")
+
+	// Top stragglers: clients ranked by discarded work (deadline cuts
+	// plus mid-round failures).
+	type row struct {
+		id                    int
+		selected, cut, failed int
+	}
+	var rows []row
+	for id, t := range perClient {
+		if t.cut+t.failed > 0 {
+			rows = append(rows, row{id, t.selected, t.cut, t.failed})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if a, b := rows[i].cut+rows[i].failed, rows[j].cut+rows[j].failed; a != b {
+			return a > b
+		}
+		return rows[i].id < rows[j].id
+	})
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "\nno straggler cuts or failures recorded\n")
+	} else {
+		const topN = 10
+		fmt.Fprintf(w, "\ntop stragglers (of %d affected clients):\n", len(rows))
+		fmt.Fprintf(w, "%6s %8s %6s %6s %9s\n", "client", "selected", "cut", "failed", "cut_rate")
+		for i, r := range rows {
+			if i == topN {
+				break
+			}
+			rate := 0.0
+			if r.selected > 0 {
+				rate = float64(r.cut+r.failed) / float64(r.selected)
+			}
+			fmt.Fprintf(w, "%6d %8d %6d %6d %9.3f\n", r.id, r.selected, r.cut, r.failed, rate)
+		}
+	}
+
+	if len(fairness) == 0 && len(drift) == 0 {
+		fmt.Fprintf(w, "\nno fleet_health events recorded (run with fleet telemetry enabled)\n")
+		return
+	}
+
+	if len(fairness) > 0 {
+		fmt.Fprintf(w, "\nfairness trajectory (Jain's index):\n")
+		for _, p := range samplePoints(fairness, 12) {
+			fmt.Fprintf(w, "  round %5d  %.4f\n", p.round, p.fairness)
+		}
+	}
+
+	if len(drift) > 0 {
+		ids := make([]int, 0, len(drift))
+		for c := range drift {
+			ids = append(ids, c)
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(w, "\ncluster drift timeline (Hellinger vs. cluster-time centroid):\n")
+		for _, c := range ids {
+			pts := samplePoints(drift[c], 6)
+			fmt.Fprintf(w, "  cluster %d:", c)
+			for _, p := range pts {
+				fmt.Fprintf(w, "  r%d=%.4f", p.round, p.fairness)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+	}
+}
+
+// samplePoints thins a trajectory to at most n evenly spaced points,
+// always keeping the first and last.
+func samplePoints[T any](pts []T, n int) []T {
+	if len(pts) <= n || n < 2 {
+		return pts
+	}
+	out := make([]T, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pts[i*(len(pts)-1)/(n-1)])
+	}
+	return out
+}

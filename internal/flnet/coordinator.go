@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"haccs/internal/checkpoint"
+	"haccs/internal/fleet"
 	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
@@ -41,6 +42,12 @@ type CoordinatorConfig struct {
 	// training replies (TrainReply.UpdatedLabelCounts); wire it to the
 	// HACCS scheduler's UpdateSummaries for §IV-C re-clustering.
 	OnSummary func(clientID int, labelCounts []float64)
+	// Fleet, when non-nil, is the per-client health registry fed one
+	// observation per round; on the wire transport it additionally
+	// receives each reporter's validated self-reported stats block. It
+	// joins the checkpoint component set so resumed coordinators keep
+	// their fleet history bit-identically.
+	Fleet *fleet.Registry
 	// Checkpoint, when non-nil, durably persists the coordinator's run
 	// state (model, driver clock and dead mask, strategy) every
 	// CheckpointEvery rounds, so a coordinator that dies mid-run can be
@@ -68,6 +75,7 @@ type Coordinator struct {
 	strategy rounds.Strategy
 	arch     nn.Arch
 	dropout  simnet.DropoutModel
+	fleet    *fleet.Registry
 
 	// saver persists snapshots on cadence (nil = off); startRound is
 	// where the round sequence continues after Restore.
@@ -115,6 +123,7 @@ func (p *netProxy) Train(round, worker, slot int, params []float64, sc telemetry
 		NumSamples: reply.NumSamples,
 		Loss:       reply.Loss,
 		Summary:    reply.UpdatedLabelCounts,
+		Stats:      reply.Stats,
 	}, nil
 }
 
@@ -140,7 +149,7 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		}
 		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate, spans: cfg.Spans}
 	}
-	c := &Coordinator{srv: srv, strategy: strategy, arch: cfg.Arch, dropout: cfg.Dropout, tracer: cfg.Tracer, reg: cfg.Metrics}
+	c := &Coordinator{srv: srv, strategy: strategy, arch: cfg.Arch, dropout: cfg.Dropout, fleet: cfg.Fleet, tracer: cfg.Tracer, reg: cfg.Metrics}
 	c.driver = rounds.NewDriver(rounds.Config{
 		ClientsPerRound: cfg.ClientsPerRound,
 		Deadline:        cfg.Deadline,
@@ -149,6 +158,7 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		Spans:           cfg.Spans,
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
+		Fleet:           cfg.Fleet,
 	}, netTransport{proxies}, strategy, initial)
 	c.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, c.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return c, nil
@@ -167,6 +177,9 @@ func (c *Coordinator) checkpointComponents() []checkpoint.Component {
 	}
 	if d, ok := c.dropout.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "dropout", S: d})
+	}
+	if c.fleet != nil {
+		comps = append(comps, checkpoint.Component{Name: "fleet", S: c.fleet})
 	}
 	return comps
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"haccs/internal/fleet"
 	"haccs/internal/telemetry"
 )
 
@@ -35,6 +36,10 @@ const (
 	// a TrainReply span that is unsolicited, malformed, or belongs to a
 	// different trace than the request carried.
 	ErrBadTraceContext EnvelopeErrorKind = "bad_trace_context"
+	// ErrBadClientStats: a TrainReply stats block violating the wire
+	// contract — non-finite or negative wall time, non-positive sample
+	// count, non-finite loss, or negative epochs.
+	ErrBadClientStats EnvelopeErrorKind = "bad_client_stats"
 )
 
 // EnvelopeError is the typed error for every protocol violation: a
@@ -126,6 +131,9 @@ func checkReply(env *Envelope, clientID, round int, sc telemetry.SpanContext) (*
 	if err := checkWireSpan(env.Reply.TrainSpan, clientID, round, sc); err != nil {
 		return nil, err
 	}
+	if err := checkClientStats(env.Reply.Stats, clientID, round); err != nil {
+		return nil, err
+	}
 	return env.Reply, nil
 }
 
@@ -159,6 +167,35 @@ func checkWireSpan(ws *WireSpan, clientID, round int, sc telemetry.SpanContext) 
 	if math.IsNaN(ws.DurSec) || math.IsInf(ws.DurSec, 0) || ws.DurSec < 0 {
 		return envelopeErr(ErrBadTraceContext, clientID, round,
 			fmt.Sprintf("reply span duration %v is not a finite non-negative number", ws.DurSec))
+	}
+	return nil
+}
+
+// checkClientStats validates a reply's self-reported stats block the
+// same way checkWireSpan validates the piggybacked span: a nil block is
+// always fine (stats are optional), a present one must carry sane
+// measurements — anything else is a protocol violation that drops the
+// session, so a misbehaving client cannot poison the coordinator's
+// fleet health registry.
+func checkClientStats(st *fleet.ClientStats, clientID, round int) error {
+	if st == nil {
+		return nil
+	}
+	if math.IsNaN(st.TrainWallSec) || math.IsInf(st.TrainWallSec, 0) || st.TrainWallSec < 0 {
+		return envelopeErr(ErrBadClientStats, clientID, round,
+			fmt.Sprintf("stats wall time %v is not a finite non-negative number", st.TrainWallSec))
+	}
+	if st.Samples <= 0 {
+		return envelopeErr(ErrBadClientStats, clientID, round,
+			fmt.Sprintf("stats sample count %d is not positive", st.Samples))
+	}
+	if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+		return envelopeErr(ErrBadClientStats, clientID, round,
+			fmt.Sprintf("stats loss %v is not finite", st.Loss))
+	}
+	if st.Epochs < 0 {
+		return envelopeErr(ErrBadClientStats, clientID, round,
+			fmt.Sprintf("stats epochs %d is negative", st.Epochs))
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"haccs/internal/fleet"
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
 )
@@ -83,6 +84,13 @@ type TrainReply struct {
 	// when the request carried a trace; the server validates it against
 	// the context it sent (see checkWireSpan).
 	TrainSpan *WireSpan
+	// Stats, when non-nil, is the client's self-reported training
+	// statistics block feeding the coordinator's fleet health registry.
+	// Like TrainSpan it is optional but validated: a malformed block
+	// (non-finite wall time or loss, non-positive samples, negative
+	// epochs) is a protocol violation that drops the session (see
+	// checkClientStats).
+	Stats *fleet.ClientStats
 }
 
 // Shutdown ends the session.
@@ -119,6 +127,9 @@ type Client struct {
 	// round; a non-nil return piggybacks a refreshed P(y) summary on the
 	// reply (§IV-C adaptation). Most clients leave it nil.
 	SummaryRefresh func(round int) []float64
+	// LocalEpochs, when positive, is reported in the per-round stats
+	// block as the number of local epochs the Trainer runs per request.
+	LocalEpochs int
 }
 
 // Run connects to the coordinator, registers, and serves training
@@ -160,6 +171,12 @@ func (c *Client) Run(addr string) (rounds int, err error) {
 				Params:     params,
 				NumSamples: n,
 				Loss:       loss,
+				Stats: &fleet.ClientStats{
+					TrainWallSec: wall,
+					Samples:      n,
+					Loss:         loss,
+					Epochs:       c.LocalEpochs,
+				},
 			}
 			if sc := env.Request.Trace; !sc.Zero() {
 				// Ship the local-train measurement back, parented under

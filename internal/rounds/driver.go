@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"haccs/internal/fleet"
 	"haccs/internal/simnet"
 	"haccs/internal/telemetry"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	// aggregation and before Strategy.Update — the hook the HACCS
 	// scheduler's re-clustering consumes.
 	OnSummary func(clientID int, labelCounts []float64)
+	// Fleet, when non-nil, receives one RoundObservation at the end of
+	// every round (including empty-selection retry rounds), feeding the
+	// per-client health registry. A nil registry costs nothing
+	// (zero-alloc, pinned by the tracked fleet_record_disabled
+	// benchmark).
+	Fleet *fleet.Registry
 }
 
 // Outcome describes one completed round. The Reporters, Cut, Failed
@@ -110,6 +117,7 @@ type Driver struct {
 	down      []int
 	cut       []int
 	failed    []int
+	reports   []fleet.ClientReport
 
 	met *driverMetrics
 }
@@ -195,6 +203,9 @@ func NewDriver(cfg Config, t Transport, strategy Strategy, initial []float64) *D
 	d.losses = make([]float64, 0, k)
 	d.cut = make([]int, 0, k)
 	d.failed = make([]int, 0, k)
+	if cfg.Fleet != nil {
+		d.reports = make([]fleet.ClientReport, 0, k)
+	}
 	d.available = make([]bool, len(proxies))
 	d.seen = make([]bool, len(proxies))
 	d.dead = make([]bool, len(proxies))
@@ -261,6 +272,14 @@ func (d *Driver) RunRound(round int) Outcome {
 		if d.met != nil {
 			d.met.rounds.Inc()
 			d.met.clock.Set(d.clock)
+		}
+		if d.cfg.Fleet != nil {
+			d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+				Round:        round,
+				Unavailable:  down,
+				RoundVirtual: 1,
+				Clock:        d.clock,
+			})
 		}
 		return Outcome{RoundVirtual: 1}
 	}
@@ -354,6 +373,29 @@ func (d *Driver) RunRound(round int) Outcome {
 	}
 	d.strategy.Update(round, repIDs, losses)
 	sp.End()
+	if d.cfg.Fleet != nil {
+		reports := d.reports[:0]
+		for i := range reporters {
+			reports = append(reports, fleet.ClientReport{
+				ClientID:   repIDs[i],
+				Loss:       reporters[i].Loss,
+				NumSamples: reporters[i].NumSamples,
+				VirtualSec: d.latency[repIDs[i]],
+				Stats:      reporters[i].Stats,
+			})
+		}
+		d.reports = reports
+		d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+			Round:        round,
+			Selected:     selected,
+			Reports:      reports,
+			Cut:          cut,
+			Failed:       failed,
+			Unavailable:  down,
+			RoundVirtual: roundTime,
+			Clock:        d.clock,
+		})
+	}
 	return Outcome{
 		Selected:     selected,
 		Reporters:    repIDs,

@@ -12,7 +12,10 @@
 // one place).
 package rounds
 
-import "haccs/internal/telemetry"
+import (
+	"haccs/internal/fleet"
+	"haccs/internal/telemetry"
+)
 
 // Result is what one client returns to the server after local
 // training. internal/fl aliases its TrainResult to this type, so the
@@ -30,6 +33,11 @@ type Result struct {
 	// piggybacked on the reply (the paper's §IV-C asynchronous summary
 	// update); the driver forwards it through Config.OnSummary.
 	Summary []float64
+	// Stats, when non-nil, is the client's self-reported training
+	// statistics block (flnet wire transports fill it from the
+	// validated TrainReply; in-process transports leave it nil). The
+	// driver forwards it to the fleet health registry.
+	Stats *fleet.ClientStats
 }
 
 // Proxy is one client endpoint the driver can dispatch a local-training

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2 is a streaming quantile estimator implementing the P² algorithm of
+// Jain & Chlamtac (CACM 1985): five markers track the running minimum,
+// the target quantile, two intermediate quantiles and the maximum, and
+// each observation adjusts marker heights by parabolic (falling back to
+// linear) interpolation. Memory is O(1), the update is deterministic,
+// and — unlike sampling-based sketches — the estimate depends only on
+// the observation sequence, so checkpoint/resume reproduces it
+// bit-identically.
+//
+// All fields are exported so the estimator serializes through encoding
+// gob as-is (the fleet registry checkpoints it); treat them as opaque.
+// The zero value is NOT usable; call NewP2.
+type P2 struct {
+	P float64 // target quantile in (0, 1)
+
+	N int // observations seen so far
+
+	// Marker state, meaningful once N >= 5. Until then the first
+	// observations accumulate (sorted) in Heights[:N].
+	Heights [5]float64 // marker heights q_i
+	Pos     [5]float64 // marker positions n_i (1-based)
+	Want    [5]float64 // desired marker positions n'_i
+	Incr    [5]float64 // desired-position increments dn'_i
+}
+
+// NewP2 returns an estimator for the p-quantile; p outside (0, 1)
+// panics.
+func NewP2(p float64) P2 {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: P2 quantile %v outside (0, 1)", p))
+	}
+	return P2{
+		P:    p,
+		Pos:  [5]float64{1, 2, 3, 4, 5},
+		Want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		Incr: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Observe feeds one value into the estimator.
+func (e *P2) Observe(v float64) {
+	if e.N < 5 {
+		e.Heights[e.N] = v
+		e.N++
+		sort.Float64s(e.Heights[:e.N])
+		return
+	}
+
+	// Find the cell k such that Heights[k] <= v < Heights[k+1], bumping
+	// the extremes when v falls outside the current range.
+	var k int
+	switch {
+	case v < e.Heights[0]:
+		e.Heights[0] = v
+		k = 0
+	case v >= e.Heights[4]:
+		e.Heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < e.Heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.Pos[i]++
+	}
+	for i := range e.Want {
+		e.Want[i] += e.Incr[i]
+	}
+	e.N++
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.Want[i] - e.Pos[i]
+		if (d >= 1 && e.Pos[i+1]-e.Pos[i] > 1) || (d <= -1 && e.Pos[i-1]-e.Pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			h := e.parabolic(i, s)
+			if e.Heights[i-1] < h && h < e.Heights[i+1] {
+				e.Heights[i] = h
+			} else {
+				e.Heights[i] = e.linear(i, s)
+			}
+			e.Pos[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (PP) height update for marker i
+// moving by s (±1).
+func (e *P2) parabolic(i int, s float64) float64 {
+	return e.Heights[i] + s/(e.Pos[i+1]-e.Pos[i-1])*
+		((e.Pos[i]-e.Pos[i-1]+s)*(e.Heights[i+1]-e.Heights[i])/(e.Pos[i+1]-e.Pos[i])+
+			(e.Pos[i+1]-e.Pos[i]-s)*(e.Heights[i]-e.Heights[i-1])/(e.Pos[i]-e.Pos[i-1]))
+}
+
+// linear is the fallback linear height update for marker i moving by s.
+func (e *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.Heights[i] + s*(e.Heights[j]-e.Heights[i])/(e.Pos[j]-e.Pos[i])
+}
+
+// Value returns the current quantile estimate: 0 before any
+// observation, the exact sample quantile (nearest-rank on the sorted
+// prefix) below five observations, and the P² marker estimate after.
+func (e *P2) Value() float64 {
+	switch {
+	case e.N == 0:
+		return 0
+	case e.N < 5:
+		idx := int(e.P * float64(e.N))
+		if idx >= e.N {
+			idx = e.N - 1
+		}
+		return e.Heights[idx]
+	}
+	return e.Heights[2]
+}
+
+// Count returns how many values have been observed.
+func (e *P2) Count() int { return e.N }

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference: nearest-rank quantile on the full
+// sorted sample.
+func exactQuantile(vals []float64, p float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestP2Empty(t *testing.T) {
+	e := NewP2(0.5)
+	if got := e.Value(); got != 0 {
+		t.Fatalf("empty Value = %v, want 0", got)
+	}
+	if e.Count() != 0 {
+		t.Fatalf("empty Count = %d", e.Count())
+	}
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	e := NewP2(0.5)
+	for _, v := range []float64{9, 1, 5} {
+		e.Observe(v)
+	}
+	// Below five observations the estimate is the exact nearest-rank
+	// quantile of what has been seen.
+	if got, want := e.Value(), exactQuantile([]float64{9, 1, 5}, 0.5); got != want {
+		t.Fatalf("Value = %v, want %v", got, want)
+	}
+}
+
+func TestP2ConvergesOnUniform(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		e := NewP2(p)
+		rng := NewRNG(7)
+		vals := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := rng.Float64() * 100
+			vals = append(vals, v)
+			e.Observe(v)
+		}
+		want := exactQuantile(vals, p)
+		got := e.Value()
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("p=%v: estimate %v, exact %v", p, got, want)
+		}
+	}
+}
+
+func TestP2ConvergesOnSkewed(t *testing.T) {
+	// Exponential-ish distribution via inverse transform: heavy tail
+	// stresses the marker adjustment more than uniform.
+	e := NewP2(0.9)
+	rng := NewRNG(11)
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := -math.Log(1 - rng.Float64())
+		vals = append(vals, v)
+		e.Observe(v)
+	}
+	want := exactQuantile(vals, 0.9)
+	got := e.Value()
+	if math.Abs(got-want) > 0.15 {
+		t.Errorf("estimate %v, exact %v", got, want)
+	}
+}
+
+func TestP2Deterministic(t *testing.T) {
+	a, b := NewP2(0.9), NewP2(0.9)
+	rng := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		a.Observe(v)
+		b.Observe(v)
+	}
+	if a != b {
+		t.Fatalf("same stream diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestP2GobRoundTrip pins the checkpoint property: serialize mid-stream,
+// restore, keep observing — state stays bit-identical to the
+// uninterrupted estimator.
+func TestP2GobRoundTrip(t *testing.T) {
+	ref := NewP2(0.99)
+	rng := NewRNG(5)
+	stream := make([]float64, 500)
+	for i := range stream {
+		stream[i] = rng.Float64() * 10
+	}
+	for _, v := range stream[:200] {
+		ref.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ref); err != nil {
+		t.Fatal(err)
+	}
+	var restored P2
+	if err := gob.NewDecoder(&buf).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored != ref {
+		t.Fatalf("restore mismatch: %+v vs %+v", restored, ref)
+	}
+
+	for _, v := range stream[200:] {
+		ref.Observe(v)
+		restored.Observe(v)
+	}
+	if restored != ref {
+		t.Fatalf("post-restore divergence: %+v vs %+v", restored, ref)
+	}
+}
+
+func TestP2BadQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", p)
+				}
+			}()
+			NewP2(p)
+		}()
+	}
+}

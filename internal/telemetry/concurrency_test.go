@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentScrape hammers Histogram.Observe/Snapshot and
+// counter/gauge updates from many goroutines while the Prometheus
+// handler scrapes over real HTTP. Run under -race (the CI race step
+// includes this package); the assertion is simply that nothing tears.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, NewRingSink(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		writers = 8
+		iters   = 500
+	)
+	hist := reg.Histogram("haccs_client_train_seconds", "train time", []float64{0.1, 1, 10})
+	hv := reg.HistogramVec("haccs_span_seconds", "span time", "span", SpanBuckets)
+	ctr := reg.Counter("haccs_rounds_total", "rounds")
+	cv := reg.CounterVec("haccs_picks_total", "picks", "cluster")
+	g := reg.Gauge("haccs_clock", "clock")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			span := []string{"select", "dispatch", "collect"}[w%3]
+			for i := 0; i < iters; i++ {
+				hist.Observe(float64(i%20) / 2)
+				hv.With(span).Observe(float64(i) * 1e-4)
+				ctr.Inc()
+				cv.With("0").Add(2)
+				g.Set(float64(i))
+				if i%50 == 0 {
+					_ = hist.Snapshot()
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// Scrapers: concurrent HTTP GETs of /metrics while writers run.
+	scrapeErr := make(chan error, 4)
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+				if err != nil {
+					scrapeErr <- err
+					return
+				}
+				_, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					scrapeErr <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if got, want := ctr.Value(), float64(writers*iters); got != want {
+		t.Errorf("counter = %v, want %v", got, want)
+	}
+	snap := hist.Snapshot()
+	if snap.Count != writers*iters {
+		t.Errorf("histogram count = %d, want %d", snap.Count, writers*iters)
+	}
+	var bucketSum uint64
+	for _, c := range snap.Counts {
+		bucketSum += c
+	}
+	if bucketSum != snap.Count {
+		t.Errorf("bucket counts sum %d != count %d", bucketSum, snap.Count)
+	}
+}

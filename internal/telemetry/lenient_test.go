@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadJSONLLenient(t *testing.T) {
+	in := strings.Join([]string{
+		`{"kind":"round_start","round":0,"cluster":-1,"client":-1}`,
+		`{"kind":"selection","round":0,"cluster":-1,"client":-1,"clients":[1,2]}`,
+		`not json at all`,
+		``,
+		`{"kind":"aggregated","round":0,"cluster":-1,"cli`, // truncated tail
+	}, "\n") + "\n"
+
+	var skippedLines []int
+	events, skipped, err := ReadJSONLLenient(strings.NewReader(in), func(line int, err error) {
+		skippedLines = append(skippedLines, line)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Kind != KindRoundStart || events[1].Kind != KindSelection {
+		t.Fatalf("decoded kinds %q, %q", events[0].Kind, events[1].Kind)
+	}
+	if len(skippedLines) != 2 || skippedLines[0] != 3 || skippedLines[1] != 5 {
+		t.Fatalf("skipped line numbers = %v, want [3 5]", skippedLines)
+	}
+}
+
+// TestReadJSONLLenientMatchesStrict checks a clean stream decodes
+// identically through both readers.
+func TestReadJSONLLenientMatchesStrict(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	sink.Emit(RoundStart(1))
+	sink.Emit(Selection(1, []int{0, 3}))
+	sink.Emit(Aggregated(1, []int{0, 3}, 2.5, 10))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, skipped, err := ReadJSONLLenient(strings.NewReader(sb.String()), nil)
+	if err != nil || skipped != 0 {
+		t.Fatalf("lenient read: err %v, skipped %d", err, skipped)
+	}
+	if len(strict) != len(lenient) {
+		t.Fatalf("lengths differ: %d vs %d", len(strict), len(lenient))
+	}
+	for i := range strict {
+		if strict[i].Kind != lenient[i].Kind || strict[i].Round != lenient[i].Round {
+			t.Fatalf("event %d differs: %+v vs %+v", i, strict[i], lenient[i])
+		}
+	}
+}

@@ -43,20 +43,33 @@ func (r *Registry) helpFor(name string) string {
 	return ""
 }
 
-// labelSuffix renders `{key="value"}` (with an optional extra le pair
-// for histogram buckets), or "" when the sample is unlabelled.
-func labelSuffix(s Sample, le string) string {
+// labelSuffix renders `{key="value"}` (with an optional extra pair —
+// le for histogram buckets, quantile for the derived summary lines),
+// or "" when the sample is unlabelled.
+func labelSuffix(s Sample, extraKey, extraVal string) string {
 	var pairs []string
 	if s.LabelKey != "" {
 		pairs = append(pairs, fmt.Sprintf("%s=%q", s.LabelKey, escapeLabel(s.LabelValue)))
 	}
-	if le != "" {
-		pairs = append(pairs, fmt.Sprintf("le=%q", le))
+	if extraKey != "" {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", extraKey, extraVal))
 	}
 	if len(pairs) == 0 {
 		return ""
 	}
 	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// exportQuantiles are the derived quantiles rendered for every
+// histogram family so latency percentiles are scrapeable without
+// bucket math on the Prometheus side.
+var exportQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
 }
 
 // escapeLabel applies the exposition-format label escaping rules.
@@ -80,23 +93,28 @@ func formatValue(v float64) string {
 
 func writeSample(w io.Writer, s Sample) error {
 	if s.Hist == nil {
-		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSuffix(s, ""), formatValue(s.Value))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSuffix(s, "", ""), formatValue(s.Value))
 		return err
 	}
 	cum := uint64(0)
 	for i, upper := range s.Hist.Upper {
 		cum += s.Hist.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, formatValue(upper)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, "le", formatValue(upper)), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Hist.Counts[len(s.Hist.Upper)]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, "+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelSuffix(s, "le", "+Inf"), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelSuffix(s, ""), formatValue(s.Hist.Sum)); err != nil {
+	for _, eq := range exportQuantiles {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSuffix(s, "quantile", eq.label), formatValue(s.Hist.Quantile(eq.q))); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelSuffix(s, "", ""), formatValue(s.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelSuffix(s, ""), s.Hist.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelSuffix(s, "", ""), s.Hist.Count)
 	return err
 }

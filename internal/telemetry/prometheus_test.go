@@ -30,6 +30,9 @@ func TestPrometheusGolden(t *testing.T) {
 haccs_client_train_seconds_bucket{le="0.1"} 2
 haccs_client_train_seconds_bucket{le="1"} 3
 haccs_client_train_seconds_bucket{le="+Inf"} 4
+haccs_client_train_seconds{quantile="0.5"} 0.1
+haccs_client_train_seconds{quantile="0.9"} 1
+haccs_client_train_seconds{quantile="0.99"} 1
 haccs_client_train_seconds_sum 30.6
 haccs_client_train_seconds_count 4
 # HELP haccs_cluster_theta Eq. 7 sampling weight.

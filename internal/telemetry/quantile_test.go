@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := &Histogram{upper: []float64{1, 2, 4}, counts: make([]uint64, 4)}
+	for _, v := range []float64{0.5, 0.5, 1.5, 3, 3, 3, 100, 100} {
+		h.Observe(v)
+	}
+	// counts: le1 -> 2, le2 -> 1, le4 -> 3, +Inf -> 2, count 8
+	snap := h.Snapshot()
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},           // rank 0 lands at the first bucket's lower edge
+		{0.25, 1},        // rank 2 fills bucket 0 exactly
+		{0.375, 2},       // rank 3 fills bucket 1 exactly
+		{0.5, 2 + 2.0/3}, // rank 4: 1/3 into bucket (2,4]
+		{0.75, 4},        // rank 6 fills bucket 2 exactly
+		{0.99, 4},        // overflow bucket clamps to last finite bound
+		{1, 4},
+	}
+	for _, tc := range cases {
+		if got := snap.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantileEmpty(t *testing.T) {
+	var snap HistogramSnapshot
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	snap = HistogramSnapshot{Upper: []float64{1}, Counts: []uint64{0, 0}}
+	if got := snap.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-count Quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramSnapshotQuantileClamps(t *testing.T) {
+	h := &Histogram{upper: []float64{1}, counts: make([]uint64, 2)}
+	h.Observe(0.5)
+	snap := h.Snapshot()
+	if got := snap.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %v, want 0", got)
+	}
+	if got := snap.Quantile(2); got != 1 {
+		t.Errorf("Quantile(2) = %v, want 1", got)
+	}
+}
+
+// TestPrometheusQuantileLines checks the derived summary-style lines
+// appear for labelled histogram families too, carrying both the family
+// label and the quantile label.
+func TestPrometheusQuantileLines(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("haccs_span_seconds", "Span durations.", "span", []float64{1, 10})
+	hv.With("train").Observe(0.5)
+	hv.With("train").Observe(5)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`haccs_span_seconds{span="train",quantile="0.5"} 1`,
+		`haccs_span_seconds{span="train",quantile="0.9"} `,
+		`haccs_span_seconds{span="train",quantile="0.99"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

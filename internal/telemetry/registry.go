@@ -132,6 +132,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation within the bucket holding the target
+// rank, the standard Prometheus histogram_quantile estimate: the first
+// bucket interpolates from 0, and a rank landing in the +Inf overflow
+// bucket returns the last finite upper bound (the estimate is clamped
+// to the observable range). An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Upper) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, upper := range s.Upper {
+		prev := cum
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Upper[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return upper
+			}
+			frac := (rank - float64(prev)) / float64(s.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+	}
+	return s.Upper[len(s.Upper)-1]
+}
+
 // DefBuckets are the default histogram bounds (seconds): wide enough
 // for both wall-clock training times and simulated round latencies.
 var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300}

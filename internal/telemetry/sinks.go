@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -144,6 +145,39 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		out = append(out, e)
 	}
+}
+
+// ReadJSONLLenient decodes a JSONL event stream line by line, skipping
+// lines that are not valid Event JSON (hand-edited files, truncated
+// tails from crashed runs) instead of aborting. It returns the decoded
+// events, the number of skipped lines, and any underlying read error.
+// onSkip, when non-nil, is called with the 1-based line number and the
+// decode error for each skipped line.
+func ReadJSONLLenient(r io.Reader, onSkip func(line int, err error)) ([]Event, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Event
+	skipped, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			skipped++
+			if onSkip != nil {
+				onSkip(line, err)
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, skipped, fmt.Errorf("telemetry: read jsonl: %w", err)
+	}
+	return out, skipped, nil
 }
 
 // RingSink keeps the most recent events in a fixed-capacity ring; the

@@ -64,6 +64,14 @@ const (
 	// (encoded snapshot size), WallSec (capture + write duration), Path
 	// (the store directory).
 	KindCheckpointSaved = "checkpoint_saved"
+	// KindFleetHealth is the per-round fleet registry reading. The
+	// fleet-level record (Cluster -1) carries Fairness (Jain's index
+	// over cumulative selection counts) and Clock; the per-cluster
+	// records (Cluster >= 0) carry Share (the cluster's cumulative
+	// selection share), Theta (the scheduler's normalized θ target
+	// share) and Drift (Hellinger distance of the cluster's current
+	// label-distribution centroid from its centroid at cluster time).
+	KindFleetHealth = "fleet_health"
 )
 
 // Event is one record in the round trace. It is a flat union: Kind
@@ -116,6 +124,14 @@ type Event struct {
 	// event (KindClientPicked: the intra-cluster policy that chose the
 	// device).
 	Reason string `json:"reason,omitempty"`
+
+	// Fleet health fields (KindFleetHealth): Jain's fairness index over
+	// cumulative selection counts (fleet-level record), one cluster's
+	// cumulative selection share, and its centroid drift since cluster
+	// time (per-cluster records).
+	Fairness float64 `json:"fairness,omitempty"`
+	Share    float64 `json:"share,omitempty"`
+	Drift    float64 `json:"drift,omitempty"`
 }
 
 // newEvent returns an event with the index fields neutralized.
@@ -243,6 +259,25 @@ func ClusterState(round, cluster int, theta, tau, acl, aclShare float64, members
 func CheckpointSaved(round, bytes int, wallSec float64, path string) Event {
 	e := newEvent(KindCheckpointSaved, round)
 	e.Bytes, e.WallSec, e.Path = bytes, wallSec, path
+	return e
+}
+
+// FleetHealth builds the fleet-level health record for one round:
+// Jain's fairness index over cumulative selection counts and the
+// virtual clock at observation time.
+func FleetHealth(round int, fairness, clock float64) Event {
+	e := newEvent(KindFleetHealth, round)
+	e.Fairness, e.Clock = fairness, clock
+	return e
+}
+
+// FleetClusterHealth builds the per-cluster health record for one
+// round: the cluster's cumulative selection share, the scheduler's
+// normalized θ target share, and the centroid drift since cluster time.
+func FleetClusterHealth(round, cluster int, share, thetaShare, drift float64) Event {
+	e := newEvent(KindFleetHealth, round)
+	e.Cluster = cluster
+	e.Share, e.Theta, e.Drift = share, thetaShare, drift
 	return e
 }
 
