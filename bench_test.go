@@ -213,6 +213,15 @@ func BenchmarkTrainStepMLP(b *testing.B) { benchrun.TrainStepMLP(b) }
 // matrix build (cluster.FromFunc).
 func BenchmarkHellingerMatrix100(b *testing.B) { benchrun.HellingerMatrix100(b) }
 
+// BenchmarkSketchCluster100k measures a full sketch-backend clustering
+// of a 100k-client fleet — the tracked no-N×N scaling signal.
+func BenchmarkSketchCluster100k(b *testing.B) { benchrun.SketchCluster100k(b) }
+
+// BenchmarkSketchAssign measures the steady-state per-client sketch
+// assignment kernel; its allocs/op is the tracked zero-allocation
+// churn-path signal (target: exactly 0).
+func BenchmarkSketchAssign(b *testing.B) { benchrun.SketchAssign(b) }
+
 // BenchmarkRoundsDriverOverhead measures the shared round driver's pure
 // orchestration cost (selection, fan-out, collection, FedAvg) with
 // instant proxies standing in for local training.

@@ -48,6 +48,7 @@ func main() {
 		epochs   = flag.Int("epochs", 2, "local epochs per round")
 		prox     = flag.Float64("prox", 0, "FedProx proximal coefficient mu (0 = plain FedAvg)")
 		policy   = flag.String("policy", "fastest", "HACCS intra-cluster device policy: fastest | weighted")
+		backend  = flag.String("cluster-backend", "dense", "HACCS clustering backend: dense (exact N×N Hellinger matrix) | sketch (representative index, scales to 100k+ clients)")
 		csvPath  = flag.String("csv", "", "write the accuracy curve as CSV to this path")
 		jsonPath = flag.String("json", "", "write the run summary as JSON to this path")
 
@@ -68,7 +69,7 @@ func main() {
 
 	if err := validateFlags(simFlags{
 		Rounds: *rounds, Clients: *clients, Classes: *classes, K: *k, Size: *size, Epochs: *epochs,
-		Dropout: *dropout, Deadline: *deadline, Rho: *rho, Policy: *policy,
+		Dropout: *dropout, Deadline: *deadline, Rho: *rho, Policy: *policy, Backend: *backend,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, CheckpointRetain: *ckptRetain, Resume: *resume,
 		FleetCheck: *fleetCheck, MetricsAddr: *metricsAddr,
 	}); err != nil {
@@ -99,6 +100,8 @@ func main() {
 	if *policy == "weighted" {
 		intra = core.PickWeighted
 	}
+	// ...and *backend to dense|sketch.
+	clusterBackend, _ := core.ParseClusterBackend(*backend)
 	// Telemetry: registry + trace sinks are only allocated when a flag
 	// asks for them; engines treat nil as "off".
 	var (
@@ -138,7 +141,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, *seed, tracer, reg)
+	strat, err := buildStrategy(*strategy, trainSets, *eps, *rho, intra, clusterBackend, *seed, tracer, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -328,7 +331,7 @@ func modelFor(spec dataset.Spec) nn.Arch {
 	return nn.Arch{Kind: "mlp", In: spec.FeatureDim(), Hidden: []int{32}, Classes: spec.Classes}
 }
 
-func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, intra core.IntraClusterPolicy, seed uint64, tracer telemetry.Tracer, reg *telemetry.Registry) (fl.Strategy, error) {
+func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, intra core.IntraClusterPolicy, backend core.ClusterBackend, seed uint64, tracer telemetry.Tracer, reg *telemetry.Registry) (fl.Strategy, error) {
 	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, 15))
 	switch name {
 	case "random":
@@ -339,10 +342,10 @@ func buildStrategy(name string, trainSets []*dataset.Dataset, eps, rho float64, 
 		return selection.NewOort(), nil
 	case "haccs-py":
 		sums := core.BuildSummaries(trainSets, core.PY, 0, eps, noiseRNG)
-		return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: intra, Tracer: tracer, Metrics: reg}, sums), nil
+		return core.NewScheduler(core.Config{Kind: core.PY, Rho: rho, IntraCluster: intra, Backend: backend, Tracer: tracer, Metrics: reg}, sums), nil
 	case "haccs-pxy":
 		sums := core.BuildSummaries(trainSets, core.PXY, 0, eps, noiseRNG)
-		return core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, IntraCluster: intra, Tracer: tracer, Metrics: reg}, sums), nil
+		return core.NewScheduler(core.Config{Kind: core.PXY, Rho: rho, IntraCluster: intra, Backend: backend, Tracer: tracer, Metrics: reg}, sums), nil
 	default:
 		return nil, fmt.Errorf("haccs-sim: unknown strategy %q", name)
 	}

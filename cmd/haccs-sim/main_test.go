@@ -35,6 +35,8 @@ func TestValidateFlags(t *testing.T) {
 		{"deadline_negative", func(f *simFlags) { f.Deadline = -1 }, "-deadline"},
 		{"rho_out_of_range", func(f *simFlags) { f.Rho = 1.2 }, "-rho"},
 		{"unknown_policy", func(f *simFlags) { f.Policy = "slowest" }, "-policy"},
+		{"unknown_backend", func(f *simFlags) { f.Backend = "exact" }, "-cluster-backend"},
+		{"sketch_backend_ok", func(f *simFlags) { f.Backend = "sketch" }, ""},
 		{"resume_without_dir", func(f *simFlags) { f.Resume = true }, "-resume requires -checkpoint-dir"},
 		{"resume_with_dir", func(f *simFlags) { f.Resume = true; f.CheckpointDir = "/tmp/ck" }, ""},
 		{"checkpoint_every_zero", func(f *simFlags) { f.CheckpointDir = "/tmp/ck"; f.CheckpointEvery = 0 }, "-checkpoint-every"},

@@ -8,6 +8,7 @@ type simFlags struct {
 	Rounds, Clients, Classes, K, Size, Epochs int
 	Dropout, Deadline, Rho                    float64
 	Policy                                    string
+	Backend                                   string
 	CheckpointDir                             string
 	CheckpointEvery, CheckpointRetain         int
 	Resume                                    bool
@@ -47,6 +48,9 @@ func validateFlags(f simFlags) error {
 	}
 	if f.Policy != "fastest" && f.Policy != "weighted" {
 		return fmt.Errorf("unknown -policy %q (want fastest or weighted)", f.Policy)
+	}
+	if f.Backend != "" && f.Backend != "dense" && f.Backend != "sketch" {
+		return fmt.Errorf("unknown -cluster-backend %q (want dense or sketch)", f.Backend)
 	}
 	if f.Resume && f.CheckpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir (nowhere to resume from)")

@@ -15,16 +15,19 @@
 package benchrun
 
 import (
+	"math"
 	"testing"
 
 	"haccs/internal/checkpoint"
 	"haccs/internal/cluster"
+	"haccs/internal/core"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
 	"haccs/internal/fleet"
 	"haccs/internal/nn"
 	"haccs/internal/rounds"
 	"haccs/internal/simnet"
+	"haccs/internal/sketch"
 	"haccs/internal/stats"
 	"haccs/internal/telemetry"
 	"haccs/internal/tensor"
@@ -63,6 +66,8 @@ func Suite() []Entry {
 		{Name: "checkpoint_disabled", Bench: CheckpointDisabled},
 		{Name: "fleet_record_disabled", Bench: FleetRecordDisabled},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
+		{Name: "sketch_cluster_100k", Bench: SketchCluster100k},
+		{Name: "sketch_assign", Bench: SketchAssign},
 	}
 }
 
@@ -400,5 +405,89 @@ func HellingerMatrix100(b *testing.B) {
 		cluster.FromFunc(len(hists), func(i, j int) float64 {
 			return stats.HistogramHellinger(hists[i], hists[j])
 		})
+	}
+}
+
+// sketchBenchSummaries builds n synthetic P(y) summaries drawn from
+// groups well-separated majority-label distributions (75% majority mass,
+// the standard workloads' shape) with per-client multinomial-scale
+// jitter for a 2000-sample device dataset. Counts are jittered directly
+// rather than sampled so building a 100k-client population stays cheap.
+func sketchBenchSummaries(n, classes, groups int) []core.Summary {
+	rng := stats.NewRNG(seed)
+	const samples = 2000
+	sums := make([]core.Summary, n)
+	for i := range sums {
+		h := stats.NewLabelHistogram(classes)
+		major := i % groups % classes
+		for c := 0; c < classes; c++ {
+			p := 0.25 / float64(classes)
+			if c == major {
+				p += 0.75
+			}
+			mean := p * samples
+			cnt := mean + rng.Normal(0, math.Sqrt(mean*(1-p)))
+			if cnt < 0 {
+				cnt = 0
+			}
+			h.Counts[c] = cnt
+		}
+		sums[i] = core.Summary{Kind: core.PY, Label: h}
+	}
+	return sums
+}
+
+// SketchCluster100k measures a full sketch-backend clustering of a
+// 100k-client fleet: every client routed through the representative
+// index plus OPTICS over the K ≪ N representatives. Memory stays
+// O(N·sketch + K²); the dense path's N×N matrix would need ~40 GB here.
+func SketchCluster100k(b *testing.B) {
+	const n = 100_000
+	sums := sketchBenchSummaries(n, 10, 20)
+	infos := make([]fl.ClientInfo, n)
+	for i := range infos {
+		infos[i] = fl.ClientInfo{ID: i, Latency: float64(1 + i%37), NumSamples: 200}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewScheduler(core.Config{Kind: core.PY, Rho: 0.5, Backend: core.SketchBackend,
+			Sketch: core.SketchOptions{Dim: 32}}, sums)
+		s.Init(infos, stats.NewRNG(seed))
+		if s.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// SketchAssign measures the steady-state per-client assignment kernel
+// (encode + nearest-representative routing), the cost one summary
+// update pays on the sketch backend. Its allocs/op is the tracked
+// "zero-allocation churn path" signal.
+func SketchAssign(b *testing.B) {
+	rng := stats.NewRNG(seed)
+	sk := sketch.New(sketch.Config{Dim: 32, Seed: seed})
+	idx := sketch.NewIndex(1000, sk.Dim(), 0, nil)
+	amp := make([]float64, 10)
+	enc := make([]float64, sk.Dim())
+	for c := 0; c < 1000; c++ {
+		p := make([]float64, 10)
+		total := 0.0
+		for j := range p {
+			p[j] = 0.05 + rng.Float64()*0.05
+			total += p[j]
+		}
+		p[c%10] += 3
+		total += 3
+		for j := range p {
+			amp[j] = math.Sqrt(p[j] / total)
+		}
+		sk.SketchInto(enc, amp)
+		idx.Observe(c, enc)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.SketchInto(enc, amp)
+		idx.Observe(i%1000, enc)
 	}
 }

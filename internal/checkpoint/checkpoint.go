@@ -46,6 +46,17 @@ type Component struct {
 	S    Snapshotter
 }
 
+// ComponentLister is implemented by layers that contribute additional
+// named components beyond their own Snapshotter — e.g. a strategy whose
+// optional clustering backend carries separate state. Engines append
+// ExtraComponents to their component list; an implementation that has
+// nothing extra to add for its current configuration returns nil, so
+// snapshots of runs without the optional layer stay readable by builds
+// that predate it.
+type ComponentLister interface {
+	ExtraComponents() []Component
+}
+
 // Snapshot is one captured run state: the number of rounds completed
 // when it was taken plus each component's opaque payload.
 type Snapshot struct {

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdjustedRand(t *testing.T) {
+	if r := AdjustedRand([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); r != 1 {
+		t.Errorf("label-permuted identical clustering AdjustedRand = %v, want 1", r)
+	}
+	// Known hand-computed value: partitions {01|23} vs {0|123}.
+	// sumIJ = C(1,2)+C(1,2)+C(2,2) = 1; sumA = 2, sumB = 3, C(4,2) = 6;
+	// expected = 1, max = 2.5 → ARI = 0.
+	if r := AdjustedRand([]int{0, 0, 1, 1}, []int{0, 1, 1, 1}); math.Abs(r) > 1e-12 {
+		t.Errorf("AdjustedRand = %v, want 0", r)
+	}
+	if r := AdjustedRand([]int{0}, []int{5}); r != 1 {
+		t.Errorf("single point AdjustedRand = %v, want 1", r)
+	}
+	// Degenerate agreement: both all-singletons.
+	if r := AdjustedRand([]int{0, 1, 2}, []int{2, 0, 1}); r != 1 {
+		t.Errorf("all-singleton AdjustedRand = %v, want 1", r)
+	}
+	// Both one big cluster.
+	if r := AdjustedRand([]int{0, 0, 0}, []int{7, 7, 7}); r != 1 {
+		t.Errorf("single-cluster AdjustedRand = %v, want 1", r)
+	}
+}
+
+func TestAdjustedRandPropertyBounds(t *testing.T) {
+	f := func(a, b [8]uint8) bool {
+		la := make([]int, 8)
+		lb := make([]int, 8)
+		for i := range la {
+			la[i] = int(a[i]%4) - 1 // includes Noise
+			lb[i] = int(b[i]%4) - 1
+		}
+		r := AdjustedRand(la, lb)
+		// ARI is bounded above by 1, can dip slightly negative, and is
+		// exactly 1 on identical labelings.
+		return r <= 1+1e-12 && r >= -1 && AdjustedRand(la, la) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

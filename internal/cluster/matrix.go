@@ -11,18 +11,32 @@ import (
 	"sync"
 )
 
-// Matrix is a symmetric pairwise distance matrix over n points.
+// Matrix is a symmetric pairwise distance matrix over n points, stored
+// as the packed upper triangle (diagonal included): n·(n+1)/2 floats
+// instead of n², row-major with row i holding cells (i,i)..(i,n-1). The
+// At/Set API is unchanged — both index orders read and write the same
+// packed cell — so symmetry is structural rather than maintained by
+// mirror writes.
 type Matrix struct {
 	n int
 	d []float64
 }
 
-// NewMatrix allocates an n×n zero matrix.
+// NewMatrix allocates a zero matrix over n points.
 func NewMatrix(n int) *Matrix {
 	if n <= 0 {
 		panic("cluster: NewMatrix with non-positive size")
 	}
-	return &Matrix{n: n, d: make([]float64, n*n)}
+	return &Matrix{n: n, d: make([]float64, n*(n+1)/2)}
+}
+
+// idx maps an (i, j) pair in either order to its packed-triangle offset:
+// row i (i <= j) starts at i·n − i·(i−1)/2 and cell (i, j) sits j−i in.
+func (m *Matrix) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*m.n - i*(i-1)/2 + (j - i)
 }
 
 // fromFuncSerialPairs is the pair count below which FromFunc stays
@@ -38,8 +52,8 @@ const fromFuncSerialPairs = 2048
 // n-1-i pairs, so striding balances the triangular workload). dist must
 // therefore be safe for concurrent calls — every call site passes a
 // read-only closure over precomputed per-point data, which is safe by
-// construction. Each (i, j) pair is still evaluated exactly once and
-// written to both mirror cells by the worker owning row i, so the result
+// construction. Each (i, j) pair is evaluated exactly once and written
+// to its single packed cell by the worker owning row i, so the result
 // is identical to the serial build. A panic inside dist (including the
 // negative-distance panic) is re-raised on the calling goroutine.
 func FromFunc(n int, dist func(i, j int) float64) *Matrix {
@@ -76,19 +90,18 @@ func FromFunc(n int, dist func(i, j int) float64) *Matrix {
 }
 
 // fillRows evaluates every pair (i, j), j > i, for rows start, start+
-// stride, start+2·stride, …. Mirror writes m.d[j*n+i] land in column i of
-// later rows; distinct rows own distinct columns there, so strided
-// workers never write the same cell.
+// stride, start+2·stride, …. Every cell of packed row i belongs to row i
+// alone, so strided workers never write the same cell.
 func (m *Matrix) fillRows(start, stride int, dist func(i, j int) float64) {
 	n := m.n
 	for i := start; i < n; i += stride {
+		row := m.d[m.idx(i, i) : m.idx(i, i)+n-i]
 		for j := i + 1; j < n; j++ {
 			v := dist(i, j)
 			if v < 0 {
 				panic(fmt.Sprintf("cluster: negative distance %v for pair (%d,%d)", v, i, j))
 			}
-			m.d[i*n+j] = v
-			m.d[j*n+i] = v
+			row[j-i] = v
 		}
 	}
 }
@@ -97,15 +110,14 @@ func (m *Matrix) fillRows(start, stride int, dist func(i, j int) float64) {
 func (m *Matrix) Len() int { return m.n }
 
 // At returns the distance between points i and j.
-func (m *Matrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+func (m *Matrix) At(i, j int) float64 { return m.d[m.idx(i, j)] }
 
 // Set assigns the symmetric distance between points i and j.
 func (m *Matrix) Set(i, j int, v float64) {
 	if v < 0 {
 		panic("cluster: negative distance")
 	}
-	m.d[i*m.n+j] = v
-	m.d[j*m.n+i] = v
+	m.d[m.idx(i, j)] = v
 }
 
 // Noise is the cluster label assigned to points not belonging to any

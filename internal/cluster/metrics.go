@@ -26,6 +26,71 @@ func RandIndex(a, b []int) float64 {
 	return float64(agree) / float64(total)
 }
 
+// AdjustedRand is the chance-corrected Rand index (Hubert & Arabie
+// 1985): 1 for identical partitions, ~0 for independent random
+// labelings (possibly slightly negative). Unlike the raw RandIndex it
+// does not reward agreement that would occur by chance, which makes it
+// the right yardstick for comparing the dense and sketch clustering
+// pipelines. Noise points are treated as singleton clusters.
+func AdjustedRand(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("cluster: AdjustedRand length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	// Singletonize noise so both labelings are true partitions.
+	canon := func(labels []int) []int {
+		out := make([]int, len(labels))
+		next := 0
+		for _, l := range labels {
+			if l >= next {
+				next = l + 1
+			}
+		}
+		for i, l := range labels {
+			if l == Noise {
+				out[i] = next
+				next++
+			} else {
+				out[i] = l
+			}
+		}
+		return out
+	}
+	ca, cb := canon(a), canon(b)
+	// Contingency table and its marginals.
+	cont := map[[2]int]int{}
+	rowSum := map[int]int{}
+	colSum := map[int]int{}
+	for i := 0; i < n; i++ {
+		cont[[2]int{ca[i], cb[i]}]++
+		rowSum[ca[i]]++
+		colSum[cb[i]]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	sumIJ, sumA, sumB := 0.0, 0.0, 0.0
+	for _, c := range cont {
+		sumIJ += choose2(c)
+	}
+	for _, c := range rowSum {
+		sumA += choose2(c)
+	}
+	for _, c := range colSum {
+		sumB += choose2(c)
+	}
+	expected := sumA * sumB / choose2(n)
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		// Both partitions are all-singletons or all-one-cluster; they
+		// agree perfectly iff they are equal, which they are here (the
+		// contingency structure forces it).
+		return 1
+	}
+	return (sumIJ - expected) / (maxIndex - expected)
+}
+
 // ExactRecovery is the paper's Fig. 8a clustering-accuracy metric: the
 // fraction of ground-truth groups whose member set is reproduced exactly
 // as one predicted cluster. ("The clustering accuracy will be based on

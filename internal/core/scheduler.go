@@ -58,6 +58,14 @@ type Config struct {
 	// gauge per cluster, the cluster count, and the clustering-cost
 	// series recorded through internal/cluster's instrumented wrappers.
 	Metrics *telemetry.Registry
+	// Backend selects the clustering pipeline: DenseBackend (the
+	// default) computes the full N×N pairwise Hellinger matrix;
+	// SketchBackend compresses summaries into fixed-size sketches and
+	// clusters K ≪ N representatives, scaling to 100k+ clients.
+	Backend ClusterBackend
+	// Sketch parameterizes the sketch backend; ignored for
+	// DenseBackend. The zero value selects sensible defaults.
+	Sketch SketchOptions
 	// MinSilhouette is the structure threshold for automatic extraction
 	// (0 picks a kind-dependent default). P(y) distances are well spread
 	// and use cluster.DefaultMinSilhouette; P(X|y) distances live on a
@@ -106,6 +114,10 @@ type Scheduler struct {
 
 	labels   []int   // client -> cluster id (singletonized noise)
 	clusters [][]int // cluster id -> member client IDs
+
+	// sk holds the sketch backend's working state (nil on the dense
+	// backend and before the first reclusterSketch).
+	sk *sketchState
 
 	// baseline holds each cluster's label-distribution centroid captured
 	// at cluster time — the reference point for the fleet drift gauge.
@@ -161,8 +173,13 @@ func (s *Scheduler) Init(clients []fl.ClientInfo, rng *stats.RNG) {
 	s.recluster()
 }
 
-// recluster recomputes the cluster assignment from current summaries.
+// recluster recomputes the cluster assignment from current summaries
+// through whichever backend is configured.
 func (s *Scheduler) recluster() {
+	if s.cfg.Backend == SketchBackend {
+		s.reclusterSketch()
+		return
+	}
 	start := time.Now()
 	m := DistanceMatrix(s.summaries)
 	res := cluster.InstrumentedOPTICS(s.cfg.Metrics, m, s.cfg.MinPts, math.Inf(1))
@@ -208,9 +225,12 @@ func (s *Scheduler) recluster() {
 }
 
 // UpdateSummaries replaces one or more clients' summaries (clients
-// joining, leaving, or reporting distribution shift) and re-clusters —
-// the paper's real-time adaptation hook (§IV-C). The map keys are client
-// IDs.
+// joining, leaving, or reporting distribution shift) — the paper's
+// real-time adaptation hook (§IV-C). The map keys are client IDs. The
+// dense backend re-clusters from scratch; the sketch backend reassigns
+// only the changed clients against the standing representatives and
+// re-clusters only when label-centroid drift crosses the configured
+// threshold.
 func (s *Scheduler) UpdateSummaries(updated map[int]Summary) {
 	for id, sum := range updated {
 		if id < 0 || id >= len(s.summaries) {
@@ -221,9 +241,14 @@ func (s *Scheduler) UpdateSummaries(updated map[int]Summary) {
 		}
 		s.summaries[id] = sum
 	}
-	if s.latency != nil {
-		s.recluster()
+	if s.latency == nil {
+		return
 	}
+	if s.cfg.Backend == SketchBackend && s.sk != nil && s.sk.index != nil {
+		s.updateSketch(sortedUpdateIDs(updated))
+		return
+	}
+	s.recluster()
 }
 
 // ClusterLabels returns each client's cluster id.
@@ -420,6 +445,8 @@ func (s *Scheduler) SelectionState() introspect.State {
 	defer s.mu.Unlock()
 	st := introspect.State{
 		Strategy:     s.Name(),
+		Backend:      s.cfg.Backend.String(),
+		Sketch:       s.sketchSelectionStateLocked(),
 		Round:        s.lastRound,
 		Distance:     s.distance,
 		Order:        append([]int(nil), s.order...),

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"haccs/internal/checkpoint"
+	"haccs/internal/cluster"
+	"haccs/internal/introspect"
+	"haccs/internal/sketch"
+	"haccs/internal/stats"
+	"haccs/internal/telemetry"
+)
+
+// ClusterBackend selects how the scheduler turns summaries into
+// clusters.
+type ClusterBackend int
+
+const (
+	// DenseBackend is the published Algorithm 1 pipeline: the full N×N
+	// pairwise Hellinger matrix clustered directly with OPTICS. Exact,
+	// but O(N²) time and memory — fine to a few thousand clients.
+	DenseBackend ClusterBackend = iota
+	// SketchBackend replaces the pairwise matrix with fixed-size
+	// distribution sketches and a representative index: each client is
+	// assigned to the nearest of K ≪ N representatives in O(K·Dim),
+	// OPTICS runs over the K representatives only, and summary updates
+	// reassign incrementally without a global re-clustering (a full
+	// recluster triggers only when a cluster's label-distribution drift
+	// exceeds SketchOptions.DriftThreshold). O(N·K) total, no N×N
+	// allocation anywhere.
+	SketchBackend
+)
+
+// String implements fmt.Stringer.
+func (b ClusterBackend) String() string {
+	switch b {
+	case DenseBackend:
+		return "dense"
+	case SketchBackend:
+		return "sketch"
+	default:
+		return fmt.Sprintf("ClusterBackend(%d)", int(b))
+	}
+}
+
+// ParseClusterBackend maps the CLI spelling to a backend.
+func ParseClusterBackend(s string) (ClusterBackend, error) {
+	switch s {
+	case "dense":
+		return DenseBackend, nil
+	case "sketch":
+		return SketchBackend, nil
+	default:
+		return DenseBackend, fmt.Errorf("core: unknown cluster backend %q (want dense or sketch)", s)
+	}
+}
+
+// DefaultDriftThreshold is the per-cluster Hellinger drift (current
+// label centroid vs. the centroid captured at cluster time — the same
+// gauge the fleet registry exports) above which the sketch backend
+// abandons incremental assignment and re-clusters from scratch.
+const DefaultDriftThreshold = 0.1
+
+// SketchOptions parameterizes the sketch backend. The zero value is
+// fully usable: default sketch width, seed 0, the index's default
+// attach radius, and DefaultDriftThreshold.
+type SketchOptions struct {
+	// Dim is the sketch width (0 selects sketch.DefaultDim).
+	Dim int
+	// Seed drives the sketch projection; any fixed value is fine, equal
+	// values give bit-identical sketches.
+	Seed uint64
+	// AttachRadius is the sketch-space distance within which a client
+	// attaches to an existing representative (0 selects
+	// sketch.DefaultAttachRadius).
+	AttachRadius float64
+	// DriftThreshold triggers a full recluster when any cluster's
+	// label-centroid Hellinger drift exceeds it (0 selects
+	// DefaultDriftThreshold, negative disables drift reclustering).
+	DriftThreshold float64
+}
+
+// introspectAssignCap bounds the per-client assignment vector exposed
+// on /debug/selection; fleets past this size report only the
+// representative-level state.
+const introspectAssignCap = 2048
+
+// sketchState is the scheduler's sketch-backend working state. All
+// fields are written on the round-driver loop under Scheduler.mu
+// (SelectionState and the checkpoint layer read them concurrently).
+//
+// Encoding per summary kind:
+//
+//   - P(y): the encoded vector is the sketch of the label amplitude
+//     √P(y) — width Dim, compared with the default Euclidean/√2 sketch
+//     distance, which is exactly Hellinger whenever the class count
+//     fits the sketch (the common case).
+//   - P(X|y): one sketch block of width blockDim per class (the
+//     sketched per-class amplitude √P(X|c)) followed by one clamped
+//     mass entry per class (-1 marks a class absent from the device).
+//     pxyMetric recombines the blocks with the same prevalence-weighted
+//     average the dense path computes — bit-identical to it when the
+//     feature bins fit the block, a low-error estimate otherwise. A
+//     flat joint embedding cannot express this metric (the weights
+//     depend on both endpoints), which is why the encoding keeps the
+//     per-class structure.
+type sketchState struct {
+	sketcher *sketch.Sketcher
+	index    *sketch.Index
+	metric   sketch.Metric // nil for P(y); pxyMetric for P(X|y)
+	attach   float64       // resolved attach radius (kind-dependent default)
+	classes  int           // P(X|y): class count
+	// width is the encoded-vector width: Dim for P(y),
+	// classes·blockDim + classes for P(X|y).
+	width int
+	// amp and scratch are reusable buffers for the amplitude and
+	// encoded vector of one client — the steady-state assignment path
+	// allocates nothing.
+	amp     []float64
+	scratch []float64
+	// repLabels maps representative -> cluster label; representatives
+	// born after the last full recluster get fresh singleton labels.
+	repLabels []int
+	nextLabel int
+	// reclusters counts full re-clusterings since Init (drift triggers
+	// and explicit ones alike).
+	reclusters int
+}
+
+// pxyMetric computes, over two encoded P(X|y) vectors, the identical
+// prevalence-weighted average the dense path's Distance computes over
+// raw summaries (see weightedAverageHellinger): per-class Hellinger
+// distances weighted by the classes' clamped mass on the two clients,
+// classes present on only one side contributing the maximal distance 1.
+type pxyMetric struct {
+	classes  int
+	blockDim int
+}
+
+// Distance implements sketch.Metric without allocating.
+func (m pxyMetric) Distance(a, b []float64) float64 {
+	massA := a[m.classes*m.blockDim:]
+	massB := b[m.classes*m.blockDim:]
+	num, den := 0.0, 0.0
+	for c := 0; c < m.classes; c++ {
+		wa, wb := math.Max(0, massA[c]), math.Max(0, massB[c])
+		w := wa + wb
+		if w <= 0 {
+			continue
+		}
+		d := 1.0
+		if massA[c] >= 0 && massB[c] >= 0 {
+			d = stats.AmplitudeDistance(a[c*m.blockDim:(c+1)*m.blockDim], b[c*m.blockDim:(c+1)*m.blockDim])
+		}
+		num += w * d
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// pxyAttachRadius is the default attach radius on the P(X|y) metric.
+// The prevalence-weighted average compresses distances relative to raw
+// Hellinger — per-class sampling noise is averaged down — so both
+// within-distribution spread and between-distribution separation sit
+// much lower than on the P(y) scale (the same compression that makes
+// pxyMinSilhouette lower than the default). Empirically on the seed
+// majority-noise workloads, distinct distributions approach within
+// ~0.05 of each other while 0.03 still absorbs same-distribution
+// jitter, so 0.03 keeps the representative layer from ever merging
+// distributions the dense path separates.
+const pxyAttachRadius = 0.03
+
+// newSketchState sizes the buffers and picks the encoding from the
+// summary population.
+func newSketchState(cfg Config, summaries []Summary) *sketchState {
+	st := &sketchState{attach: cfg.Sketch.AttachRadius}
+	if cfg.Kind == PY {
+		st.sketcher = sketch.New(sketch.Config{Dim: cfg.Sketch.Dim, Seed: cfg.Sketch.Seed})
+		st.width = st.sketcher.Dim()
+		st.amp = make([]float64, summaries[0].Label.Bins())
+	} else {
+		st.classes = len(summaries[0].Feature)
+		bins := featureBins(summaries)
+		// The per-class block defaults to the histogram resolution
+		// itself when that is no wider than a full sketch — the blocks
+		// embed exactly and the metric matches the dense path bit for
+		// bit; wider feature histograms compress into Dim-wide blocks.
+		dim := cfg.Sketch.Dim
+		if dim <= 0 && bins <= sketch.DefaultDim {
+			dim = bins
+		}
+		st.sketcher = sketch.New(sketch.Config{Dim: dim, Seed: cfg.Sketch.Seed})
+		st.metric = pxyMetric{classes: st.classes, blockDim: st.sketcher.Dim()}
+		st.width = st.classes*st.sketcher.Dim() + st.classes
+		st.amp = make([]float64, bins)
+		if st.attach <= 0 {
+			st.attach = pxyAttachRadius
+		}
+	}
+	st.scratch = make([]float64, st.width)
+	return st
+}
+
+// featureBins returns the per-class histogram resolution shared by the
+// population's P(X|y) summaries.
+func featureBins(summaries []Summary) int {
+	for _, s := range summaries {
+		for _, h := range s.Feature {
+			if h != nil {
+				return h.Bins()
+			}
+		}
+	}
+	return DefaultFeatureBins
+}
+
+// encodeInto writes the summary's encoded vector into dst (width
+// st.width) without allocating. Clamping and empty-histogram fallbacks
+// mirror stats.Histogram.Normalize, so exactly-embedded encodings
+// reproduce the dense path's distances bit for bit.
+func (st *sketchState) encodeInto(dst []float64, s Summary) {
+	if s.Kind == PY {
+		writeAmplitude(st.amp, s.Label.Counts)
+		st.sketcher.SketchInto(dst, st.amp)
+		return
+	}
+	bd := st.sketcher.Dim()
+	mass := dst[st.classes*bd:]
+	for c, h := range s.Feature {
+		block := dst[c*bd : (c+1)*bd]
+		if h == nil {
+			for i := range block {
+				block[i] = 0
+			}
+			mass[c] = -1
+			continue
+		}
+		mass[c] = math.Max(0, h.Total())
+		writeAmplitude(st.amp, h.Counts)
+		st.sketcher.SketchInto(block, st.amp)
+	}
+}
+
+// writeAmplitude fills dst with √p where p is the positive-part
+// normalization of counts — the same vector Histogram.Amplitude
+// produces, computed into a caller-owned buffer (uniform when counts
+// carry no positive mass, mirroring Normalize).
+func writeAmplitude(dst, counts []float64) {
+	total := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total <= 0 {
+		u := math.Sqrt(1 / float64(len(dst)))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i, c := range counts {
+		if c > 0 {
+			dst[i] = math.Sqrt(c / total)
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// observeLocked encodes client id's current summary and routes it
+// through the representative index, assigning fresh singleton labels to
+// newly founded representatives. Callers hold Scheduler.mu.
+func (s *Scheduler) observeLocked(id int) (rep int, created bool) {
+	sk := s.sk
+	sk.encodeInto(sk.scratch, s.summaries[id])
+	rep, created = sk.index.Observe(id, sk.scratch)
+	if created {
+		sk.repLabels = append(sk.repLabels, sk.nextLabel)
+		sk.nextLabel++
+	}
+	return rep, created
+}
+
+// reclusterSketch rebuilds the representative index from scratch and
+// clusters the K representatives — the sketch backend's analogue of
+// recluster, with OPTICS cost K² instead of N² and no N×N allocation.
+func (s *Scheduler) reclusterSketch() {
+	start := time.Now()
+	if s.sk == nil {
+		s.sk = newSketchState(s.cfg, s.summaries)
+	}
+	sk := s.sk
+	n := len(s.summaries)
+
+	s.mu.Lock()
+	sk.index = sketch.NewIndex(n, sk.width, sk.attach, sk.metric)
+	sk.repLabels = sk.repLabels[:0]
+	sk.nextLabel = 0
+	// Clients feed the leader index in ascending ID order — the
+	// canonical order that makes the representative set deterministic.
+	for id := 0; id < n; id++ {
+		sk.encodeInto(sk.scratch, s.summaries[id])
+		sk.index.Observe(id, sk.scratch)
+	}
+	idx := sk.index
+	s.mu.Unlock()
+
+	// Cluster the representatives with the very machinery the dense
+	// path applies to clients. Representative sketches are immutable
+	// once founded, so reading them outside the lock is safe: only
+	// reclusterSketch replaces the index, and it runs on this loop.
+	//
+	// Density must reflect population, not representative count: a
+	// distribution group whose clients all collapse onto one
+	// representative would otherwise look like a lone outlier to OPTICS
+	// (it can never reach minPts neighbours), and silhouette extraction
+	// would declare the fleet structureless. So each representative
+	// enters the clustering as min(count, minPts) virtual copies at
+	// mutual distance zero — a rep backed by enough clients is a dense
+	// core by itself, exactly as its members would be on the dense
+	// path, while a single-client rep can still land in noise and be
+	// singletonized. The matrix stays O((minPts·K)²), independent of N.
+	k := idx.Len()
+	vrep := make([]int, 0, 2*k) // virtual point -> representative
+	first := make([]int, k)     // representative -> its first virtual point
+	for r := 0; r < k; r++ {
+		copies := idx.Count(r)
+		if copies > s.cfg.MinPts {
+			copies = s.cfg.MinPts
+		}
+		if copies < 1 {
+			copies = 1
+		}
+		first[r] = len(vrep)
+		for t := 0; t < copies; t++ {
+			vrep = append(vrep, r)
+		}
+	}
+	m := cluster.FromFunc(len(vrep), func(i, j int) float64 {
+		if vrep[i] == vrep[j] {
+			return 0
+		}
+		return idx.RepDistance(vrep[i], vrep[j])
+	})
+	res := cluster.InstrumentedOPTICS(s.cfg.Metrics, m, s.cfg.MinPts, math.Inf(1))
+	var vlabels []int
+	if s.cfg.EpsPrime > 0 {
+		vlabels = res.ExtractDBSCAN(s.cfg.EpsPrime)
+	} else {
+		vlabels = res.ExtractBestSilhouette(m, s.cfg.MinSilhouette)
+	}
+	cluster.ObserveClusterCount(s.cfg.Metrics, "optics", vlabels)
+	// Collapse virtual copies back to representatives, then turn noise
+	// representatives into singleton clusters, exactly as noise clients
+	// are singletonized on the dense path.
+	repLabels := make([]int, k)
+	next := 0
+	for _, l := range vlabels {
+		if l >= next {
+			next = l + 1
+		}
+	}
+	for r := 0; r < k; r++ {
+		repLabels[r] = vlabels[first[r]]
+		if repLabels[r] == cluster.Noise {
+			repLabels[r] = next
+			next++
+		}
+	}
+	labels := make([]int, n)
+	for id := 0; id < n; id++ {
+		labels[id] = repLabels[idx.Assignment(id)]
+	}
+
+	s.mu.Lock()
+	sk.repLabels = append(sk.repLabels[:0], repLabels...)
+	sk.nextLabel = next
+	sk.reclusters++
+	s.labels = labels
+	s.clusters = cluster.Members(labels)
+	s.baseline = s.labelCentroids(s.clusters)
+	// The distance/reachability introspection describes the K
+	// representatives (the set OPTICS actually saw), not the N clients.
+	s.distance = introspect.SummarizeDistances(m)
+	s.order = append([]int(nil), res.Order...)
+	s.reach = introspect.EncodeReachability(res.Reach)
+	numClusters := len(s.clusters)
+	s.mu.Unlock()
+
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(telemetry.Reclustered(-1, numClusters, time.Since(start).Seconds()))
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("haccs_clusters", "Schedulable clusters after noise singletonization.").Set(float64(numClusters))
+		s.cfg.Metrics.Gauge("haccs_sketch_representatives", "Representatives backing the sketch clustering.").Set(float64(k))
+	}
+}
+
+// updateSketch is the sketch backend's §IV-C adaptation path: the
+// changed clients are re-sketched and re-routed through the
+// representative index incrementally — O(K·Dim) per client — and a full
+// recluster runs only when some cluster's label centroid has drifted
+// past the configured threshold. ids must be sorted (ascending) so the
+// representative set stays independent of map iteration order.
+func (s *Scheduler) updateSketch(ids []int) {
+	s.mu.Lock()
+	for _, id := range ids {
+		rep, _ := s.observeLocked(id)
+		s.labels[id] = s.sk.repLabels[rep]
+	}
+	s.clusters = cluster.Members(s.labels)
+	// Clusters born since the last recluster (new representatives) get
+	// their baseline captured at first sight, so their drift starts at
+	// zero rather than being measured against nothing.
+	for len(s.baseline) < len(s.clusters) {
+		s.baseline = append(s.baseline, s.labelCentroid(s.clusters[len(s.baseline)]))
+	}
+	maxDrift := 0.0
+	for i, members := range s.clusters {
+		if i >= len(s.baseline) {
+			continue
+		}
+		if len(members) == 0 {
+			// A cluster that had members at baseline and has none now
+			// is the extreme form of drift: its population migrated
+			// wholesale (new representatives carry fresh baselines, so
+			// only the abandonment is visible here).
+			if len(s.baseline[i]) > 0 {
+				maxDrift = 1
+			}
+			continue
+		}
+		cur := s.labelCentroid(members)
+		if len(cur) == len(s.baseline[i]) {
+			if d := stats.Hellinger(cur, s.baseline[i]); d > maxDrift {
+				maxDrift = d
+			}
+		}
+	}
+	threshold := s.cfg.Sketch.DriftThreshold
+	if threshold == 0 {
+		threshold = DefaultDriftThreshold
+	}
+	s.mu.Unlock()
+
+	if threshold > 0 && maxDrift > threshold {
+		s.reclusterSketch()
+	}
+}
+
+// sketchSelectionStateLocked fills the sketch-specific introspection
+// view. Callers hold Scheduler.mu.
+func (s *Scheduler) sketchSelectionStateLocked() *introspect.SketchState {
+	sk := s.sk
+	if sk == nil || sk.index == nil {
+		return nil
+	}
+	st := &introspect.SketchState{
+		Dim:             sk.sketcher.Dim(),
+		AttachRadius:    sk.index.AttachRadius(),
+		Representatives: sk.index.Len(),
+		RepLabels:       append([]int(nil), sk.repLabels...),
+		Reclusters:      sk.reclusters,
+	}
+	st.RepCounts = make([]int, sk.index.Len())
+	for r := range st.RepCounts {
+		st.RepCounts[r] = sk.index.Count(r)
+	}
+	if n := sk.index.NumClients(); n <= introspectAssignCap {
+		st.Assignments = make([]int, n)
+		for c := 0; c < n; c++ {
+			st.Assignments[c] = sk.index.Assignment(c)
+		}
+	}
+	return st
+}
+
+// sketchStateVersion versions the sketch component's gob payload.
+const sketchStateVersion = 1
+
+// sketchComponentState is the serialized sketch-backend state: the
+// representative index (sketches verbatim), the representative→cluster
+// label map, and the label/recluster counters. Together with the
+// "strategy" component's labels and baselines this resumes the sketch
+// pipeline bit-identically: the restored index routes future
+// observations exactly as the interrupted run would have.
+type sketchComponentState struct {
+	Version    int
+	Index      []byte
+	RepLabels  []int
+	NextLabel  int
+	Reclusters int
+}
+
+// sketchCheckpoint adapts the scheduler's sketch state to
+// checkpoint.Snapshotter under the "sketch" component name.
+type sketchCheckpoint struct{ s *Scheduler }
+
+// SnapshotState implements checkpoint.Snapshotter.
+func (c sketchCheckpoint) SnapshotState() ([]byte, error) {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sk == nil || s.sk.index == nil {
+		return nil, errors.New("core: sketch backend not initialized")
+	}
+	idx, err := s.sk.index.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := sketchComponentState{
+		Version:    sketchStateVersion,
+		Index:      idx,
+		RepLabels:  append([]int(nil), s.sk.repLabels...),
+		NextLabel:  s.sk.nextLabel,
+		Reclusters: s.sk.reclusters,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encode sketch state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter (restore-after-Init,
+// like the scheduler's own component).
+func (c sketchCheckpoint) RestoreState(data []byte) error {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sk == nil || s.sk.index == nil {
+		return errors.New("core: sketch backend not initialized")
+	}
+	var st sketchComponentState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode sketch state: %w", err)
+	}
+	if st.Version != sketchStateVersion {
+		return fmt.Errorf("core: sketch state version %d, this build reads %d", st.Version, sketchStateVersion)
+	}
+	if err := s.sk.index.Restore(st.Index); err != nil {
+		return err
+	}
+	s.sk.repLabels = st.RepLabels
+	s.sk.nextLabel = st.NextLabel
+	s.sk.reclusters = st.Reclusters
+	return nil
+}
+
+// ExtraComponents implements checkpoint.ComponentLister: on the sketch
+// backend the scheduler contributes the representative index as its own
+// snapshot component. Dense runs list nothing, so their snapshots stay
+// byte-compatible with older builds.
+func (s *Scheduler) ExtraComponents() []checkpoint.Component {
+	if s.cfg.Backend != SketchBackend {
+		return nil
+	}
+	return []checkpoint.Component{{Name: "sketch", S: sketchCheckpoint{s}}}
+}
+
+// sortedUpdateIDs returns the update map's keys in ascending order —
+// the canonical observation order that keeps the sketch path
+// deterministic regardless of map iteration.
+func sortedUpdateIDs(updated map[int]Summary) []int {
+	ids := make([]int, 0, len(updated))
+	for id := range updated {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+var _ checkpoint.ComponentLister = (*Scheduler)(nil)

@@ -170,11 +170,79 @@ func weightedAverageHellinger(a, b []*stats.Histogram) float64 {
 	return num / den
 }
 
+// amplitudes caches the per-summary quantities every pairwise distance
+// needs, so the O(N²) matrix build pays the normalize+sqrt work O(N)
+// times instead of once per pair. For PY the single amplitude vector is
+// the whole story; for PXY the per-class amplitude vectors and clamped
+// class masses feed the prevalence-weighted average.
+type amplitudes struct {
+	kind     SummaryKind
+	joint    []float64   // PY: √P(y)
+	perClass [][]float64 // PXY: per-class √P(X|c), nil where the class is absent
+	mass     []float64   // PXY: clamped per-class mass (the prevalence weights)
+}
+
+// summaryAmplitudes precomputes one amplitudes record per summary.
+func summaryAmplitudes(summaries []Summary) []amplitudes {
+	out := make([]amplitudes, len(summaries))
+	for i, s := range summaries {
+		out[i] = amplitudes{kind: s.Kind}
+		switch s.Kind {
+		case PY:
+			out[i].joint = s.Label.Amplitude()
+		case PXY:
+			out[i].perClass = make([][]float64, len(s.Feature))
+			out[i].mass = make([]float64, len(s.Feature))
+			for c, h := range s.Feature {
+				if h != nil {
+					out[i].perClass[c] = h.Amplitude()
+					out[i].mass[c] = math.Max(0, h.Total())
+				}
+			}
+		default:
+			panic("core: amplitudes on malformed summary")
+		}
+	}
+	return out
+}
+
+// distance computes the same value as Distance(a, b) — bit for bit, the
+// float64 operations are identical — from the precomputed amplitudes.
+func (a *amplitudes) distance(b *amplitudes) float64 {
+	if a.kind == PY {
+		return stats.AmplitudeDistance(a.joint, b.joint)
+	}
+	if len(a.perClass) != len(b.perClass) {
+		panic("core: PXY summaries with different class counts")
+	}
+	num, den := 0.0, 0.0
+	for c := range a.perClass {
+		w := a.mass[c] + b.mass[c]
+		if w <= 0 {
+			continue
+		}
+		d := 1.0
+		if a.perClass[c] != nil && b.perClass[c] != nil {
+			d = stats.AmplitudeDistance(a.perClass[c], b.perClass[c])
+		}
+		num += w * d
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // DistanceMatrix computes all pairwise summary distances — the server's
-// first step before clustering (Algorithm 1's distMatrix).
+// first step before clustering (Algorithm 1's distMatrix). Each client's
+// amplitude (√p) vectors are computed once and shared across all N−1
+// pairs they appear in; the pair loop itself is banded across workers by
+// cluster.FromFunc's strided rows.
 func DistanceMatrix(summaries []Summary) *cluster.Matrix {
+	pre := summaryAmplitudes(summaries)
 	return cluster.FromFunc(len(summaries), func(i, j int) float64 {
-		return Distance(summaries[i], summaries[j])
+		return pre[i].distance(&pre[j])
 	})
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"haccs/internal/core"
 	"haccs/internal/dataset"
 	"haccs/internal/fl"
 	"haccs/internal/simnet"
@@ -64,7 +65,16 @@ func comparisonRepeats(scale Scale) int {
 
 // buildStrategyForRun constructs the i-th comparison strategy fresh for
 // a fresh workload (order: random, tifl, oort, haccs-P(y), haccs-P(X|y)).
+// Indices 5 and 6 build the two HACCS kinds on the sketch clustering
+// backend — not part of the paper's comparison set, but indexed here so
+// the resume suite covers the sketch pipeline with the same machinery.
 func buildStrategyForRun(w *Workload, i int, eps, rho float64, seed uint64) fl.Strategy {
+	switch i {
+	case 5:
+		return HACCSSketch(w, core.PY, eps, rho, seed)
+	case 6:
+		return HACCSSketch(w, core.PXY, eps, rho, seed)
+	}
 	return StrategySet(w, eps, rho, seed)[i]
 }
 

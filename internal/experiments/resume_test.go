@@ -127,7 +127,7 @@ func assertSameResult(t *testing.T, leg string, got, want *fl.Result) {
 // every RNG stream, the virtual clock and the strategies' mutable
 // state exactly).
 func TestResumeBitIdentical(t *testing.T) {
-	names := []string{"random", "tifl", "oort", "haccs-py", "haccs-pxy"}
+	names := []string{"random", "tifl", "oort", "haccs-py", "haccs-pxy", "haccs-py-sketch", "haccs-pxy-sketch"}
 	for i, name := range names {
 		t.Run(name, func(t *testing.T) {
 			refEng, refFleet := resumeEngine(t, i, nil)

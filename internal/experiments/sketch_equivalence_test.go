@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"haccs/internal/cluster"
+	"haccs/internal/core"
+	"haccs/internal/dataset"
+	"haccs/internal/fl"
+	"haccs/internal/stats"
+)
+
+// The sketch backend is an approximation of the dense pipeline, and
+// this suite pins how good the approximation must be: on the seed
+// experiment workloads (majority-noise rosters across dataset families,
+// both summary kinds, several seeds, up to 500 clients) the sketch
+// path's cluster assignment must agree with the dense path's at
+// adjusted Rand index ≥ 0.9. Everything is seeded, so the gate is
+// deterministic.
+
+// equivalenceARIFloor is the acceptance bar for dense/sketch agreement.
+const equivalenceARIFloor = 0.9
+
+// clusterBoth builds two schedulers over the same summaries — dense and
+// sketch — Inits them on an identical roster, and returns both label
+// vectors.
+func clusterBoth(t *testing.T, w *Workload, kind core.SummaryKind, seed uint64) (dense, sk []int) {
+	t.Helper()
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
+	sums := core.BuildSummaries(w.TrainSets, kind, 0, 0, noiseRNG)
+	infos := make([]fl.ClientInfo, len(w.Clients))
+	for i, c := range w.Clients {
+		infos[i] = fl.ClientInfo{ID: i, Latency: float64(1 + i), NumSamples: c.Data.Train.Len()}
+	}
+	d := core.NewScheduler(core.Config{Kind: kind, Rho: 0.5}, sums)
+	d.Init(infos, stats.NewRNG(stats.DeriveSeed(seed, seedMisc)))
+	// The sketch scheduler gets its own summary slice: both schedulers
+	// own their summaries after NewScheduler.
+	sums2 := core.BuildSummaries(w.TrainSets, kind, 0, 0, stats.NewRNG(stats.DeriveSeed(seed, seedNoise)))
+	s := core.NewScheduler(core.Config{Kind: kind, Rho: 0.5, Backend: core.SketchBackend}, sums2)
+	s.Init(infos, stats.NewRNG(stats.DeriveSeed(seed, seedMisc)))
+	return d.ClusterLabels(), s.ClusterLabels()
+}
+
+// TestSketchDenseEquivalenceStandardWorkloads sweeps the standard §V-A
+// comparison workloads (the ones fig5/fig6 race strategies on) across
+// families, summary kinds and seeds.
+func TestSketchDenseEquivalenceStandardWorkloads(t *testing.T) {
+	for _, family := range []string{"cifar", "femnist"} {
+		for _, kind := range []core.SummaryKind{core.PY, core.PXY} {
+			for _, seed := range []uint64{1, 7, 99} {
+				name := fmt.Sprintf("%s/%v/seed%d", family, kind, seed)
+				t.Run(name, func(t *testing.T) {
+					w := buildStandardWorkload(family, 10, Quick, seed)
+					dense, sk := clusterBoth(t, w, kind, seed)
+					ari := cluster.AdjustedRand(dense, sk)
+					if ari < equivalenceARIFloor {
+						t.Errorf("ARI %.3f < %.2f\ndense:  %v\nsketch: %v", ari, equivalenceARIFloor, dense, sk)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSketchDenseEquivalenceLargeRoster scales the same check to a
+// 500-client majority-noise roster — the largest population the dense
+// path is still cheap enough to serve as ground truth for.
+func TestSketchDenseEquivalenceLargeRoster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-client roster materialization in -short mode")
+	}
+	const n, classes = 500, 10
+	seed := uint64(5)
+	spec := specFor("cifar", classes, Quick)
+	planRNG := stats.NewRNG(stats.DeriveSeed(seed, seedMisc+1))
+	plan := dataset.MajorityNoisePlan(n, classes, 60, 140, planRNG)
+	w := BuildWorkload(spec, plan, archFor(spec, Quick), seed)
+	for _, kind := range []core.SummaryKind{core.PY, core.PXY} {
+		dense, sk := clusterBoth(t, w, kind, seed)
+		ari := cluster.AdjustedRand(dense, sk)
+		if ari < equivalenceARIFloor {
+			t.Errorf("%v: ARI %.3f < %.2f over %d clients", kind, ari, equivalenceARIFloor, n)
+		}
+	}
+}

@@ -172,6 +172,18 @@ func HACCSOnly(w *Workload, kind core.SummaryKind, eps, rho float64, seed uint64
 	return core.NewScheduler(core.Config{Kind: kind, Rho: rho, Tracer: telem.tracer, Metrics: telem.reg}, sums)
 }
 
+// HACCSSketch builds the HACCS strategy of the given kind on the
+// sketch clustering backend (representative index instead of the dense
+// N×N Hellinger matrix), with default sketch options.
+func HACCSSketch(w *Workload, kind core.SummaryKind, eps, rho float64, seed uint64) *core.Scheduler {
+	noiseRNG := stats.NewRNG(stats.DeriveSeed(seed, seedNoise))
+	sums := core.BuildSummaries(w.TrainSets, kind, 0, eps, noiseRNG)
+	return core.NewScheduler(core.Config{
+		Kind: kind, Rho: rho, Backend: core.SketchBackend,
+		Tracer: telem.tracer, Metrics: telem.reg,
+	}, sums)
+}
+
 // HACCSOnlyWeighted is HACCSOnly with the §V-D5 intra-cluster weighted
 // sampling policy instead of strict min-latency device choice.
 func HACCSOnlyWeighted(w *Workload, eps, rho float64, seed uint64) *core.Scheduler {

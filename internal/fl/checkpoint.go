@@ -83,6 +83,9 @@ func (e *Engine) checkpointComponents() []checkpoint.Component {
 	if s, ok := e.strategy.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "strategy", S: s})
 	}
+	if l, ok := e.strategy.(checkpoint.ComponentLister); ok {
+		comps = append(comps, l.ExtraComponents()...)
+	}
 	if d, ok := e.cfg.Dropout.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "dropout", S: d})
 	}

@@ -175,6 +175,9 @@ func (c *Coordinator) checkpointComponents() []checkpoint.Component {
 	if s, ok := c.strategy.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "strategy", S: s})
 	}
+	if l, ok := c.strategy.(checkpoint.ComponentLister); ok {
+		comps = append(comps, l.ExtraComponents()...)
+	}
 	if d, ok := c.dropout.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "dropout", S: d})
 	}

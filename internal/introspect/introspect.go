@@ -29,6 +29,14 @@ type SelectionInspector interface {
 type State struct {
 	// Strategy is the strategy's self-reported name.
 	Strategy string `json:"strategy"`
+	// Backend names the clustering pipeline behind the state ("dense"
+	// or "sketch"); empty for strategies without a clustering stage.
+	Backend string `json:"backend,omitempty"`
+	// Sketch is the representative-index state when the sketch backend
+	// is in force. On that backend Distance/Order/Reachability describe
+	// the K representatives OPTICS actually clustered, not the N
+	// clients.
+	Sketch *SketchState `json:"sketch,omitempty"`
 	// Round is the last round Select ran for (-1 before the first).
 	Round int `json:"round"`
 	// Clusters is the per-cluster scheduling state, indexed by cluster
@@ -47,6 +55,31 @@ type State struct {
 	// LastPicks is the pick rationale of the most recent Select call,
 	// in selection order.
 	LastPicks []Pick `json:"last_picks,omitempty"`
+}
+
+// SketchState is the live state of the sketch backend's representative
+// layer: how many representatives cover the fleet, which cluster each
+// representative resolved to, and (for fleets small enough to ship)
+// every client's representative assignment.
+type SketchState struct {
+	// Dim is the sketch width (for P(X|y), the per-class block width of
+	// the encoded vector).
+	Dim int `json:"dim"`
+	// AttachRadius is the sketch-space distance within which clients
+	// attach to an existing representative.
+	AttachRadius float64 `json:"attach_radius"`
+	// Representatives is K, the representative count.
+	Representatives int `json:"representatives"`
+	// RepCounts[r] is how many clients are assigned to representative r.
+	RepCounts []int `json:"rep_counts,omitempty"`
+	// RepLabels[r] is representative r's cluster label.
+	RepLabels []int `json:"rep_labels,omitempty"`
+	// Assignments[c] is client c's representative; omitted for very
+	// large fleets to keep the endpoint's payload bounded.
+	Assignments []int `json:"assignments,omitempty"`
+	// Reclusters counts full re-clusterings since Init (the first
+	// clustering included).
+	Reclusters int `json:"reclusters"`
 }
 
 // ClusterState is the live scheduling state of one cluster: its

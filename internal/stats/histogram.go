@@ -111,6 +111,21 @@ func (h *Histogram) Normalize() []float64 {
 	return p
 }
 
+// Amplitude returns the histogram's Hellinger embedding: the element-wise
+// square root of its normalized probability vector. Amplitude vectors have
+// unit L2 norm (√p · √p = Σp = 1), so the Hellinger distance between two
+// histograms is exactly AmplitudeDistance of their amplitudes — computing
+// the amplitude once per histogram and reusing it across every pairwise
+// comparison removes the per-pair normalize+sqrt work that dominates a
+// dense distance-matrix build.
+func (h *Histogram) Amplitude() []float64 {
+	a := h.Normalize()
+	for i, p := range a {
+		a[i] = math.Sqrt(p)
+	}
+	return a
+}
+
 // Clone returns a deep copy.
 func (h *Histogram) Clone() *Histogram {
 	c := &Histogram{Counts: make([]float64, len(h.Counts)), Lo: h.Lo, Hi: h.Hi}
@@ -152,6 +167,33 @@ func Hellinger(p, q []float64) float64 {
 // Hellinger distance.
 func HistogramHellinger(a, b *Histogram) float64 {
 	return Hellinger(a.Normalize(), b.Normalize())
+}
+
+// AmplitudeDistance computes the Hellinger distance from two precomputed
+// amplitude vectors (see Histogram.Amplitude):
+//
+//	H(p, q) = (1/sqrt(2)) * || sqrt(p) - sqrt(q) ||_2
+//
+// It performs the identical float64 operations as Hellinger on the
+// underlying probability vectors — same subtraction, same accumulation
+// order, same clamp — so swapping a per-pair Hellinger call for a
+// precomputed-amplitude AmplitudeDistance call is bit-exact, not merely
+// approximate. It also serves as the distance between equal-width
+// sketches, which are linear images of amplitude vectors.
+func AmplitudeDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: AmplitudeDistance on vectors of different lengths")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	h := math.Sqrt(sum) / math.Sqrt2
+	if h > 1 {
+		h = 1
+	}
+	return h
 }
 
 // AverageHellinger computes the mean Hellinger distance across two
