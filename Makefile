@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke async-smoke
 
 ## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
 check: vet fmt-check build race
@@ -62,6 +62,20 @@ fleet-smoke:
 	$(FLEETSMOKE)/haccs-sim -strategy haccs-py -clients 12 -k 4 -size 8 \
 		-rounds 10 -deadline 2 -dropout 0.1 -seed 7 \
 		-metrics-addr 127.0.0.1:0 -fleet-check
+
+## async-smoke: end-to-end async-mode check through the real binary. A
+## short FedBuff-style run with a staleness bound, then the binary
+## self-scrapes /metrics (staleness histogram present) and
+## /debug/selection (buffer state exposed) via -async-check; the second
+## leg drives the async driver over the TCP transport.
+ASYNCSMOKE := $(or $(TMPDIR),/tmp)/haccs-async-smoke
+async-smoke:
+	rm -rf $(ASYNCSMOKE) && mkdir -p $(ASYNCSMOKE)
+	$(GO) build -o $(ASYNCSMOKE)/haccs-sim ./cmd/haccs-sim
+	$(ASYNCSMOKE)/haccs-sim -mode async -strategy haccs-py -clients 12 -k 4 \
+		-size 8 -rounds 12 -buffer-k 2 -max-staleness 6 -seed 7 \
+		-metrics-addr 127.0.0.1:0 -async-check
+	$(GO) test -run TestAsyncFederatedTrainingOverTCP -count=1 ./internal/experiments
 
 ## bench: full benchmark pass (slow; for local measurement only).
 bench:

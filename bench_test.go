@@ -227,6 +227,11 @@ func BenchmarkSketchAssign(b *testing.B) { benchrun.SketchAssign(b) }
 // instant proxies standing in for local training.
 func BenchmarkRoundsDriverOverhead(b *testing.B) { benchrun.RoundsDriverOverhead(b) }
 
+// BenchmarkAsyncRoundThroughput measures the buffered async driver's
+// orchestration throughput over a 256-client heavy-tail fleet; its
+// updates/s metric is the tracked aggregated-update wall throughput.
+func BenchmarkAsyncRoundThroughput(b *testing.B) { benchrun.AsyncRoundThroughput(b) }
+
 // BenchmarkSpanNilTracer measures a full nested span lifecycle against a
 // nil tracer; its allocs/op is the tracked zero-overhead signal
 // (target: exactly 0).

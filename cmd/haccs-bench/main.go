@@ -78,6 +78,9 @@ var registry = map[string]experimentFunc{
 	"ablation-distance": func(s experiments.Scale, seed uint64) string {
 		return experiments.RunDistanceAblation(s, seed).String()
 	},
+	"async-comparison": func(s experiments.Scale, seed uint64) string {
+		return experiments.RunAsyncComparison(s, seed).String()
+	},
 }
 
 // aliases map paper artifact names onto shared runs.

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"haccs/internal/introspect"
+)
+
+// lateAsyncInspector adapts the engine's async driver to the
+// /debug/selection handler, which goes live before the engine is
+// built: it serves the zero AsyncState until bind is called.
+type lateAsyncInspector struct {
+	mu   sync.Mutex
+	insp introspect.AsyncInspector
+}
+
+func (l *lateAsyncInspector) bind(insp introspect.AsyncInspector) {
+	l.mu.Lock()
+	l.insp = insp
+	l.mu.Unlock()
+}
+
+func (l *lateAsyncInspector) AsyncState() introspect.AsyncState {
+	l.mu.Lock()
+	insp := l.insp
+	l.mu.Unlock()
+	if insp == nil {
+		return introspect.AsyncState{}
+	}
+	return insp.AsyncState()
+}
+
+// checkAsyncEndpoints self-scrapes the telemetry endpoints after an
+// async run and verifies the async driver actually published its
+// state: the haccs_async_staleness histogram on /metrics and a live
+// buffer state (aggregations happened) on /debug/selection. A failure
+// exits the binary nonzero, which is what the async-smoke CI target
+// asserts on.
+func checkAsyncEndpoints(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, series := range []string{
+		"haccs_async_staleness",
+		"haccs_async_updates_buffered_total",
+		"haccs_async_aggregations_total",
+	} {
+		if !strings.Contains(text, series) {
+			return fmt.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/selection")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/selection: status %d", resp.StatusCode)
+	}
+	var st introspect.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode /debug/selection: %w", err)
+	}
+	if st.Async == nil {
+		return fmt.Errorf("/debug/selection has no async state")
+	}
+	if st.Async.BufferK <= 0 {
+		return fmt.Errorf("async state has buffer_k %d (driver never bound?)", st.Async.BufferK)
+	}
+	if st.Async.Buffered == 0 || st.Async.Version == 0 {
+		return fmt.Errorf("async driver buffered %d updates across %d aggregations; expected progress",
+			st.Async.Buffered, st.Async.Version)
+	}
+	return nil
+}

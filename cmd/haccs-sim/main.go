@@ -23,6 +23,7 @@ import (
 	"haccs/internal/introspect"
 	"haccs/internal/metrics"
 	"haccs/internal/nn"
+	roundspkg "haccs/internal/rounds"
 	"haccs/internal/selection"
 	"haccs/internal/simnet"
 	"haccs/internal/stats"
@@ -43,7 +44,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		size     = flag.Int("size", 8, "image side length (8 for quick runs, 16+ for larger)")
 		dropout  = flag.Float64("dropout", 0, "per-epoch transient client dropout rate")
-		deadline = flag.Float64("deadline", 0, "per-round straggler deadline in virtual seconds (0 = wait for every selected client)")
+		deadline = flag.Float64("deadline", 0, "per-round straggler deadline in virtual seconds (0 = wait for every selected client; sync mode only)")
+		mode     = flag.String("mode", "sync", "round runtime: sync (barrier rounds) | async (FedBuff-style buffered aggregation)")
+		bufferK  = flag.Int("buffer-k", 0, "async aggregation trigger: flush the buffer at K updates (0 = half of -k)")
+		maxStale = flag.Int("max-staleness", 0, "async staleness bound: drop updates more than this many model versions behind (0 = unlimited)")
 		lr       = flag.Float64("lr", 0.05, "local SGD learning rate")
 		epochs   = flag.Int("epochs", 2, "local epochs per round")
 		prox     = flag.Float64("prox", 0, "FedProx proximal coefficient mu (0 = plain FedAvg)")
@@ -60,6 +64,7 @@ func main() {
 		jsonlPath   = flag.String("telemetry-jsonl", "", "stream the round trace as JSONL to this path (replay it with haccs-trace)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/trace, /debug/spans, /debug/selection and /debug/fleet on this address during the run")
 		fleetCheck  = flag.Bool("fleet-check", false, "after the run, self-scrape /debug/fleet and fail unless the fleet registry recorded straggler cuts and a sane fairness index (requires -metrics-addr; smoke-test hook)")
+		asyncCheck  = flag.Bool("async-check", false, "after the run, self-scrape /metrics and /debug/selection and fail unless the async staleness histogram and buffer state were published (requires -mode async and -metrics-addr; smoke-test hook)")
 		pprof       = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -metrics-addr")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
 		statsdAddr  = flag.String("statsd-addr", "", "flush metrics to this UDP statsd endpoint")
@@ -70,12 +75,14 @@ func main() {
 	if err := validateFlags(simFlags{
 		Rounds: *rounds, Clients: *clients, Classes: *classes, K: *k, Size: *size, Epochs: *epochs,
 		Dropout: *dropout, Deadline: *deadline, Rho: *rho, Policy: *policy, Backend: *backend,
+		Mode: *mode, BufferK: *bufferK, MaxStaleness: *maxStale, AsyncCheck: *asyncCheck,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, CheckpointRetain: *ckptRetain, Resume: *resume,
 		FleetCheck: *fleetCheck, MetricsAddr: *metricsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "haccs-sim:", err)
 		os.Exit(2)
 	}
+	runMode, _ := roundspkg.ParseMode(*mode)
 	spec, err := specFor(*family, *classes, *size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -160,12 +167,24 @@ func main() {
 		fleetReg = fleet.NewRegistry(len(roster), fleet.Options{Tracer: tracer, Metrics: reg, Source: src})
 	}
 
+	// In async mode /debug/selection additionally carries the driver's
+	// buffer state; the engine is built after the HTTP server comes up,
+	// so the inspector binds late (serving the zero state until then).
+	var asyncInsp *lateAsyncInspector
+	if runMode == roundspkg.ModeAsync {
+		asyncInsp = &lateAsyncInspector{}
+	}
 	var srv *telemetry.HTTPServer
 	if *metricsAddr != "" {
 		opts := []telemetry.ServeOption{}
 		endpoints := "/metrics, /debug/trace and /debug/spans"
-		if insp, ok := strat.(introspect.SelectionInspector); ok {
-			opts = append(opts, telemetry.WithEndpoint("/debug/selection", introspect.Handler(insp)))
+		selInsp, hasSel := strat.(introspect.SelectionInspector)
+		if hasSel || asyncInsp != nil {
+			var handler = introspect.Handler(selInsp)
+			if asyncInsp != nil {
+				handler = introspect.HandlerWithAsync(selInsp, asyncInsp)
+			}
+			opts = append(opts, telemetry.WithEndpoint("/debug/selection", handler))
 			endpoints += ", /debug/selection"
 		}
 		opts = append(opts, telemetry.WithEndpoint("/debug/fleet", fleet.Handler(fleetReg)))
@@ -215,6 +234,8 @@ func main() {
 		EvalEvery:           5,
 		PerSampleComputeSec: 0.01,
 		RoundDeadline:       *deadline,
+		Mode:                runMode,
+		Async:               roundspkg.AsyncConfig{BufferK: *bufferK, MaxStaleness: *maxStale},
 		Tracer:              tracer,
 		Spans:               spans,
 		Metrics:             reg,
@@ -244,7 +265,15 @@ func main() {
 	if *deadline > 0 {
 		fmt.Printf("haccs-sim: straggler deadline %.1f virtual seconds (partial aggregation)\n", *deadline)
 	}
+	if runMode == roundspkg.ModeAsync {
+		fmt.Printf("haccs-sim: async mode (buffer-k %d, max-staleness %d; 0 = auto/unlimited)\n", *bufferK, *maxStale)
+	}
 	eng := fl.NewEngine(cfg, roster, strat)
+	if asyncInsp != nil {
+		if ai, ok := eng.Runner().(introspect.AsyncInspector); ok {
+			asyncInsp.bind(ai)
+		}
+	}
 	if *resume {
 		snap, err := store.LoadLatest()
 		if err != nil {
@@ -265,6 +294,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fleet-check: /debug/fleet healthy (straggler cuts recorded, fairness in (0,1])")
+	}
+	if *asyncCheck {
+		if err := checkAsyncEndpoints("http://" + srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-sim: async-check:", err)
+			os.Exit(1)
+		}
+		fmt.Println("async-check: staleness histogram on /metrics and buffer state on /debug/selection")
 	}
 
 	tab := metrics.NewTable("round", "virtual-time", "accuracy", "loss")

@@ -42,6 +42,21 @@ func TestValidateFlags(t *testing.T) {
 		{"checkpoint_every_zero", func(f *simFlags) { f.CheckpointDir = "/tmp/ck"; f.CheckpointEvery = 0 }, "-checkpoint-every"},
 		{"checkpoint_retain_zero", func(f *simFlags) { f.CheckpointDir = "/tmp/ck"; f.CheckpointRetain = 0 }, "-checkpoint-retain"},
 		{"every_zero_without_dir_ok", func(f *simFlags) { f.CheckpointEvery = 0 }, ""},
+		{"fleet_check_without_metrics", func(f *simFlags) { f.FleetCheck = true }, "-fleet-check requires -metrics-addr"},
+		{"async_mode_ok", func(f *simFlags) { f.Mode = "async" }, ""},
+		{"sync_mode_explicit_ok", func(f *simFlags) { f.Mode = "sync" }, ""},
+		{"unknown_mode", func(f *simFlags) { f.Mode = "buffered" }, "-mode"},
+		{"async_with_deadline", func(f *simFlags) { f.Mode = "async"; f.Deadline = 5 }, "-deadline is sync-only"},
+		{"async_buffer_k_ok", func(f *simFlags) { f.Mode = "async"; f.BufferK = 3 }, ""},
+		{"async_buffer_k_over_budget", func(f *simFlags) { f.Mode = "async"; f.BufferK = 7 }, "-buffer-k"},
+		{"async_buffer_k_negative", func(f *simFlags) { f.Mode = "async"; f.BufferK = -1 }, "-buffer-k"},
+		{"async_max_staleness_ok", func(f *simFlags) { f.Mode = "async"; f.MaxStaleness = 4 }, ""},
+		{"async_max_staleness_negative", func(f *simFlags) { f.Mode = "async"; f.MaxStaleness = -1 }, "-max-staleness"},
+		{"buffer_k_in_sync", func(f *simFlags) { f.BufferK = 3 }, "-buffer-k requires -mode async"},
+		{"max_staleness_in_sync", func(f *simFlags) { f.MaxStaleness = 2 }, "-max-staleness requires -mode async"},
+		{"async_check_in_sync", func(f *simFlags) { f.AsyncCheck = true; f.MetricsAddr = "127.0.0.1:0" }, "-async-check requires -mode async"},
+		{"async_check_without_metrics", func(f *simFlags) { f.Mode = "async"; f.AsyncCheck = true }, "-async-check requires -metrics-addr"},
+		{"async_check_ok", func(f *simFlags) { f.Mode = "async"; f.AsyncCheck = true; f.MetricsAddr = "127.0.0.1:0" }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,6 +1,10 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+
+	"haccs/internal/rounds"
+)
 
 // simFlags collects the flag values subject to validation, so the
 // checks can be exercised by tests without spawning the binary.
@@ -9,6 +13,9 @@ type simFlags struct {
 	Dropout, Deadline, Rho                    float64
 	Policy                                    string
 	Backend                                   string
+	Mode                                      string
+	BufferK, MaxStaleness                     int
+	AsyncCheck                                bool
 	CheckpointDir                             string
 	CheckpointEvery, CheckpointRetain         int
 	Resume                                    bool
@@ -51,6 +58,34 @@ func validateFlags(f simFlags) error {
 	}
 	if f.Backend != "" && f.Backend != "dense" && f.Backend != "sketch" {
 		return fmt.Errorf("unknown -cluster-backend %q (want dense or sketch)", f.Backend)
+	}
+	mode, ok := rounds.ParseMode(f.Mode)
+	if !ok {
+		return fmt.Errorf("unknown -mode %q (want sync or async)", f.Mode)
+	}
+	if mode == rounds.ModeAsync {
+		if f.Deadline != 0 {
+			return fmt.Errorf("-deadline is sync-only; bound slow updates with -max-staleness in async mode")
+		}
+		if f.BufferK < 0 || f.BufferK > f.K {
+			return fmt.Errorf("-buffer-k must be in [0,%d] (0 = auto; got %d)", f.K, f.BufferK)
+		}
+		if f.MaxStaleness < 0 {
+			return fmt.Errorf("-max-staleness must be >= 0 (got %d)", f.MaxStaleness)
+		}
+	} else {
+		if f.BufferK != 0 {
+			return fmt.Errorf("-buffer-k requires -mode async")
+		}
+		if f.MaxStaleness != 0 {
+			return fmt.Errorf("-max-staleness requires -mode async")
+		}
+		if f.AsyncCheck {
+			return fmt.Errorf("-async-check requires -mode async")
+		}
+	}
+	if f.AsyncCheck && f.MetricsAddr == "" {
+		return fmt.Errorf("-async-check requires -metrics-addr (nothing to scrape)")
 	}
 	if f.Resume && f.CheckpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir (nowhere to resume from)")

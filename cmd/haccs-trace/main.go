@@ -31,6 +31,7 @@ func main() {
 		timeline   = flag.Bool("timeline", true, "print the per-round timeline (events + span tree)")
 		selection  = flag.Bool("selection", true, "print the per-cluster selection summary table")
 		fleetSum   = flag.Bool("fleet", true, "print the fleet health summary (stragglers, fairness, drift)")
+		asyncSum   = flag.Bool("async", true, "print the async summary (staleness distribution, buffer flush timeline) when the trace came from an async-mode run")
 		quietSkips = flag.Bool("quiet-skips", false, "suppress per-line warnings for malformed JSONL lines (the total is still reported)")
 	)
 	flag.Usage = func() {
@@ -69,6 +70,15 @@ func main() {
 			fmt.Println()
 		}
 		if err := introspect.WriteSelectionTable(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, "haccs-trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *asyncSum && introspect.HasAsyncEvents(events) {
+		if *timeline || *selection {
+			fmt.Println()
+		}
+		if err := introspect.WriteAsyncSummary(os.Stdout, events); err != nil {
 			fmt.Fprintln(os.Stderr, "haccs-trace:", err)
 			os.Exit(1)
 		}

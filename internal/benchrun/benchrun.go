@@ -61,6 +61,7 @@ func Suite() []Entry {
 		{Name: "local_train_round", Bench: LocalTrainRound},
 		{Name: "engine_run_5rounds", Bench: EngineRun, RoundsPerOp: engineRounds},
 		{Name: "rounds_driver_overhead", Bench: RoundsDriverOverhead, RoundsPerOp: driverRounds},
+		{Name: "async_round_throughput", Bench: AsyncRoundThroughput, RoundsPerOp: asyncCycles},
 		{Name: "span_nil_tracer", Bench: SpanNilTracer},
 		{Name: "checkpoint_encode", Bench: CheckpointEncode},
 		{Name: "checkpoint_disabled", Bench: CheckpointDisabled},
@@ -267,6 +268,59 @@ func RoundsDriverOverhead(b *testing.B) {
 		for r := 0; r < driverRounds; r++ {
 			d.RunRound(r)
 		}
+	}
+}
+
+// asyncCycles is the scheduling-cycle count of the AsyncRoundThroughput
+// benchmark.
+const asyncCycles = 100
+
+// tailProxy is an instant no-op client with an explicit latency, so the
+// async benchmark can shape a heavy-tailed virtual latency distribution
+// independent of client IDs.
+type tailProxy struct {
+	instantProxy
+	lat float64
+}
+
+func (p *tailProxy) Latency() float64 { return p.lat }
+
+// AsyncRoundThroughput measures the buffered async driver's pure
+// orchestration throughput — eager dispatch, event-queue drain,
+// staleness-weighted buffer flush — over a 256-client fleet with a
+// deliberately heavy-tailed latency distribution (every 16th client is
+// 40x slower than its peers, the regime the async runtime exists for).
+// One op is asyncCycles scheduling cycles at concurrency 32 with a
+// 16-deep buffer and a 1k-parameter model; the updates/s metric is the
+// aggregated-updates wall throughput.
+func AsyncRoundThroughput(b *testing.B) {
+	const nClients, dim, concurrency, bufferK = 256, 1000, 32, 16
+	proxies := make([]rounds.Proxy, nClients)
+	for i := range proxies {
+		params := make([]float64, dim)
+		for j := range params {
+			params[j] = float64(i)
+		}
+		lat := 1 + float64(i%7)
+		if i%16 == 0 {
+			lat *= 40
+		}
+		proxies[i] = &tailProxy{instantProxy: instantProxy{id: i, params: params}, lat: lat}
+	}
+	strat := newRoundRobin()
+	strat.Init(make([]fl.ClientInfo, nClients), stats.NewRNG(seed))
+	updates := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rounds.NewAsyncDriver(rounds.Config{ClientsPerRound: concurrency},
+			rounds.AsyncConfig{BufferK: bufferK, MaxStaleness: 32},
+			instantTransport{proxies}, strat, make([]float64, dim))
+		for r := 0; r < asyncCycles; r++ {
+			updates += len(d.RunRound(r).Reporters)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(updates)/sec, "updates/s")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"haccs/internal/checkpoint"
+	"haccs/internal/rounds"
 )
 
 // runStateVersion versions the engine's run-progress payload.
@@ -73,12 +74,15 @@ func (r engineRun) RestoreState(data []byte) error {
 
 // checkpointComponents lists every stateful layer of this run, in a
 // stable naming scheme shared with the flnet coordinator ("model",
-// "driver", "strategy", "dropout"; "run" is engine-only).
+// "driver"/"driver_async", "strategy", "dropout"; "run" is
+// engine-only). The async driver snapshots under its own component
+// name so restoring a snapshot into an engine running the other mode
+// fails loudly at the component table instead of misreading state.
 func (e *Engine) checkpointComponents() []checkpoint.Component {
 	comps := []checkpoint.Component{
 		{Name: "run", S: engineRun{e}},
 		{Name: "model", S: checkpoint.Model{Arch: e.cfg.Arch, Params: e.driver.Global, SetParams: e.driver.SetGlobal}},
-		{Name: "driver", S: e.driver},
+		{Name: driverComponentName(e.cfg.Mode), S: e.driver},
 	}
 	if s, ok := e.strategy.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "strategy", S: s})
@@ -93,6 +97,15 @@ func (e *Engine) checkpointComponents() []checkpoint.Component {
 		comps = append(comps, checkpoint.Component{Name: "fleet", S: e.cfg.Fleet})
 	}
 	return comps
+}
+
+// driverComponentName maps the round-runtime mode to its checkpoint
+// component name.
+func driverComponentName(mode rounds.Mode) string {
+	if mode == rounds.ModeAsync {
+		return "driver_async"
+	}
+	return "driver"
 }
 
 // Snapshot captures the engine's complete run state after roundsDone

@@ -41,8 +41,16 @@ type Config struct {
 	// RoundDeadline is the virtual-time round deadline in seconds:
 	// selected clients slower than it are cut as stragglers and the
 	// round aggregates only the reporters (see rounds.Config.Deadline).
-	// 0 keeps rounds fully synchronous.
+	// 0 keeps rounds fully synchronous. Sync-only: async mode bounds
+	// slow updates with Async.MaxStaleness instead.
 	RoundDeadline float64
+	// Mode selects the round runtime: synchronous barrier rounds (the
+	// zero value) or FedBuff-style buffered asynchronous aggregation
+	// (see rounds.Mode).
+	Mode rounds.Mode
+	// Async tunes the buffered asynchronous driver when Mode is
+	// rounds.ModeAsync; ignored in sync mode.
+	Async rounds.AsyncConfig
 	// Dropout injects per-epoch unavailability (nil = no dropout).
 	Dropout simnet.DropoutModel
 	// Parallelism bounds concurrent client training (0 = GOMAXPROCS).
@@ -153,7 +161,7 @@ type Engine struct {
 	cfg      Config
 	clients  []*Client
 	strategy Strategy
-	driver   *rounds.Driver
+	driver   rounds.Runner
 
 	modelBytes int
 
@@ -254,7 +262,7 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		}
 	}
 	strategy.Init(infos, stats.NewRNG(stats.DeriveSeed(cfg.Seed, 1)))
-	e.driver = rounds.NewDriver(rounds.Config{
+	rcfg := rounds.Config{
 		ClientsPerRound: cfg.ClientsPerRound,
 		Deadline:        cfg.RoundDeadline,
 		Dropout:         cfg.Dropout,
@@ -263,7 +271,12 @@ func NewEngine(cfg Config, clients []*Client, strategy Strategy) *Engine {
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 		Fleet:           cfg.Fleet,
-	}, localTransport{e}, strategy, initial)
+	}
+	if cfg.Mode == rounds.ModeAsync {
+		e.driver = rounds.NewAsyncDriver(rcfg, cfg.Async, localTransport{e}, strategy, initial)
+	} else {
+		e.driver = rounds.NewDriver(rcfg, localTransport{e}, strategy, initial)
+	}
 	e.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, e.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return e
 }
@@ -367,3 +380,8 @@ func (e *Engine) Evaluate() (meanAcc, meanLoss float64, perClient []float64) {
 
 // GlobalParams returns a copy of the current global parameter vector.
 func (e *Engine) GlobalParams() []float64 { return append([]float64(nil), e.driver.Global()...) }
+
+// Runner exposes the underlying round runtime — callers that need
+// mode-specific surfaces (the async driver's introspection state, for
+// example) type-assert on the returned value.
+func (e *Engine) Runner() rounds.Runner { return e.driver }

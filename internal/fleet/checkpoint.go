@@ -13,31 +13,39 @@ import (
 // restored registry continues byte-identically to an uninterrupted one
 // (pinned by the experiments resume test).
 
-// registryStateVersion tags the snapshot payload layout.
-const registryStateVersion = 1
+// registryStateVersion tags the snapshot payload layout. Version 2
+// added the async-driver accounting (per-client buffered/staleness
+// counters in clientHealth plus the fleet-wide staleness histogram).
+const registryStateVersion = 2
 
 // registryState is the serialized form of a Registry.
 type registryState struct {
-	Version       int
-	Rounds        int
-	Clock         float64
-	TotalSelected int
-	Fairness      float64
-	Clients       []clientHealth
-	Clusters      []clusterHealth
+	Version         int
+	Rounds          int
+	Clock           float64
+	TotalSelected   int
+	Fairness        float64
+	Clients         []clientHealth
+	Clusters        []clusterHealth
+	AsyncRounds     int
+	StaleDropped    int
+	StalenessCounts []int
 }
 
 // SnapshotState implements checkpoint.Snapshotter.
 func (r *Registry) SnapshotState() ([]byte, error) {
 	r.mu.Lock()
 	st := registryState{
-		Version:       registryStateVersion,
-		Rounds:        r.rounds,
-		Clock:         r.clock,
-		TotalSelected: r.totalSelected,
-		Fairness:      r.fairness,
-		Clients:       append([]clientHealth(nil), r.clients...),
-		Clusters:      make([]clusterHealth, len(r.clusters)),
+		Version:         registryStateVersion,
+		Rounds:          r.rounds,
+		Clock:           r.clock,
+		TotalSelected:   r.totalSelected,
+		Fairness:        r.fairness,
+		Clients:         append([]clientHealth(nil), r.clients...),
+		Clusters:        make([]clusterHealth, len(r.clusters)),
+		AsyncRounds:     r.asyncRounds,
+		StaleDropped:    r.staleDropped,
+		StalenessCounts: append([]int(nil), r.stalenessCounts[:]...),
 	}
 	for i := range r.clusters {
 		st.Clusters[i] = r.clusters[i]
@@ -66,11 +74,17 @@ func (r *Registry) RestoreState(data []byte) error {
 	if len(st.Clients) != len(r.clients) {
 		return fmt.Errorf("fleet: restore: snapshot has %d clients, registry %d", len(st.Clients), len(r.clients))
 	}
+	if len(st.StalenessCounts) != stalenessBuckets {
+		return fmt.Errorf("fleet: restore: snapshot has %d staleness buckets, this build uses %d", len(st.StalenessCounts), stalenessBuckets)
+	}
 	r.rounds = st.Rounds
 	r.clock = st.Clock
 	r.totalSelected = st.TotalSelected
 	r.fairness = st.Fairness
 	copy(r.clients, st.Clients)
 	r.clusters = st.Clusters
+	r.asyncRounds = st.AsyncRounds
+	r.staleDropped = st.StaleDropped
+	copy(r.stalenessCounts[:], st.StalenessCounts)
 	return nil
 }

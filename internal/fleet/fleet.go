@@ -49,6 +49,9 @@ type ClientReport struct {
 	// Stats is the client-reported block off the wire; nil on the
 	// in-process transport.
 	Stats *ClientStats
+	// Staleness is how many model versions behind the update was when
+	// the async driver buffered it; always 0 on the sync driver.
+	Staleness int
 }
 
 // RoundObservation is everything the registry learns from one driver
@@ -59,10 +62,16 @@ type RoundObservation struct {
 	Selected []int
 	// Reports covers the clients whose updates made aggregation.
 	Reports []ClientReport
-	// Cut and Failed are the selected clients discarded at the
-	// straggler deadline and the ones whose transport failed.
+	// Cut and Failed are the selected clients discarded mid-round — at
+	// the straggler deadline (sync) or the staleness bound (async) —
+	// and the ones whose transport failed.
 	Cut    []int
 	Failed []int
+	// Async marks observations from the buffered asynchronous driver:
+	// Reports are then buffered updates carrying a Staleness, and Cut
+	// lists stale-dropped (not deadline-cut) clients; the registry
+	// accounts them separately.
+	Async bool
 	// Unavailable lists the clients that were down this round (dropout
 	// or marked dead after an earlier failure).
 	Unavailable []int

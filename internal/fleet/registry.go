@@ -18,6 +18,10 @@ const (
 	flakyAlpha   = 0.2
 )
 
+// stalenessBuckets sizes the fleet-wide staleness histogram: one
+// bucket per staleness value 0..14 plus an overflow bucket for >= 15.
+const stalenessBuckets = 16
+
 // clientHealth is the rolling per-client record. Fields are exported
 // for gob (the registry checkpoints itself); the type stays package
 // private.
@@ -34,6 +38,15 @@ type clientHealth struct {
 	LatEWMA float64
 	LatInit bool
 	Flaky   float64
+
+	// Async-driver accounting: buffered updates contributed, updates
+	// dropped past the staleness bound, and the running staleness sum
+	// and maximum over the buffered ones. All stay zero under the sync
+	// driver.
+	Buffered     int
+	StaleDropped int
+	StaleSum     int
+	StaleMax     int
 
 	P50, P90, P99 stats.P2
 }
@@ -91,6 +104,13 @@ type Registry struct {
 	totalSelected int
 	fairness      float64
 	clusters      []clusterHealth
+
+	// Async-driver fleet view: rounds observed in async mode and the
+	// fleet-wide staleness histogram over buffered updates (index is
+	// the staleness in model versions, last bucket is the overflow).
+	asyncRounds     int
+	staleDropped    int
+	stalenessCounts [stalenessBuckets]int
 
 	tracer telemetry.Tracer
 	source ClusterSource
@@ -159,6 +179,9 @@ func (r *Registry) ObserveRound(obs RoundObservation) {
 		c.LastSeen = obs.Round
 	}
 	r.totalSelected += len(obs.Selected)
+	if obs.Async {
+		r.asyncRounds++
+	}
 	for i := range obs.Reports {
 		rep := &obs.Reports[i]
 		c := &r.clients[rep.ClientID]
@@ -171,10 +194,23 @@ func (r *Registry) ObserveRound(obs RoundObservation) {
 		}
 		c.observeLatency(lat)
 		c.observeOutcome(0)
+		if obs.Async {
+			c.Buffered++
+			c.StaleSum += rep.Staleness
+			if rep.Staleness > c.StaleMax {
+				c.StaleMax = rep.Staleness
+			}
+			r.stalenessCounts[min(rep.Staleness, stalenessBuckets-1)]++
+		}
 	}
 	for _, id := range obs.Cut {
 		c := &r.clients[id]
-		c.Cut++
+		if obs.Async {
+			c.StaleDropped++
+			r.staleDropped++
+		} else {
+			c.Cut++
+		}
 		c.observeOutcome(1)
 	}
 	for _, id := range obs.Failed {
@@ -277,6 +313,13 @@ type ClientHealth struct {
 	LatencyP90   float64 `json:"latency_p90"`
 	LatencyP99   float64 `json:"latency_p99"`
 	Flakiness    float64 `json:"flakiness"`
+	// Async-driver counters (zero and omitted on sync runs): buffered
+	// updates contributed, updates dropped past the staleness bound,
+	// and the mean/max staleness of the buffered ones.
+	Buffered      int     `json:"buffered,omitempty"`
+	StaleDropped  int     `json:"stale_dropped,omitempty"`
+	MeanStaleness float64 `json:"mean_staleness,omitempty"`
+	MaxStaleness  int     `json:"max_staleness,omitempty"`
 }
 
 // ClusterHealth is the exported per-cluster reading in a State
@@ -299,6 +342,19 @@ type State struct {
 	Fairness      float64         `json:"fairness"`
 	Clients       []ClientHealth  `json:"clients"`
 	Clusters      []ClusterHealth `json:"clusters,omitempty"`
+	// Async is the fleet-wide async-driver view; nil on sync-only runs.
+	Async *AsyncHealth `json:"async,omitempty"`
+}
+
+// AsyncHealth is the fleet-wide reading of the buffered asynchronous
+// driver: how many observed rounds ran async, how many updates were
+// dropped past the staleness bound, and the staleness histogram over
+// every buffered update (index = staleness in model versions; the last
+// bucket accumulates the overflow).
+type AsyncHealth struct {
+	Rounds          int   `json:"rounds"`
+	StaleDropped    int   `json:"stale_dropped"`
+	StalenessCounts []int `json:"staleness_counts"`
 }
 
 // State snapshots the registry under the lock.
@@ -317,21 +373,36 @@ func (r *Registry) State() State {
 	}
 	for i := range r.clients {
 		c := &r.clients[i]
+		meanStale := 0.0
+		if c.Buffered > 0 {
+			meanStale = float64(c.StaleSum) / float64(c.Buffered)
+		}
 		st.Clients[i] = ClientHealth{
-			ID:           i,
-			Selected:     c.Selected,
-			Reported:     c.Reported,
-			StragglerCut: c.Cut,
-			Failed:       c.Failed,
-			Unavailable:  c.Unavailable,
-			LastSeen:     c.LastSeen,
-			LastLoss:     c.LastLoss,
-			Samples:      c.Samples,
-			LatencyEWMA:  c.LatEWMA,
-			LatencyP50:   c.P50.Value(),
-			LatencyP90:   c.P90.Value(),
-			LatencyP99:   c.P99.Value(),
-			Flakiness:    c.Flaky,
+			ID:            i,
+			Selected:      c.Selected,
+			Reported:      c.Reported,
+			StragglerCut:  c.Cut,
+			Failed:        c.Failed,
+			Unavailable:   c.Unavailable,
+			LastSeen:      c.LastSeen,
+			LastLoss:      c.LastLoss,
+			Samples:       c.Samples,
+			LatencyEWMA:   c.LatEWMA,
+			LatencyP50:    c.P50.Value(),
+			LatencyP90:    c.P90.Value(),
+			LatencyP99:    c.P99.Value(),
+			Flakiness:     c.Flaky,
+			Buffered:      c.Buffered,
+			StaleDropped:  c.StaleDropped,
+			MeanStaleness: meanStale,
+			MaxStaleness:  c.StaleMax,
+		}
+	}
+	if r.asyncRounds > 0 {
+		st.Async = &AsyncHealth{
+			Rounds:          r.asyncRounds,
+			StaleDropped:    r.staleDropped,
+			StalenessCounts: append([]int(nil), r.stalenessCounts[:]...),
 		}
 	}
 	if len(r.clusters) > 0 {

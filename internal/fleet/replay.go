@@ -14,7 +14,7 @@ import (
 // events, the fairness trajectory and the per-cluster drift timeline
 // from the fleet_health records.
 func WriteReplaySummary(w io.Writer, events []telemetry.Event) {
-	type tally struct{ selected, cut, failed int }
+	type tally struct{ selected, cut, failed, buffered, stale int }
 	perClient := map[int]*tally{}
 	get := func(id int) *tally {
 		t, ok := perClient[id]
@@ -45,6 +45,10 @@ func WriteReplaySummary(w io.Writer, events []telemetry.Event) {
 			for _, id := range e.Clients {
 				get(id).failed++
 			}
+		case telemetry.KindUpdateBuffered:
+			get(e.Client).buffered++
+		case telemetry.KindUpdateStale:
+			get(e.Client).stale++
 		case telemetry.KindFleetHealth:
 			if e.Cluster < 0 {
 				fairness = append(fairness, fairPoint{e.Round, e.Fairness})
@@ -89,6 +93,34 @@ func WriteReplaySummary(w io.Writer, events []telemetry.Event) {
 				rate = float64(r.cut+r.failed) / float64(r.selected)
 			}
 			fmt.Fprintf(w, "%6d %8d %6d %6d %9.3f\n", r.id, r.selected, r.cut, r.failed, rate)
+		}
+	}
+
+	// Async runs: buffered-update and stale-drop totals per client (the
+	// async analogue of the straggler table — a chronically stale client
+	// is the async run's straggler).
+	type asyncRow struct{ id, buffered, stale int }
+	var asyncRows []asyncRow
+	for id, t := range perClient {
+		if t.buffered+t.stale > 0 {
+			asyncRows = append(asyncRows, asyncRow{id, t.buffered, t.stale})
+		}
+	}
+	if len(asyncRows) > 0 {
+		sort.Slice(asyncRows, func(i, j int) bool {
+			if asyncRows[i].stale != asyncRows[j].stale {
+				return asyncRows[i].stale > asyncRows[j].stale
+			}
+			return asyncRows[i].id < asyncRows[j].id
+		})
+		const topN = 10
+		fmt.Fprintf(w, "\nasync update activity (%d clients, most stale-dropped first):\n", len(asyncRows))
+		fmt.Fprintf(w, "%6s %9s %6s\n", "client", "buffered", "stale")
+		for i, r := range asyncRows {
+			if i == topN {
+				break
+			}
+			fmt.Fprintf(w, "%6d %9d %6d\n", r.id, r.buffered, r.stale)
 		}
 	}
 

@@ -23,7 +23,15 @@ type CoordinatorConfig struct {
 	// rounds.Config.Deadline). The exchange with a straggler still
 	// completes — the deadline governs whose update is aggregated and
 	// how far the virtual clock advances, exactly as in simulation.
+	// Sync-only: async mode bounds slow updates with Async.MaxStaleness.
 	Deadline float64
+	// Mode selects the round runtime driving the wire: synchronous
+	// barrier rounds (the zero value) or FedBuff-style buffered
+	// asynchronous aggregation (see rounds.Mode).
+	Mode rounds.Mode
+	// Async tunes the buffered asynchronous driver when Mode is
+	// rounds.ModeAsync; ignored in sync mode.
+	Async rounds.AsyncConfig
 	// Dropout injects per-round unavailability (nil = no dropout).
 	// Clients whose connections die are additionally excluded forever
 	// by the driver's failure tracking.
@@ -71,7 +79,8 @@ type CoordinatorConfig struct {
 // has gathered the full roster.
 type Coordinator struct {
 	srv      *Server
-	driver   *rounds.Driver
+	driver   rounds.Runner
+	mode     rounds.Mode
 	strategy rounds.Strategy
 	arch     nn.Arch
 	dropout  simnet.DropoutModel
@@ -149,8 +158,8 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		}
 		proxies[r.ClientID] = &netProxy{srv: srv, id: r.ClientID, latency: r.LatencyEstimate, spans: cfg.Spans}
 	}
-	c := &Coordinator{srv: srv, strategy: strategy, arch: cfg.Arch, dropout: cfg.Dropout, fleet: cfg.Fleet, tracer: cfg.Tracer, reg: cfg.Metrics}
-	c.driver = rounds.NewDriver(rounds.Config{
+	c := &Coordinator{srv: srv, mode: cfg.Mode, strategy: strategy, arch: cfg.Arch, dropout: cfg.Dropout, fleet: cfg.Fleet, tracer: cfg.Tracer, reg: cfg.Metrics}
+	rcfg := rounds.Config{
 		ClientsPerRound: cfg.ClientsPerRound,
 		Deadline:        cfg.Deadline,
 		Dropout:         cfg.Dropout,
@@ -159,7 +168,21 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 		Metrics:         cfg.Metrics,
 		OnSummary:       cfg.OnSummary,
 		Fleet:           cfg.Fleet,
-	}, netTransport{proxies}, strategy, initial)
+	}
+	// The coordinator receives user-supplied configuration, so it
+	// validates up front and returns the typed rounds error instead of
+	// letting the driver constructor panic.
+	if cfg.Mode == rounds.ModeAsync {
+		if err := rounds.ValidateAsync(rcfg, cfg.Async); err != nil {
+			return nil, fmt.Errorf("flnet: %w", err)
+		}
+		c.driver = rounds.NewAsyncDriver(rcfg, cfg.Async, netTransport{proxies}, strategy, initial)
+	} else {
+		if err := rcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("flnet: %w", err)
+		}
+		c.driver = rounds.NewDriver(rcfg, netTransport{proxies}, strategy, initial)
+	}
 	c.saver = checkpoint.NewSaver(cfg.Checkpoint, cfg.CheckpointEvery, c.checkpointComponents(), cfg.Tracer, cfg.Spans, cfg.Metrics)
 	return c, nil
 }
@@ -168,9 +191,13 @@ func NewCoordinator(srv *Server, cfg CoordinatorConfig, strategy rounds.Strategy
 // the same component names the fl engine uses, so tooling can read
 // either transport's snapshots.
 func (c *Coordinator) checkpointComponents() []checkpoint.Component {
+	driverName := "driver"
+	if c.mode == rounds.ModeAsync {
+		driverName = "driver_async"
+	}
 	comps := []checkpoint.Component{
 		{Name: "model", S: checkpoint.Model{Arch: c.arch, Params: c.driver.Global, SetParams: c.driver.SetGlobal}},
-		{Name: "driver", S: c.driver},
+		{Name: driverName, S: c.driver},
 	}
 	if s, ok := c.strategy.(checkpoint.Snapshotter); ok {
 		comps = append(comps, checkpoint.Component{Name: "strategy", S: s})
@@ -242,3 +269,8 @@ func (c *Coordinator) Clock() float64 { return c.driver.Clock() }
 
 // Dead reports whether a client's session failed in an earlier round.
 func (c *Coordinator) Dead(id int) bool { return c.driver.Dead(id) }
+
+// Runner exposes the underlying round runtime — callers that need
+// mode-specific surfaces (the async driver's introspection state, for
+// example) type-assert on the returned value.
+func (c *Coordinator) Runner() rounds.Runner { return c.driver }

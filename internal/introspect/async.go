@@ -1,0 +1,66 @@
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// AsyncState is one consistent snapshot of the buffered asynchronous
+// driver's runtime state, refreshed at the end of every scheduling
+// cycle and served alongside the strategy's State at /debug/selection.
+type AsyncState struct {
+	// Version is the global model version — the number of buffered
+	// aggregations folded in so far.
+	Version int `json:"version"`
+	// BufferK is the aggregation trigger; MaxStaleness the drop bound
+	// (0 = unlimited); StalenessExponent the polynomial discount α.
+	BufferK           int     `json:"buffer_k"`
+	MaxStaleness      int     `json:"max_staleness"`
+	StalenessExponent float64 `json:"staleness_exponent"`
+	// InFlight lists the clients currently training, in virtual finish
+	// order; BufferFill is the buffer occupancy (0 at cycle boundaries
+	// — every cycle ends by flushing).
+	InFlight   []int `json:"in_flight"`
+	BufferFill int   `json:"buffer_fill"`
+	// LastFlush is the size of the most recent aggregation (0 before
+	// the first); Buffered and StaleDropped are cumulative update
+	// counts; StalenessCounts is the cumulative staleness histogram
+	// (index = staleness, last bucket overflow).
+	LastFlush       int     `json:"last_flush"`
+	Buffered        int     `json:"buffered_total"`
+	StaleDropped    int     `json:"stale_dropped_total"`
+	StalenessCounts []int   `json:"staleness_counts"`
+	Clock           float64 `json:"clock"`
+}
+
+// AsyncInspector is implemented by the async round driver.
+// Implementations must be safe to call concurrently with RunRound (the
+// HTTP handler races a training run by design).
+type AsyncInspector interface {
+	AsyncState() AsyncState
+}
+
+// HandlerWithAsync serves the selection inspector's State with the
+// async driver's runtime state attached under "async". Either argument
+// may be nil: a nil inspector serves only the async state, a nil async
+// driver degrades to Handler's output.
+func HandlerWithAsync(insp SelectionInspector, async AsyncInspector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if insp == nil && async == nil {
+			http.NotFound(w, req)
+			return
+		}
+		var st State
+		if insp != nil {
+			st = insp.SelectionState()
+		}
+		if async != nil {
+			as := async.AsyncState()
+			st.Async = &as
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}

@@ -55,6 +55,9 @@ type State struct {
 	// LastPicks is the pick rationale of the most recent Select call,
 	// in selection order.
 	LastPicks []Pick `json:"last_picks,omitempty"`
+	// Async is the buffered asynchronous driver's runtime state; nil
+	// on sync-mode runs (see HandlerWithAsync).
+	Async *AsyncState `json:"async,omitempty"`
 }
 
 // SketchState is the live state of the sketch backend's representative

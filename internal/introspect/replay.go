@@ -45,6 +45,15 @@ func WriteTimeline(w io.Writer, events []telemetry.Event) error {
 			case telemetry.KindAggregated:
 				fmt.Fprintf(w, "  aggregated      %d updates, round %.1fs, clock %.1fs\n",
 					len(e.Clients), e.VirtualSec, e.Clock)
+			case telemetry.KindUpdateBuffered:
+				fmt.Fprintf(w, "  buffered        client %d (staleness %d) fill %d, clock %.1fs\n",
+					e.Client, e.Staleness, e.Fill, e.Clock)
+			case telemetry.KindUpdateStale:
+				fmt.Fprintf(w, "  stale dropped   client %d (staleness %d), clock %.1fs\n",
+					e.Client, e.Staleness, e.Clock)
+			case telemetry.KindAggregateAsync:
+				fmt.Fprintf(w, "  async flush     %d updates (max staleness %d), cycle %.1fs, clock %.1fs\n",
+					len(e.Clients), e.Staleness, e.VirtualSec, e.Clock)
 			case telemetry.KindEvaluated:
 				fmt.Fprintf(w, "  evaluated       acc %.4f loss %.4f at clock %.1fs\n", e.Acc, e.Loss, e.Clock)
 			case telemetry.KindNetRound:

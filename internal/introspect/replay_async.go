@@ -1,0 +1,99 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"haccs/internal/telemetry"
+)
+
+// HasAsyncEvents reports whether the stream came from an async-mode
+// run (any buffered-aggregation event present), so haccs-trace can
+// decide whether an async summary section is worth printing.
+func HasAsyncEvents(events []telemetry.Event) bool {
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindUpdateBuffered, telemetry.KindUpdateStale, telemetry.KindAggregateAsync:
+			return true
+		}
+	}
+	return false
+}
+
+// WriteAsyncSummary reconstructs the buffered-aggregation view of an
+// async run from its event stream: the staleness distribution of every
+// buffered update and the buffer fill/flush timeline. The scan keys on
+// event kinds only, so update_buffered events interleaved with worker
+// client_trained events (or any other traffic) replay fine.
+func WriteAsyncSummary(w io.Writer, events []telemetry.Event) error {
+	staleness := map[int]int{}
+	buffered, dropped := 0, 0
+	type flush struct {
+		round   int
+		fill    int
+		maxTau  int
+		virtual float64
+		clock   float64
+	}
+	var flushes []flush
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindUpdateBuffered:
+			staleness[e.Staleness]++
+			buffered++
+		case telemetry.KindUpdateStale:
+			dropped++
+		case telemetry.KindAggregateAsync:
+			flushes = append(flushes, flush{e.Round, len(e.Clients), e.Staleness, e.VirtualSec, e.Clock})
+		}
+	}
+	if buffered == 0 && dropped == 0 && len(flushes) == 0 {
+		_, err := fmt.Fprintln(w, "no async events recorded")
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "== async summary ==\n"); err != nil {
+		return err
+	}
+	if buffered > 0 {
+		taus := make([]int, 0, len(staleness))
+		for tau := range staleness {
+			taus = append(taus, tau)
+		}
+		sort.Ints(taus)
+		maxCount := 0
+		for _, n := range staleness {
+			if n > maxCount {
+				maxCount = n
+			}
+		}
+		fmt.Fprintf(w, "\nstaleness distribution (%d buffered updates):\n", buffered)
+		for _, tau := range taus {
+			n := staleness[tau]
+			bar := strings.Repeat("#", 1+n*29/maxCount)
+			fmt.Fprintf(w, "  τ=%-3d %6d  %s\n", tau, n, bar)
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, "\nstale-dropped: %d update(s) past the staleness bound\n", dropped)
+	}
+	if len(flushes) > 0 {
+		fmt.Fprintf(w, "\nbuffer flush timeline (%d flushes):\n", len(flushes))
+		show := flushes
+		const maxRows = 16
+		if len(show) > maxRows {
+			thin := make([]flush, 0, maxRows)
+			for i := 0; i < maxRows; i++ {
+				thin = append(thin, show[i*(len(show)-1)/(maxRows-1)])
+			}
+			show = thin
+		}
+		for _, f := range show {
+			fmt.Fprintf(w, "  round %5d  fill %2d  max τ %2d  cycle %7.1fs  clock %9.1fs\n",
+				f.round, f.fill, f.maxTau, f.virtual, f.clock)
+		}
+	}
+	return nil
+}

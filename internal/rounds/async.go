@@ -1,0 +1,665 @@
+package rounds
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haccs/internal/fleet"
+	"haccs/internal/introspect"
+	"haccs/internal/simnet"
+	"haccs/internal/telemetry"
+)
+
+// AsyncDriver is the FedBuff-style buffered asynchronous round
+// runtime. Selected clients train continuously against the virtual
+// clock: every scheduling cycle (one RunRound call) first refills the
+// free concurrency slots through the strategy, then pops virtual
+// finish events off a (finishTime, dispatchSeq) min-heap until the
+// aggregation buffer holds BufferK updates and flushes them into the
+// global model with polynomial staleness discounting. Clients whose
+// events have not fired simply keep training across cycles — a slow
+// client never stalls the clock the way a sync barrier round does.
+//
+// Determinism: finish events are ordered by virtual finish time with
+// the dispatch sequence number as the tie-break, every training job
+// derives its randomness from the (client, dispatchRound) pair, and
+// client updates are folded in buffer order — so a fixed seed yields a
+// bit-identical trajectory regardless of host scheduling, exactly like
+// the sync driver. Like the sync driver it is not safe for concurrent
+// use; cycles run one at a time.
+type AsyncDriver struct {
+	cfg         Config
+	async       AsyncConfig
+	strategy    Strategy
+	proxies     []Proxy
+	latency     []float64
+	parallelism int
+
+	global  []float64
+	clock   float64
+	version int // model version: buffered aggregations applied so far
+	seq     uint64
+	dead    []bool
+	busy    []bool // client has an in-flight (queued) update
+
+	queue  eventQueue
+	buffer []*asyncEntry
+	free   []*asyncEntry
+
+	// Cycle-loop buffers, sized once and reused across cycles.
+	available []bool
+	seen      []bool
+	down      []int
+	repIDs    []int
+	losses    []float64
+	cut       []int
+	failed    []int
+	reports   []fleet.ClientReport
+	errs      []error
+	batch     []*asyncEntry
+	weights   []float64
+
+	// Cumulative counters behind the introspection state.
+	bufferedTotal     int
+	staleDroppedTotal int
+	stalenessCounts   []int
+
+	met  *driverMetrics
+	amet *asyncMetrics
+
+	// insp is the snapshot served at /debug/selection, refreshed at
+	// the end of every cycle under inspMu (the HTTP handler races the
+	// run by design). Its slices are insp-owned copies.
+	inspMu sync.Mutex
+	insp   introspect.AsyncState
+}
+
+// asyncEntry is one dispatched training job: trained eagerly at
+// dispatch time (the result depends only on the parameter snapshot and
+// the (client, dispatchRound) random stream, so eager training cannot
+// leak scheduling order into the trajectory), carrying its model delta
+// until its virtual finish event fires.
+type asyncEntry struct {
+	client        int
+	dispatchRound int
+	version       int     // model version at dispatch
+	finish        float64 // virtual finish time
+	seq           uint64  // dispatch order tie-break
+	staleness     int     // set when the finish event pops
+
+	delta      []float64
+	loss       float64
+	numSamples int
+	summary    []float64
+	stats      *fleet.ClientStats
+	statsVal   fleet.ClientStats
+}
+
+// fill captures a training result as a delta against the dispatch-time
+// global snapshot, copying the reply's summary and stats so the entry
+// survives transport buffer reuse across cycles.
+func (e *asyncEntry) fill(id, round, version int, base []float64, res Result) {
+	if len(res.Params) != len(base) {
+		panic("rounds: async update parameter dimension mismatch")
+	}
+	e.client = id
+	e.dispatchRound = round
+	e.version = version
+	e.loss = res.Loss
+	e.numSamples = res.NumSamples
+	if cap(e.delta) < len(base) {
+		e.delta = make([]float64, len(base))
+	}
+	e.delta = e.delta[:len(base)]
+	for j, v := range res.Params {
+		e.delta[j] = v - base[j]
+	}
+	if res.Summary != nil {
+		e.summary = append(e.summary[:0], res.Summary...)
+	} else {
+		e.summary = nil
+	}
+	if res.Stats != nil {
+		e.statsVal = *res.Stats
+		e.stats = &e.statsVal
+	} else {
+		e.stats = nil
+	}
+}
+
+// eventQueue is the virtual-time event min-heap: earliest finish
+// first, dispatch sequence as the deterministic tie-break.
+type eventQueue []*asyncEntry
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].finish != q[j].finish {
+		return q[i].finish < q[j].finish
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*asyncEntry)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// StalenessBuckets cover the haccs_async_staleness histogram: buffered
+// aggregation rarely lets updates fall more than a few versions behind
+// unless the latency tail is extreme.
+var StalenessBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// inspStalenessSlots sizes the cumulative staleness histogram in the
+// introspection state (last slot is the overflow).
+const inspStalenessSlots = 16
+
+// asyncMetrics caches the async-only collectors (nil when metrics are
+// off); the shared round collectors live in driverMetrics.
+type asyncMetrics struct {
+	staleness  *telemetry.Histogram
+	buffered   *telemetry.Counter
+	stale      *telemetry.Counter
+	aggregates *telemetry.Counter
+	fill       *telemetry.Gauge
+}
+
+func newAsyncMetrics(reg *telemetry.Registry) *asyncMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &asyncMetrics{
+		staleness:  reg.Histogram("haccs_async_staleness", "Model-version staleness of buffered client updates.", StalenessBuckets),
+		buffered:   reg.Counter("haccs_async_updates_buffered_total", "Client updates accepted into the aggregation buffer."),
+		stale:      reg.Counter("haccs_async_updates_stale_total", "Client updates dropped past the staleness bound."),
+		aggregates: reg.Counter("haccs_async_aggregations_total", "Buffered aggregations folded into the global model."),
+		fill:       reg.Gauge("haccs_async_buffer_fill", "Aggregation buffer occupancy after the last buffer step."),
+	}
+}
+
+// NewAsyncDriver builds the buffered asynchronous driver over the
+// transport. Config.ClientsPerRound is the training concurrency (how
+// many clients train at once); async tunes the buffer. initial is the
+// global parameter vector; the driver takes ownership. The strategy
+// must already be initialized, exactly as for NewDriver. Invalid
+// configuration panics with the ValidateAsync error; callers holding
+// user-supplied configuration should ValidateAsync first.
+func NewAsyncDriver(cfg Config, async AsyncConfig, t Transport, strategy Strategy, initial []float64) *AsyncDriver {
+	if err := ValidateAsync(cfg, async); err != nil {
+		panic(err)
+	}
+	async = async.withDefaults(cfg.ClientsPerRound)
+	if cfg.Dropout == nil {
+		cfg.Dropout = simnet.NoDropout{}
+	}
+	proxies := t.Proxies()
+	if len(proxies) == 0 {
+		panic("rounds: transport has no clients")
+	}
+	par := t.Parallelism()
+	if par <= 0 {
+		panic("rounds: transport parallelism must be positive")
+	}
+	d := &AsyncDriver{
+		cfg:         cfg,
+		async:       async,
+		strategy:    strategy,
+		proxies:     proxies,
+		parallelism: par,
+		global:      initial,
+		met:         newDriverMetrics(cfg.Metrics),
+		amet:        newAsyncMetrics(cfg.Metrics),
+	}
+	d.latency = make([]float64, len(proxies))
+	for i, p := range proxies {
+		d.latency[i] = p.Latency()
+	}
+	c := cfg.ClientsPerRound
+	d.queue = make(eventQueue, 0, c)
+	d.buffer = make([]*asyncEntry, 0, async.BufferK)
+	d.repIDs = make([]int, 0, async.BufferK)
+	d.losses = make([]float64, 0, async.BufferK)
+	d.weights = make([]float64, 0, async.BufferK)
+	d.cut = make([]int, 0, c)
+	d.failed = make([]int, 0, c)
+	d.errs = make([]error, c)
+	d.batch = make([]*asyncEntry, c)
+	if cfg.Fleet != nil {
+		d.reports = make([]fleet.ClientReport, 0, async.BufferK)
+	}
+	d.available = make([]bool, len(proxies))
+	d.seen = make([]bool, len(proxies))
+	d.dead = make([]bool, len(proxies))
+	d.busy = make([]bool, len(proxies))
+	d.stalenessCounts = make([]int, inspStalenessSlots)
+	d.refreshInspection(0)
+	return d
+}
+
+// Global returns the driver-owned global parameter vector (read-only).
+func (d *AsyncDriver) Global() []float64 { return d.global }
+
+// Clock returns the virtual time elapsed so far in seconds.
+func (d *AsyncDriver) Clock() float64 { return d.clock }
+
+// Version returns the global model version — the number of buffered
+// aggregations applied so far.
+func (d *AsyncDriver) Version() int { return d.version }
+
+// Latency returns a client's expected round latency in virtual seconds.
+func (d *AsyncDriver) Latency(id int) float64 { return d.latency[id] }
+
+// Dead reports whether a client's transport failed earlier; dead
+// clients are excluded from availability forever.
+func (d *AsyncDriver) Dead(id int) bool { return d.dead[id] }
+
+// InFlight returns how many dispatched updates are awaiting their
+// virtual finish event.
+func (d *AsyncDriver) InFlight() int { return len(d.queue) }
+
+// RunRound executes one scheduling cycle: refill the free concurrency
+// slots through the strategy (training the new dispatches eagerly),
+// pop virtual finish events in deterministic order, buffer or
+// stale-drop each update, and flush the buffer into the global model
+// once it holds BufferK updates (or the queue runs dry). The returned
+// Outcome maps the cycle onto the sync vocabulary: Selected are the
+// new dispatches, Reporters the aggregated updates in buffer order,
+// Cut the stale-dropped clients, RoundVirtual the cycle's virtual
+// duration.
+func (d *AsyncDriver) RunRound(round int) Outcome {
+	tracer := d.cfg.Tracer
+	root := d.cfg.Spans.Root("round", round)
+	defer root.End()
+	if tracer != nil {
+		tracer.Emit(telemetry.RoundStart(round))
+	}
+
+	// Availability: dropout and death feed the Unavailable event
+	// exactly as in sync mode; clients still training are additionally
+	// masked from selection without counting as down.
+	sp := root.Child("availability")
+	mask := d.cfg.Dropout.Unavailable(round, len(d.proxies))
+	available := d.available
+	down := d.down[:0]
+	for i := range available {
+		unavailable := mask[i] || d.dead[i]
+		if unavailable {
+			down = append(down, i)
+		}
+		available[i] = !unavailable && !d.busy[i]
+	}
+	d.down = down
+	sp.End()
+	if len(down) > 0 {
+		if tracer != nil {
+			tracer.Emit(telemetry.Unavailable(round, down))
+		}
+		if d.met != nil {
+			d.met.unavailable.Add(float64(len(down)))
+		}
+	}
+
+	// Refill: hand the strategy only the free concurrency slots, so
+	// selected clients train continuously across cycles.
+	var selected []int
+	if want := d.cfg.ClientsPerRound - len(d.queue); want > 0 {
+		sp = root.Child("select")
+		selected = d.strategy.Select(round, available, want)
+		sp.End()
+		if tracer != nil {
+			tracer.Emit(telemetry.Selection(round, append([]int(nil), selected...)))
+		}
+		validateSelection(selected, available, d.seen, len(d.proxies), want)
+		if len(selected) > 0 {
+			sp = root.Child("dispatch")
+			d.dispatch(round, selected, sp)
+			sp.End()
+		}
+	}
+
+	// Fold dispatch outcomes in selection order: failures mark the
+	// client dead immediately (no virtual cost — the transport error
+	// is instantaneous); successes enter the event queue.
+	failed := d.failed[:0]
+	for i, id := range selected {
+		if d.errs[i] != nil {
+			d.dead[id] = true
+			failed = append(failed, id)
+			d.release(d.batch[i])
+			continue
+		}
+		e := d.batch[i]
+		e.finish = d.clock + d.latency[id]
+		e.seq = d.seq
+		d.seq++
+		heap.Push(&d.queue, e)
+		d.busy[id] = true
+	}
+	d.failed = failed
+	if len(failed) > 0 {
+		if tracer != nil {
+			tracer.Emit(telemetry.ClientFailed(round, append([]int(nil), failed...)))
+		}
+		if d.met != nil {
+			d.met.failures.Add(float64(len(failed)))
+		}
+	}
+
+	// Drain: pop finish events in (finish, seq) order until the buffer
+	// reaches BufferK or the queue runs dry. The clock rides the
+	// popped finish times — monotonic, because every dispatch happens
+	// at the current clock and adds a non-negative latency.
+	sp = root.Child("drain")
+	cycleStart := d.clock
+	cut := d.cut[:0]
+	for len(d.queue) > 0 && len(d.buffer) < d.async.BufferK {
+		e := heap.Pop(&d.queue).(*asyncEntry)
+		d.clock = e.finish
+		d.busy[e.client] = false
+		tau := d.version - e.version
+		e.staleness = tau
+		if d.async.MaxStaleness > 0 && tau > d.async.MaxStaleness {
+			cut = append(cut, e.client)
+			d.staleDroppedTotal++
+			if tracer != nil {
+				tracer.Emit(telemetry.UpdateStale(round, e.client, tau, d.clock))
+			}
+			if d.amet != nil {
+				d.amet.stale.Inc()
+			}
+			d.release(e)
+			continue
+		}
+		d.buffer = append(d.buffer, e)
+		d.bufferedTotal++
+		d.stalenessCounts[min(tau, inspStalenessSlots-1)]++
+		if tracer != nil {
+			tracer.Emit(telemetry.UpdateBuffered(round, e.client, tau, len(d.buffer), d.clock))
+		}
+		if d.amet != nil {
+			d.amet.staleness.Observe(float64(tau))
+			d.amet.buffered.Inc()
+			d.amet.fill.Set(float64(len(d.buffer)))
+		}
+	}
+	d.cut = cut
+	sp.End()
+
+	// Aggregate: staleness-weighted FedBuff step over the buffered
+	// deltas. A partial buffer still flushes when the queue is dry —
+	// no more events are coming this cycle, and stranding updates
+	// behind an unfillable buffer (fleet deaths) would lose them. A
+	// cycle with nothing dispatched, queued or buffered idles one
+	// virtual second, exactly like the sync driver's empty round.
+	sp = root.Child("aggregate")
+	aggregated := false
+	repIDs := d.repIDs[:0]
+	losses := d.losses[:0]
+	maxTau := 0
+	if len(d.buffer) > 0 {
+		d.applyBuffer()
+		d.version++
+		aggregated = true
+		for _, e := range d.buffer {
+			repIDs = append(repIDs, e.client)
+			losses = append(losses, e.loss)
+			if e.staleness > maxTau {
+				maxTau = e.staleness
+			}
+		}
+	} else if len(selected) == 0 && len(d.queue) == 0 {
+		d.clock++
+	}
+	d.repIDs, d.losses = repIDs, losses
+	roundVirtual := d.clock - cycleStart
+	sp.End()
+
+	if aggregated && tracer != nil {
+		tracer.Emit(telemetry.AggregateAsync(round, append([]int(nil), repIDs...), maxTau, roundVirtual, d.clock))
+	}
+	if d.met != nil {
+		d.met.rounds.Inc()
+		if len(selected) > 0 {
+			d.met.selected.Add(float64(len(selected)))
+		}
+		d.met.roundVirt.Observe(roundVirtual)
+		d.met.clock.Set(d.clock)
+	}
+	if d.amet != nil && aggregated {
+		d.amet.aggregates.Inc()
+		d.amet.fill.Set(0)
+	}
+
+	sp = root.Child("update")
+	if d.cfg.OnSummary != nil {
+		for _, e := range d.buffer {
+			if e.summary != nil {
+				d.cfg.OnSummary(e.client, e.summary)
+			}
+		}
+	}
+	d.strategy.Update(round, repIDs, losses)
+	sp.End()
+
+	if d.cfg.Fleet != nil {
+		reports := d.reports[:0]
+		for _, e := range d.buffer {
+			reports = append(reports, fleet.ClientReport{
+				ClientID:   e.client,
+				Loss:       e.loss,
+				NumSamples: e.numSamples,
+				VirtualSec: d.latency[e.client],
+				Stats:      e.stats,
+				Staleness:  e.staleness,
+			})
+		}
+		d.reports = reports
+		d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+			Round:        round,
+			Selected:     selected,
+			Reports:      reports,
+			Cut:          cut,
+			Failed:       failed,
+			Unavailable:  down,
+			RoundVirtual: roundVirtual,
+			Clock:        d.clock,
+			Async:        true,
+		})
+	}
+
+	flushed := len(d.buffer)
+	for _, e := range d.buffer {
+		d.release(e)
+	}
+	d.buffer = d.buffer[:0]
+	d.refreshInspection(flushed)
+
+	return Outcome{
+		Selected:     selected,
+		Reporters:    repIDs,
+		Losses:       losses,
+		Cut:          cut,
+		Failed:       failed,
+		RoundVirtual: roundVirtual,
+		Aggregated:   aggregated,
+	}
+}
+
+// dispatch trains the newly selected clients in parallel — the same
+// worker-pinned fan-out as the sync driver — capturing each result
+// eagerly as a delta in its pre-assigned entry so transport-owned
+// reply buffers can be reused next cycle.
+func (d *AsyncDriver) dispatch(round int, selected []int, disp telemetry.Span) {
+	batch := d.batch[:len(selected)]
+	errs := d.errs[:len(selected)]
+	for i := range batch {
+		batch[i] = d.checkout()
+		errs[i] = nil
+	}
+	workers := min(d.parallelism, len(selected))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				id := selected[i]
+				var start time.Time
+				if d.cfg.Tracer != nil || d.met != nil {
+					start = time.Now()
+				}
+				ts := disp.ChildClient("train", id)
+				res, err := d.proxies[id].Train(round, w, i, d.global, ts.Context())
+				ts.End()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				batch[i].fill(id, round, d.version, d.global, res)
+				if d.cfg.Tracer != nil || d.met != nil {
+					wall := time.Since(start).Seconds()
+					virt := d.latency[id]
+					if d.cfg.Tracer != nil {
+						d.cfg.Tracer.Emit(telemetry.ClientTrained(round, id, res.Loss, res.NumSamples, wall, virt))
+					}
+					if d.met != nil {
+						d.met.trainWall.Observe(wall)
+						d.met.trainVirt.Observe(virt)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// applyBuffer folds the buffered deltas into the global model:
+// global += Σ (w_i / Σw) · delta_i with w_i = n_i / (1+τ_i)^α. At
+// τ = 0 everywhere this reduces to sample-weighted FedAvg over the
+// deltas.
+func (d *AsyncDriver) applyBuffer() {
+	weights := d.weights[:0]
+	total := 0.0
+	for _, e := range d.buffer {
+		if e.numSamples <= 0 {
+			panic("rounds: async update with non-positive sample count")
+		}
+		w := float64(e.numSamples) / math.Pow(1+float64(e.staleness), d.async.StalenessExponent)
+		weights = append(weights, w)
+		total += w
+	}
+	d.weights = weights
+	for i, e := range d.buffer {
+		c := weights[i] / total
+		for j, v := range e.delta {
+			d.global[j] += c * v
+		}
+	}
+}
+
+// checkout takes an entry from the pool (entries cycle between the
+// event queue, the buffer and the free list; the population is bounded
+// by the concurrency).
+func (d *AsyncDriver) checkout() *asyncEntry {
+	if n := len(d.free); n > 0 {
+		e := d.free[n-1]
+		d.free = d.free[:n-1]
+		return e
+	}
+	return &asyncEntry{}
+}
+
+func (d *AsyncDriver) release(e *asyncEntry) {
+	e.summary = nil
+	e.stats = nil
+	d.free = append(d.free, e)
+}
+
+// refreshInspection snapshots the driver state served at
+// /debug/selection. Called at the end of every cycle (and at
+// construction/restore), it copies everything the HTTP handler reads
+// so AsyncState never races the drain loop.
+func (d *AsyncDriver) refreshInspection(lastFlush int) {
+	inflight := make([]*asyncEntry, len(d.queue))
+	copy(inflight, d.queue)
+	sort.Slice(inflight, func(i, j int) bool {
+		if inflight[i].finish != inflight[j].finish {
+			return inflight[i].finish < inflight[j].finish
+		}
+		return inflight[i].seq < inflight[j].seq
+	})
+	ids := make([]int, len(inflight))
+	for i, e := range inflight {
+		ids[i] = e.client
+	}
+	counts := append([]int(nil), d.stalenessCounts...)
+	d.inspMu.Lock()
+	d.insp = introspect.AsyncState{
+		Version:           d.version,
+		BufferK:           d.async.BufferK,
+		MaxStaleness:      d.async.MaxStaleness,
+		StalenessExponent: d.async.StalenessExponent,
+		InFlight:          ids,
+		BufferFill:        len(d.buffer),
+		LastFlush:         lastFlush,
+		Buffered:          d.bufferedTotal,
+		StaleDropped:      d.staleDroppedTotal,
+		StalenessCounts:   counts,
+		Clock:             d.clock,
+	}
+	d.inspMu.Unlock()
+}
+
+// AsyncState implements introspect.AsyncInspector; safe to call
+// concurrently with RunRound.
+func (d *AsyncDriver) AsyncState() introspect.AsyncState {
+	d.inspMu.Lock()
+	defer d.inspMu.Unlock()
+	st := d.insp
+	st.InFlight = append([]int(nil), st.InFlight...)
+	st.StalenessCounts = append([]int(nil), st.StalenessCounts...)
+	return st
+}
+
+// validateSelection enforces the Strategy contract shared by both
+// drivers: valid, available, distinct IDs within the budget.
+// Violations are programming errors and panic.
+func validateSelection(selected []int, available, seen []bool, n, budget int) {
+	clear(seen)
+	for _, id := range selected {
+		if id < 0 || id >= n {
+			panic(fmt.Sprintf("rounds: strategy selected invalid client %d", id))
+		}
+		if !available[id] {
+			panic(fmt.Sprintf("rounds: strategy selected unavailable client %d", id))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("rounds: strategy selected client %d twice", id))
+		}
+		seen[id] = true
+	}
+	if len(selected) > budget {
+		panic("rounds: strategy selected more clients than the budget")
+	}
+}
+
+// Both drivers present the same runtime surface.
+var (
+	_ Runner                    = (*Driver)(nil)
+	_ Runner                    = (*AsyncDriver)(nil)
+	_ introspect.AsyncInspector = (*AsyncDriver)(nil)
+)

@@ -1,0 +1,438 @@
+package rounds
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"haccs/internal/telemetry"
+)
+
+func TestConfigValidateTypedErrors(t *testing.T) {
+	if err := (Config{ClientsPerRound: 3}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (Config{ClientsPerRound: 0}).Validate(); !errors.Is(err, ErrBadClientsPerRound) {
+		t.Fatalf("ClientsPerRound 0: got %v, want ErrBadClientsPerRound", err)
+	}
+	if err := (Config{ClientsPerRound: 3, Deadline: -1}).Validate(); !errors.Is(err, ErrNegativeDeadline) {
+		t.Fatalf("Deadline -1: got %v, want ErrNegativeDeadline", err)
+	}
+}
+
+func TestValidateAsyncTypedErrors(t *testing.T) {
+	base := Config{ClientsPerRound: 4}
+	if err := ValidateAsync(base, AsyncConfig{}); err != nil {
+		t.Fatalf("zero AsyncConfig rejected: %v", err)
+	}
+	if err := ValidateAsync(Config{ClientsPerRound: 4, Deadline: 5}, AsyncConfig{}); !errors.Is(err, ErrDeadlineInAsync) {
+		t.Fatalf("deadline in async: got %v, want ErrDeadlineInAsync", err)
+	}
+	if err := ValidateAsync(base, AsyncConfig{BufferK: 5}); !errors.Is(err, ErrBadBufferK) {
+		t.Fatalf("BufferK > budget: got %v, want ErrBadBufferK", err)
+	}
+	if err := ValidateAsync(base, AsyncConfig{BufferK: -1}); !errors.Is(err, ErrBadBufferK) {
+		t.Fatalf("BufferK -1: got %v, want ErrBadBufferK", err)
+	}
+	if err := ValidateAsync(base, AsyncConfig{MaxStaleness: -1}); !errors.Is(err, ErrBadMaxStaleness) {
+		t.Fatalf("MaxStaleness -1: got %v, want ErrBadMaxStaleness", err)
+	}
+	if err := ValidateAsync(Config{ClientsPerRound: 0}, AsyncConfig{}); !errors.Is(err, ErrBadClientsPerRound) {
+		t.Fatalf("bad budget: got %v, want ErrBadClientsPerRound", err)
+	}
+}
+
+func TestNewDriverPanicsWithTypedError(t *testing.T) {
+	_, tr := newFakeCluster([]float64{1}, []int{100})
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrNegativeDeadline) {
+			t.Fatalf("panic value = %v, want error wrapping ErrNegativeDeadline", r)
+		}
+	}()
+	NewDriver(Config{ClientsPerRound: 1, Deadline: -2}, tr, &scriptStrategy{}, make([]float64, testDim))
+}
+
+// asyncCluster is the shared hand-computable fixture: three clients
+// with latencies {1, 1.5, 4} and samples {100, 300, 600}, concurrency
+// 3, BufferK 2. Fake params are id+round per coordinate, so deltas are
+// computable by hand against the dispatch-time global.
+func newAsyncDriver(t *testing.T, strat Strategy, async AsyncConfig, opts ...func(*Config)) (*AsyncDriver, []*fakeProxy) {
+	t.Helper()
+	fakes, tr := newFakeCluster([]float64{1, 1.5, 4}, []int{100, 300, 600})
+	cfg := Config{ClientsPerRound: 3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewAsyncDriver(cfg, async, tr, strat, make([]float64, testDim)), fakes
+}
+
+func TestAsyncBufferedAggregation(t *testing.T) {
+	// Cycle 0: dispatch {0,1,2}; 0 and 1 finish first and flush at K=2
+	// while 2 keeps training. Cycle 1: refill {0,1} against v1; they
+	// flush again. Cycle 2: refill {0,1}; client 2 (dispatched at v0)
+	// ties client 0 at finish 4 and pops first on the dispatch-seq
+	// tie-break, flushing a mixed-staleness buffer {τ=2, τ=0}.
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}, {0, 1}, {0, 1}}}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2})
+
+	out := d.RunRound(0)
+	if !reflect.DeepEqual(out.Selected, []int{0, 1, 2}) || !reflect.DeepEqual(out.Reporters, []int{0, 1}) {
+		t.Fatalf("cycle 0: selected %v reporters %v", out.Selected, out.Reporters)
+	}
+	if out.RoundVirtual != 1.5 || d.Clock() != 1.5 || !out.Aggregated {
+		t.Fatalf("cycle 0: virtual %v clock %v aggregated %v", out.RoundVirtual, d.Clock(), out.Aggregated)
+	}
+	// Deltas at v0 are id per coord; both τ=0, so plain sample-weighted
+	// FedAvg over the buffer: (100·0 + 300·1)/400 = 0.75.
+	g1 := 0.75
+	for i, v := range d.Global() {
+		if v != g1 {
+			t.Fatalf("cycle 0: global[%d] = %v, want %v", i, v, g1)
+		}
+	}
+	if d.InFlight() != 1 {
+		t.Fatalf("cycle 0: in-flight = %d, want 1 (client 2 still training)", d.InFlight())
+	}
+
+	out = d.RunRound(1)
+	if !reflect.DeepEqual(out.Selected, []int{0, 1}) || !reflect.DeepEqual(out.Reporters, []int{0, 1}) {
+		t.Fatalf("cycle 1: selected %v reporters %v", out.Selected, out.Reporters)
+	}
+	// Round-1 params are id+1; deltas vs g1: {0.25, 1.25}.
+	g2 := g1 + (100*(1-g1)+300*(2-g1))/400
+	for i, v := range d.Global() {
+		if v != g2 {
+			t.Fatalf("cycle 1: global[%d] = %v, want %v", i, v, g2)
+		}
+	}
+	if d.Clock() != 3 {
+		t.Fatalf("cycle 1: clock %v, want 3", d.Clock())
+	}
+
+	out = d.RunRound(2)
+	// Pop order at the finish-time tie (both at clock 4): client 2
+	// (seq 2) before client 0 (seq 5).
+	if !reflect.DeepEqual(out.Reporters, []int{2, 0}) {
+		t.Fatalf("cycle 2: reporters %v, want [2 0] (dispatch-seq tie-break)", out.Reporters)
+	}
+	if !reflect.DeepEqual(out.Losses, []float64{20, 0}) {
+		t.Fatalf("cycle 2: losses %v", out.Losses)
+	}
+	// Client 2 trained at v0 (delta 2 per coord) and pops at v2 → τ=2;
+	// client 0 trained at v2 (delta 2 − g2) with τ=0. FedBuff weights
+	// n/(1+τ)^0.5 renormalized over the buffer.
+	w2 := 600 / math.Pow(3, DefaultStalenessExponent)
+	w0 := 100.0
+	g3 := g2 + (w2*2+w0*(2-g2))/(w2+w0)
+	for i, v := range d.Global() {
+		if v != g3 {
+			t.Fatalf("cycle 2: global[%d] = %v, want %v", i, v, g3)
+		}
+	}
+	if d.Clock() != 4 || out.RoundVirtual != 1 {
+		t.Fatalf("cycle 2: clock %v virtual %v, want 4 / 1", d.Clock(), out.RoundVirtual)
+	}
+	if d.Version() != 3 {
+		t.Fatalf("version = %d, want 3", d.Version())
+	}
+	// Client 1's cycle-2 update is still in flight.
+	if d.InFlight() != 1 {
+		t.Fatalf("cycle 2: in-flight = %d, want 1", d.InFlight())
+	}
+}
+
+func TestAsyncStaleDrop(t *testing.T) {
+	// Same trajectory as TestAsyncBufferedAggregation, but with
+	// MaxStaleness 1 client 2's τ=2 update is dropped at its finish
+	// event instead of buffered; the buffer then fills from the fresh
+	// cycle-2 dispatches.
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}, {0, 1}, {0, 1}}}
+	tc := &captureTracer{}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2, MaxStaleness: 1}, func(c *Config) { c.Tracer = tc })
+
+	d.RunRound(0)
+	d.RunRound(1)
+	out := d.RunRound(2)
+	if !reflect.DeepEqual(out.Cut, []int{2}) {
+		t.Fatalf("cut = %v, want [2] (stale-dropped)", out.Cut)
+	}
+	if !reflect.DeepEqual(out.Reporters, []int{0, 1}) {
+		t.Fatalf("reporters = %v, want [0 1]", out.Reporters)
+	}
+	ev := tc.find(telemetry.KindUpdateStale)
+	if ev == nil || ev.Client != 2 || ev.Staleness != 2 {
+		t.Fatalf("update_stale event = %+v, want client 2 staleness 2", ev)
+	}
+	// Clock rides to client 1's cycle-2 finish: 3 + 1.5 = 4.5.
+	if d.Clock() != 4.5 {
+		t.Fatalf("clock = %v, want 4.5", d.Clock())
+	}
+	st := d.AsyncState()
+	if st.StaleDropped != 1 || st.Buffered != 6 {
+		t.Fatalf("introspection: stale %d buffered %d, want 1 / 6", st.StaleDropped, st.Buffered)
+	}
+}
+
+func TestAsyncFailureMarksDead(t *testing.T) {
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}}}
+	fakes, tr := newFakeCluster([]float64{1, 1.5, 4}, []int{100, 300, 600})
+	fakes[1].fail = map[int]bool{0: true}
+	d := NewAsyncDriver(Config{ClientsPerRound: 3}, AsyncConfig{BufferK: 2}, tr, strat, make([]float64, testDim))
+
+	out := d.RunRound(0)
+	if !reflect.DeepEqual(out.Failed, []int{1}) {
+		t.Fatalf("failed = %v, want [1]", out.Failed)
+	}
+	if !d.Dead(1) {
+		t.Fatal("client 1 not marked dead")
+	}
+	// The surviving dispatches still drain and flush: 0 and 2 fill the
+	// buffer at client 2's finish.
+	if !reflect.DeepEqual(out.Reporters, []int{0, 2}) {
+		t.Fatalf("reporters = %v, want [0 2]", out.Reporters)
+	}
+	if d.Clock() != 4 {
+		t.Fatalf("clock = %v, want 4", d.Clock())
+	}
+}
+
+func TestAsyncIdleTick(t *testing.T) {
+	strat := &scriptStrategy{} // selects nothing, ever
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 1})
+	out := d.RunRound(0)
+	if out.Aggregated || out.RoundVirtual != 1 || d.Clock() != 1 {
+		t.Fatalf("idle cycle: %+v clock %v, want 1-second retry tick", out, d.Clock())
+	}
+	if len(strat.updates) != 1 || len(strat.updates[0].selected) != 0 {
+		t.Fatalf("strategy updates = %+v, want one empty update", strat.updates)
+	}
+}
+
+func TestAsyncPartialFlushOnDryQueue(t *testing.T) {
+	// BufferK 3 can never fill once only one client remains schedulable:
+	// the dry-queue partial flush must still fold what arrived.
+	strat := &scriptStrategy{selections: [][]int{{0}}}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 3})
+	out := d.RunRound(0)
+	if !out.Aggregated || !reflect.DeepEqual(out.Reporters, []int{0}) {
+		t.Fatalf("partial flush: %+v", out)
+	}
+	if d.Version() != 1 {
+		t.Fatalf("version = %d, want 1", d.Version())
+	}
+}
+
+func TestAsyncEvents(t *testing.T) {
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}}}
+	tc := &captureTracer{}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2}, func(c *Config) { c.Tracer = tc })
+	d.RunRound(0)
+
+	buffered := 0
+	for _, e := range tc.events {
+		if e.Kind == telemetry.KindUpdateBuffered {
+			buffered++
+			if e.Fill == 0 || e.Clock == 0 {
+				t.Fatalf("update_buffered missing fill/clock: %+v", e)
+			}
+		}
+	}
+	if buffered != 2 {
+		t.Fatalf("update_buffered events = %d, want 2", buffered)
+	}
+	agg := tc.find(telemetry.KindAggregateAsync)
+	if agg == nil {
+		t.Fatal("no aggregate_async event")
+	}
+	if !reflect.DeepEqual(agg.Clients, []int{0, 1}) || agg.Fill != 2 || agg.Staleness != 0 {
+		t.Fatalf("aggregate_async = %+v", agg)
+	}
+}
+
+// TestAsyncSpanTree checks the async cycle span shape: the shared
+// availability/select/dispatch phases, then drain in place of the sync
+// driver's collect, with train spans under dispatch.
+func TestAsyncSpanTree(t *testing.T) {
+	sink := &telemetry.MemorySink{}
+	spans := telemetry.NewSpanTracer(sink, nil)
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}}}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2}, func(c *Config) { c.Spans = spans })
+	d.RunRound(0)
+
+	byName := map[string][]telemetry.Event{}
+	for _, e := range sink.Filter(telemetry.KindSpan) {
+		byName[e.Span] = append(byName[e.Span], e)
+	}
+	if len(byName["round"]) != 1 {
+		t.Fatalf("round spans = %d, want 1", len(byName["round"]))
+	}
+	root := byName["round"][0]
+	for _, phase := range []string{"availability", "select", "dispatch", "drain", "aggregate", "update"} {
+		evs := byName[phase]
+		if len(evs) != 1 {
+			t.Fatalf("%q spans = %d, want 1", phase, len(evs))
+		}
+		if evs[0].ParentID != root.SpanID {
+			t.Errorf("%q span not under the round root", phase)
+		}
+	}
+	if got := len(byName["train"]); got != 3 {
+		t.Fatalf("train spans = %d, want 3", got)
+	}
+	if len(byName["collect"]) != 0 {
+		t.Fatal("async cycle emitted a sync collect span")
+	}
+}
+
+func TestAsyncDriverMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}}}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2}, func(c *Config) { c.Metrics = reg })
+	d.RunRound(0)
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("haccs_async_updates_buffered_total", 2)
+	check("haccs_async_updates_stale_total", 0)
+	check("haccs_async_aggregations_total", 1)
+	check("haccs_rounds_total", 1)
+	check("haccs_clients_selected_total", 3)
+	if got := reg.Histogram("haccs_async_staleness", "", StalenessBuckets).Snapshot().Count; got != 2 {
+		t.Errorf("haccs_async_staleness count = %d, want 2", got)
+	}
+	if got := reg.Gauge("haccs_async_buffer_fill", "").Value(); got != 0 {
+		t.Errorf("buffer fill gauge = %v, want 0 after flush", got)
+	}
+	if got := reg.Gauge("haccs_virtual_clock_seconds", "").Value(); got != 1.5 {
+		t.Errorf("clock gauge = %v, want 1.5", got)
+	}
+}
+
+// runAsyncTrajectory drives a fresh fixture for n cycles with the
+// canonical repeating script and returns the driver.
+func runAsyncTrajectory(t *testing.T, async AsyncConfig, from, to int, d *AsyncDriver) *AsyncDriver {
+	t.Helper()
+	if d == nil {
+		d, _ = newAsyncDriver(t, trajectoryStrategy{}, async)
+	}
+	for r := from; r < to; r++ {
+		d.RunRound(r)
+	}
+	return d
+}
+
+// trajectoryStrategy re-selects every available client each cycle —
+// a stateless stand-in that keeps the queue saturated so snapshots
+// land mid-queue.
+type trajectoryStrategy struct{}
+
+func (trajectoryStrategy) Select(round int, available []bool, k int) []int {
+	var out []int
+	for i, ok := range available {
+		if ok && len(out) < k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+func (trajectoryStrategy) Update(int, []int, []float64) {}
+
+func TestAsyncResumeBitIdentical(t *testing.T) {
+	async := AsyncConfig{BufferK: 2, MaxStaleness: 4}
+	const snapAt, total = 3, 9
+
+	ref := runAsyncTrajectory(t, async, 0, total, nil)
+
+	half := runAsyncTrajectory(t, async, 0, snapAt, nil)
+	if half.InFlight() == 0 {
+		t.Fatal("fixture defect: snapshot must land with updates in flight")
+	}
+	snap, err := half.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := append([]float64(nil), half.Global()...)
+
+	resumed, _ := newAsyncDriver(t, trajectoryStrategy{}, async)
+	if err := resumed.SetGlobal(global); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	runAsyncTrajectory(t, async, snapAt, total, resumed)
+
+	if resumed.Clock() != ref.Clock() {
+		t.Fatalf("clock diverged: resumed %v, reference %v", resumed.Clock(), ref.Clock())
+	}
+	for i := range ref.Global() {
+		if math.Float64bits(resumed.Global()[i]) != math.Float64bits(ref.Global()[i]) {
+			t.Fatalf("global[%d] diverged: resumed %v, reference %v", i, resumed.Global()[i], ref.Global()[i])
+		}
+	}
+	snapRef, err := ref.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapResumed, err := resumed.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapRef, snapResumed) {
+		t.Fatal("final snapshots differ between resumed and uninterrupted runs")
+	}
+}
+
+func TestAsyncRestoreRejectsMismatch(t *testing.T) {
+	async := AsyncConfig{BufferK: 2}
+	d := runAsyncTrajectory(t, async, 0, 2, nil)
+	snap, err := d.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong roster size.
+	_, tr := newFakeCluster([]float64{1, 2}, []int{100, 100})
+	other := NewAsyncDriver(Config{ClientsPerRound: 2}, async, tr, trajectoryStrategy{}, make([]float64, testDim))
+	if err := other.RestoreState(snap); err == nil {
+		t.Fatal("restore accepted a snapshot for a different roster")
+	}
+
+	// Corrupt payload.
+	if err := d.RestoreState([]byte("junk")); err == nil {
+		t.Fatal("restore accepted junk")
+	}
+}
+
+func TestAsyncIntrospectionState(t *testing.T) {
+	strat := &scriptStrategy{selections: [][]int{{0, 1, 2}}}
+	d, _ := newAsyncDriver(t, strat, AsyncConfig{BufferK: 2})
+	st := d.AsyncState()
+	if st.BufferK != 2 || st.Version != 0 || len(st.InFlight) != 0 {
+		t.Fatalf("initial state = %+v", st)
+	}
+	if st.StalenessExponent != DefaultStalenessExponent {
+		t.Fatalf("staleness exponent = %v, want default", st.StalenessExponent)
+	}
+	d.RunRound(0)
+	st = d.AsyncState()
+	if st.Version != 1 || st.LastFlush != 2 || st.Buffered != 2 {
+		t.Fatalf("post-cycle state = %+v", st)
+	}
+	if !reflect.DeepEqual(st.InFlight, []int{2}) {
+		t.Fatalf("in-flight = %v, want [2]", st.InFlight)
+	}
+	if st.BufferFill != 0 {
+		t.Fatalf("buffer fill = %d, want 0 at cycle boundary", st.BufferFill)
+	}
+	if st.StalenessCounts[0] != 2 {
+		t.Fatalf("staleness counts = %v", st.StalenessCounts)
+	}
+}

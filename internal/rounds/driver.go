@@ -166,11 +166,8 @@ func newDriverMetrics(reg *telemetry.Registry) *driverMetrics {
 // The strategy must already be initialized (Init called with the
 // roster) by the adapter constructing the driver.
 func NewDriver(cfg Config, t Transport, strategy Strategy, initial []float64) *Driver {
-	if cfg.ClientsPerRound <= 0 {
-		panic("rounds: ClientsPerRound must be positive")
-	}
-	if cfg.Deadline < 0 {
-		panic("rounds: negative Deadline")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.Dropout == nil {
 		cfg.Dropout = simnet.NoDropout{}

@@ -1,0 +1,157 @@
+package rounds
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects which round runtime drives a run: the synchronous
+// barrier rounds the paper evaluates, or FedBuff-style buffered
+// asynchronous aggregation. The zero value means sync, so existing
+// configurations keep their behavior untouched.
+type Mode string
+
+const (
+	// ModeSync is the classic synchronous round: select k, wait for
+	// every reporter (or the deadline), aggregate once per round.
+	ModeSync Mode = "sync"
+	// ModeAsync is buffered asynchronous training: selected clients
+	// train continuously against the virtual clock and the server
+	// aggregates whenever K staleness-weighted updates fill the buffer.
+	ModeAsync Mode = "async"
+)
+
+// ParseMode converts a -mode flag value ("" defaults to sync).
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "", "sync":
+		return ModeSync, true
+	case "async":
+		return ModeAsync, true
+	}
+	return ModeSync, false
+}
+
+// Runner is the round-runtime surface both drivers implement. The
+// in-process engine (internal/fl) and the TCP coordinator
+// (internal/flnet) hold a Runner and never care which mode drives it:
+// RunRound advances one scheduling cycle (one aggregation in either
+// mode), and the checkpoint methods make the runner a
+// checkpoint.Snapshotter.
+type Runner interface {
+	// RunRound executes one scheduling cycle and reports its outcome
+	// (see Outcome for buffer lifetimes).
+	RunRound(round int) Outcome
+	// Global returns the runner-owned global parameter vector
+	// (read-only; overwritten by aggregation).
+	Global() []float64
+	// SetGlobal overwrites the global vector (model-component restore).
+	SetGlobal(params []float64) error
+	// Clock returns the virtual time elapsed so far in seconds.
+	Clock() float64
+	// Latency returns a client's expected round latency in virtual
+	// seconds.
+	Latency(id int) float64
+	// Dead reports whether a client's transport failed earlier.
+	Dead(id int) bool
+	// SnapshotState / RestoreState serialize the runner's mutable
+	// state (checkpoint.Snapshotter).
+	SnapshotState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
+// Typed configuration errors. NewDriver and NewAsyncDriver treat an
+// invalid Config as a programming error and panic with one of these
+// wrapped values; callers that receive configuration from users (the
+// flnet coordinator, CLIs) call Validate first and surface the error.
+var (
+	// ErrNegativeDeadline rejects Config.Deadline < 0 at config time.
+	// The documented contract is "0 disables the cutoff" — a negative
+	// deadline is always a caller bug, not a synonym for 0.
+	ErrNegativeDeadline = errors.New("rounds: Deadline must be >= 0")
+	// ErrBadClientsPerRound rejects a non-positive selection budget.
+	ErrBadClientsPerRound = errors.New("rounds: ClientsPerRound must be positive")
+	// ErrDeadlineInAsync rejects a straggler deadline combined with the
+	// async driver: async rounds have no barrier to cut against; use
+	// AsyncConfig.MaxStaleness to bound slow updates instead.
+	ErrDeadlineInAsync = errors.New("rounds: Deadline is sync-only; async mode bounds slow updates with AsyncConfig.MaxStaleness")
+	// ErrBadBufferK rejects an aggregation trigger outside
+	// [1, ClientsPerRound] (after defaulting).
+	ErrBadBufferK = errors.New("rounds: BufferK must be in [1, ClientsPerRound]")
+	// ErrBadMaxStaleness rejects a negative staleness bound.
+	ErrBadMaxStaleness = errors.New("rounds: MaxStaleness must be >= 0")
+)
+
+// Validate checks the driver-independent configuration invariants and
+// returns a typed error (wrapping one of the Err* values) on the first
+// violation. NewDriver panics with exactly this error, so callers that
+// would rather report than crash validate first.
+func (c Config) Validate() error {
+	if c.ClientsPerRound <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadClientsPerRound, c.ClientsPerRound)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("%w (got %v)", ErrNegativeDeadline, c.Deadline)
+	}
+	return nil
+}
+
+// DefaultStalenessExponent is the polynomial staleness-discount
+// exponent α applied when AsyncConfig leaves it zero: an update with
+// staleness τ is weighted by 1/(1+τ)^α, so α=0.5 reproduces the
+// FedBuff paper's 1/sqrt(1+τ) discount.
+const DefaultStalenessExponent = 0.5
+
+// AsyncConfig parameterizes the buffered asynchronous driver on top of
+// the shared Config. The zero value is usable: BufferK defaults to
+// half the concurrency and the staleness discount to
+// DefaultStalenessExponent.
+type AsyncConfig struct {
+	// BufferK is the aggregation trigger: the server folds the buffer
+	// into the global model as soon as it holds K staleness-weighted
+	// updates. 0 defaults to max(1, ClientsPerRound/2) — flushing at
+	// half the concurrency is what lets fast clients lap slow ones.
+	BufferK int
+	// MaxStaleness drops updates whose model-version staleness exceeds
+	// it instead of buffering them (0 = unlimited, every update counts).
+	MaxStaleness int
+	// StalenessExponent is α in the polynomial discount 1/(1+τ)^α
+	// weighting a buffered update of staleness τ. 0 defaults to
+	// DefaultStalenessExponent; it must not be negative.
+	StalenessExponent float64
+}
+
+// withDefaults resolves the zero-value fields against the selection
+// budget k.
+func (a AsyncConfig) withDefaults(k int) AsyncConfig {
+	if a.BufferK == 0 {
+		a.BufferK = max(1, k/2)
+	}
+	if a.StalenessExponent == 0 {
+		a.StalenessExponent = DefaultStalenessExponent
+	}
+	return a
+}
+
+// ValidateAsync checks the async-mode configuration: the shared Config
+// invariants, the no-deadline rule, and the AsyncConfig ranges (after
+// defaulting). NewAsyncDriver panics with exactly this error.
+func ValidateAsync(cfg Config, async AsyncConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Deadline != 0 {
+		return fmt.Errorf("%w (got Deadline %v)", ErrDeadlineInAsync, cfg.Deadline)
+	}
+	a := async.withDefaults(cfg.ClientsPerRound)
+	if a.BufferK < 1 || a.BufferK > cfg.ClientsPerRound {
+		return fmt.Errorf("%w (got %d with ClientsPerRound %d)", ErrBadBufferK, a.BufferK, cfg.ClientsPerRound)
+	}
+	if a.MaxStaleness < 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadMaxStaleness, a.MaxStaleness)
+	}
+	if a.StalenessExponent < 0 {
+		return fmt.Errorf("rounds: StalenessExponent must be >= 0 (got %v)", a.StalenessExponent)
+	}
+	return nil
+}

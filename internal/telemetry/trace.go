@@ -64,6 +64,20 @@ const (
 	// (encoded snapshot size), WallSec (capture + write duration), Path
 	// (the store directory).
 	KindCheckpointSaved = "checkpoint_saved"
+	// KindUpdateBuffered is one client update landing in the async
+	// aggregation buffer: Round (the scheduling cycle that popped it),
+	// Client, Staleness (model versions behind at buffering time), Fill
+	// (buffer occupancy after the insert), Clock.
+	KindUpdateBuffered = "update_buffered"
+	// KindUpdateStale is one client update discarded because its
+	// staleness exceeded the async driver's bound: Round, Client,
+	// Staleness, Clock.
+	KindUpdateStale = "update_stale"
+	// KindAggregateAsync closes one buffered aggregation: Round,
+	// Clients (buffer order), Fill (updates folded), Staleness (the
+	// maximum staleness in the buffer), VirtualSec (the cycle's virtual
+	// duration), Clock.
+	KindAggregateAsync = "aggregate_async"
 	// KindFleetHealth is the per-round fleet registry reading. The
 	// fleet-level record (Cluster -1) carries Fairness (Jain's index
 	// over cumulative selection counts) and Clock; the per-cluster
@@ -119,6 +133,12 @@ type Event struct {
 	SpanID   string  `json:"span_id,omitempty"`
 	ParentID string  `json:"parent_id,omitempty"`
 	StartSec float64 `json:"start_sec,omitempty"`
+
+	// Async fields (KindUpdateBuffered, KindUpdateStale,
+	// KindAggregateAsync): the update's staleness in model versions and
+	// the aggregation-buffer occupancy after the step.
+	Staleness int `json:"staleness,omitempty"`
+	Fill      int `json:"fill,omitempty"`
 
 	// Reason is the human-readable rationale attached to a decision
 	// event (KindClientPicked: the intra-cluster policy that chose the
@@ -259,6 +279,36 @@ func ClusterState(round, cluster int, theta, tau, acl, aclShare float64, members
 func CheckpointSaved(round, bytes int, wallSec float64, path string) Event {
 	e := newEvent(KindCheckpointSaved, round)
 	e.Bytes, e.WallSec, e.Path = bytes, wallSec, path
+	return e
+}
+
+// UpdateBuffered builds an async buffer-insert event.
+func UpdateBuffered(round, client, staleness, fill int, clock float64) Event {
+	e := newEvent(KindUpdateBuffered, round)
+	e.Client = client
+	e.Staleness, e.Fill = staleness, fill
+	e.Clock = clock
+	return e
+}
+
+// UpdateStale builds an async stale-drop event for an update whose
+// staleness exceeded the configured bound.
+func UpdateStale(round, client, staleness int, clock float64) Event {
+	e := newEvent(KindUpdateStale, round)
+	e.Client = client
+	e.Staleness = staleness
+	e.Clock = clock
+	return e
+}
+
+// AggregateAsync builds the buffered-aggregation completion event.
+// clients is retained by the event — pass a copy in buffer order.
+func AggregateAsync(round int, clients []int, maxStaleness int, cycleVirtualSec, clock float64) Event {
+	e := newEvent(KindAggregateAsync, round)
+	e.Clients = clients
+	e.Fill = len(clients)
+	e.Staleness = maxStaleness
+	e.VirtualSec, e.Clock = cycleVirtualSec, clock
 	return e
 }
 
