@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke async-smoke
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke async-smoke scale-smoke scale-results
 
 ## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
 check: vet fmt-check build race
@@ -76,6 +76,29 @@ async-smoke:
 		-size 8 -rounds 12 -buffer-k 2 -max-staleness 6 -seed 7 \
 		-metrics-addr 127.0.0.1:0 -async-check
 	$(GO) test -run TestAsyncFederatedTrainingOverTCP -count=1 ./internal/experiments
+
+## scale-smoke: small but complete scale-harness pass through the real
+## haccs-load binary — a 200-client TCP fleet over every leg of the
+## scenario matrix (sync with straggler deadline, async heavy-tail,
+## reconnect storm, coordinator crash + checkpoint resume under load).
+## haccs-load exits nonzero if the results file cannot be produced, any
+## /metrics scrape fails its exposition lint, the storm does not fully
+## reconnect, or the crash leg does not resume.
+SCALESMOKE := $(or $(TMPDIR),/tmp)/haccs-scale-smoke
+scale-smoke:
+	rm -rf $(SCALESMOKE) && mkdir -p $(SCALESMOKE)
+	$(GO) build -o $(SCALESMOKE)/haccs-load ./cmd/haccs-load
+	$(SCALESMOKE)/haccs-load -clients 200 -k 16 -rounds 12 -scrape-every 3 \
+		-out $(SCALESMOKE)/results -rev smoke
+	test -s $(SCALESMOKE)/results/smoke.md
+	@echo "scale-smoke: all legs passed; results at $(SCALESMOKE)/results/smoke.md"
+
+## scale-results: the committed-results run — a 2000-client fleet over
+## the full matrix, writing tests/results/scale/<rev>.md for the
+## current revision (commit the file, mirroring BENCH_<rev>.json).
+scale-results:
+	$(GO) run ./cmd/haccs-load -clients 2000 -k 64 -rounds 40 \
+		-rev $$(git rev-parse --short HEAD)
 
 ## bench: full benchmark pass (slow; for local measurement only).
 bench:

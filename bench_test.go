@@ -251,6 +251,11 @@ func BenchmarkCheckpointDisabled(b *testing.B) { benchrun.CheckpointDisabled(b) 
 // zero-overhead signal (target: exactly 0).
 func BenchmarkFleetRecordDisabled(b *testing.B) { benchrun.FleetRecordDisabled(b) }
 
+// BenchmarkRuntimeSampleDisabled measures the runtime self-metrics
+// hook with the collector off (nil); its allocs/op is the tracked
+// zero-overhead signal (target: exactly 0).
+func BenchmarkRuntimeSampleDisabled(b *testing.B) { benchrun.RuntimeSampleDisabled(b) }
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkMatMul measures the parallel GEMM kernel on a training-sized

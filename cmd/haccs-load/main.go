@@ -1,0 +1,184 @@
+// Command haccs-load drives the scale-test scenario matrix against a
+// live flnet coordinator: a synthetic TCP fleet of -clients goroutine
+// clients runs sync, async, reconnect-storm and crash+resume legs
+// while the harness scrapes the coordinator's own /metrics and
+// /debug/fleet endpoints, then writes a versioned results file under
+// -out (tests/results/scale/<rev>.md, committed per revision like
+// BENCH files).
+//
+// Example (the committed-results configuration):
+//
+//	haccs-load -clients 2000 -k 64 -rounds 40 -rev $(git rev-parse --short HEAD)
+//
+// The process exits nonzero when any leg fails — a scrape error, an
+// exposition lint violation, an unrecovered storm, or a crash leg that
+// did not resume — so CI's scale-smoke job can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"haccs/internal/loadgen"
+	"haccs/internal/rounds"
+)
+
+func main() {
+	var (
+		clients     = flag.Int("clients", 2000, "synthetic fleet size")
+		k           = flag.Int("k", 64, "clients selected per round")
+		roundsN     = flag.Int("rounds", 40, "rounds per leg")
+		legsFlag    = flag.String("legs", "sync,async,storm,crash", "comma-separated legs to run: sync | async | storm | crash")
+		deadline    = flag.Float64("deadline", 8, "sync-leg straggler deadline in virtual seconds")
+		stormFrac   = flag.Float64("storm-fraction", 0.25, "fraction of connections the storm leg kills")
+		flakiness   = flag.Float64("flakiness", 0, "per-request probability a client hangs up mid-round")
+		sleepScale  = flag.Float64("sleep-scale", 0.001, "wall seconds slept per virtual second of client latency")
+		maxSleep    = flag.Duration("max-sleep", 50*time.Millisecond, "clamp on any single training sleep")
+		scrapeEvery = flag.Int("scrape-every", 5, "rounds between periodic /metrics scrapes")
+		paramDim    = flag.Int("param-dim", 256, "global parameter vector length")
+		seed        = flag.Uint64("seed", 42, "root random seed")
+		out         = flag.String("out", "tests/results/scale", "directory for the versioned results file")
+		rev         = flag.String("rev", "", "revision stamp for the results file name (default: VCS revision from build info)")
+	)
+	flag.Parse()
+
+	f := loadFlags{
+		Clients: *clients, K: *k, Rounds: *roundsN, ScrapeEvery: *scrapeEvery,
+		ParamDim: *paramDim, Deadline: *deadline, StormFraction: *stormFrac,
+		Flakiness: *flakiness, SleepScale: *sleepScale, Legs: *legsFlag, Out: *out,
+	}
+	if err := validateFlags(f); err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-load:", err)
+		os.Exit(2)
+	}
+	legs := buildLegs(f)
+
+	ckptDir, err := os.MkdirTemp("", "haccs-load-ckpt-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-load:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ckptDir)
+
+	cfg := loadgen.MatrixConfig{
+		Fleet: loadgen.FleetConfig{
+			N:          f.Clients,
+			Latency:    loadgen.HeavyTailLatency{BaseSec: 2, SlowEvery: 4, SlowFactor: 15},
+			SleepScale: f.SleepScale,
+			MaxSleep:   *maxSleep,
+			Flakiness:  f.Flakiness,
+			Seed:       *seed,
+		},
+		ScrapeEvery:   f.ScrapeEvery,
+		ParamDim:      f.ParamDim,
+		CheckpointDir: ckptDir,
+	}
+
+	fmt.Printf("haccs-load: %d clients, %d rounds/leg, legs: %s\n", f.Clients, f.Rounds, f.Legs)
+	start := time.Now()
+	results, err := loadgen.RunMatrix(cfg, legs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("haccs-load: matrix done in %.1fs\n", time.Since(start).Seconds())
+
+	revision := *rev
+	if revision == "" {
+		revision = vcsRevision()
+	}
+	host, _ := os.Hostname()
+	meta := loadgen.RunMeta{
+		Rev:       revision,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Host:      host,
+		Clients:   f.Clients,
+		Seed:      *seed,
+	}
+	path := loadgen.ReportPath(f.Out, revision)
+	if err := writeReportFile(path, meta, results); err != nil {
+		fmt.Fprintln(os.Stderr, "haccs-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println("haccs-load: wrote", path)
+
+	for _, r := range results {
+		fmt.Printf("  leg %-6s p50 %.4fs p99 %.4fs %.2f rounds/s: %s\n",
+			r.Name, r.P50, r.P99, r.RoundsPerSec, passString(r.Pass))
+	}
+	if !loadgen.AllPass(results) {
+		fmt.Fprintln(os.Stderr, "haccs-load: FAIL\n"+loadgen.FailureSummary(results))
+		os.Exit(1)
+	}
+	fmt.Println("haccs-load: PASS")
+}
+
+func passString(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// buildLegs expands the -legs list into scenario configurations.
+// Unknown names were rejected by validateFlags.
+func buildLegs(f loadFlags) []loadgen.Leg {
+	var legs []loadgen.Leg
+	for _, name := range splitLegs(f.Legs) {
+		switch name {
+		case "sync":
+			legs = append(legs, loadgen.Leg{Name: "sync", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline})
+		case "async":
+			legs = append(legs, loadgen.Leg{
+				Name: "async", Mode: rounds.ModeAsync, Rounds: f.Rounds, K: f.K,
+				Async: rounds.AsyncConfig{BufferK: maxInt(1, f.K/2), MaxStaleness: 16},
+			})
+		case "storm":
+			legs = append(legs, loadgen.Leg{Name: "storm", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline, StormFraction: f.StormFraction})
+		case "crash":
+			legs = append(legs, loadgen.Leg{Name: "crash", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline, Crash: true})
+		}
+	}
+	return legs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// vcsRevision resolves the short VCS revision from the binary's build
+// info ("dev" when built without VCS stamping, e.g. go run in tests).
+func vcsRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+				return s.Value[:7]
+			}
+		}
+	}
+	return "dev"
+}
+
+func writeReportFile(path string, meta loadgen.RunMeta, results []loadgen.LegResult) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := loadgen.WriteReport(file, meta, results); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func validLoadFlags() loadFlags {
+	return loadFlags{
+		Clients: 200, K: 16, Rounds: 10, ScrapeEvery: 5, ParamDim: 64,
+		Deadline: 8, StormFraction: 0.25, Flakiness: 0, SleepScale: 0.001,
+		Legs: "sync,async,storm,crash", Out: "tests/results/scale",
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*loadFlags)
+		wantErr string
+	}{
+		{"valid", func(f *loadFlags) {}, ""},
+		{"zero clients", func(f *loadFlags) { f.Clients = 0 }, "-clients"},
+		{"negative rounds", func(f *loadFlags) { f.Rounds = -1 }, "-rounds"},
+		{"zero k", func(f *loadFlags) { f.K = 0 }, "-k"},
+		{"k over clients", func(f *loadFlags) { f.K = 500 }, "cannot exceed"},
+		{"negative deadline", func(f *loadFlags) { f.Deadline = -1 }, "-deadline"},
+		{"storm fraction zero", func(f *loadFlags) { f.StormFraction = 0 }, "-storm-fraction"},
+		{"storm fraction over one", func(f *loadFlags) { f.StormFraction = 1.5 }, "-storm-fraction"},
+		{"flakiness one", func(f *loadFlags) { f.Flakiness = 1 }, "-flakiness"},
+		{"negative sleep scale", func(f *loadFlags) { f.SleepScale = -0.1 }, "-sleep-scale"},
+		{"empty legs", func(f *loadFlags) { f.Legs = " , " }, "-legs"},
+		{"unknown leg", func(f *loadFlags) { f.Legs = "sync,chaos" }, "unknown leg"},
+		{"empty out", func(f *loadFlags) { f.Out = "" }, "-out"},
+		{"zero scrape cadence", func(f *loadFlags) { f.ScrapeEvery = 0 }, "-scrape-every"},
+		{"zero param dim", func(f *loadFlags) { f.ParamDim = 0 }, "-param-dim"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := validLoadFlags()
+			c.mutate(&f)
+			err := validateFlags(f)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildLegs(t *testing.T) {
+	f := validLoadFlags()
+	legs := buildLegs(f)
+	if len(legs) != 4 {
+		t.Fatalf("built %d legs, want 4", len(legs))
+	}
+	names := map[string]bool{}
+	for _, l := range legs {
+		names[l.Name] = true
+	}
+	for _, want := range []string{"sync", "async", "storm", "crash"} {
+		if !names[want] {
+			t.Errorf("missing leg %s", want)
+		}
+	}
+	for _, l := range legs {
+		switch l.Name {
+		case "async":
+			if l.Deadline != 0 {
+				t.Error("async leg carries a deadline")
+			}
+			if l.Async.BufferK != 8 {
+				t.Errorf("async BufferK = %d, want k/2 = 8", l.Async.BufferK)
+			}
+		case "storm":
+			if l.StormFraction != 0.25 {
+				t.Errorf("storm fraction = %v", l.StormFraction)
+			}
+		case "crash":
+			if !l.Crash {
+				t.Error("crash leg not marked Crash")
+			}
+		}
+	}
+
+	f.Legs = "async"
+	if legs := buildLegs(f); len(legs) != 1 || legs[0].Name != "async" {
+		t.Errorf("single-leg build: %+v", legs)
+	}
+}
+
+func TestVCSRevisionFallback(t *testing.T) {
+	// Test binaries carry no vcs stamp; the fallback must be stable.
+	if got := vcsRevision(); got != "dev" && len(got) != 7 {
+		t.Errorf("vcsRevision() = %q, want \"dev\" or a 7-char hash", got)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// loadFlags collects the flag values subject to validation, so the
+// checks can be exercised by tests without spawning the binary
+// (mirrors cmd/haccs-sim's validateFlags pattern).
+type loadFlags struct {
+	Clients, K, Rounds, ScrapeEvery, ParamDim int
+	Deadline, StormFraction, Flakiness        float64
+	SleepScale                                float64
+	Legs                                      string
+	Out                                       string
+}
+
+// knownLegs is the scenario vocabulary -legs accepts.
+var knownLegs = map[string]bool{"sync": true, "async": true, "storm": true, "crash": true}
+
+// splitLegs parses the -legs list, dropping empty elements.
+func splitLegs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// validateFlags rejects configurations that would misbehave deep in
+// the harness. The caller prints the error and exits with status 2.
+func validateFlags(f loadFlags) error {
+	positive := []struct {
+		name string
+		v    int
+	}{
+		{"-clients", f.Clients},
+		{"-k", f.K},
+		{"-rounds", f.Rounds},
+		{"-scrape-every", f.ScrapeEvery},
+		{"-param-dim", f.ParamDim},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("%s must be positive (got %d)", p.name, p.v)
+		}
+	}
+	if f.K > f.Clients {
+		return fmt.Errorf("-k (%d) cannot exceed -clients (%d)", f.K, f.Clients)
+	}
+	if f.Deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (got %v)", f.Deadline)
+	}
+	if f.StormFraction <= 0 || f.StormFraction > 1 {
+		return fmt.Errorf("-storm-fraction must be in (0,1] (got %v)", f.StormFraction)
+	}
+	if f.Flakiness < 0 || f.Flakiness >= 1 {
+		return fmt.Errorf("-flakiness must be in [0,1) (got %v)", f.Flakiness)
+	}
+	if f.SleepScale < 0 {
+		return fmt.Errorf("-sleep-scale must be >= 0 (got %v)", f.SleepScale)
+	}
+	legs := splitLegs(f.Legs)
+	if len(legs) == 0 {
+		return fmt.Errorf("-legs must name at least one leg")
+	}
+	for _, l := range legs {
+		if !knownLegs[l] {
+			return fmt.Errorf("unknown leg %q in -legs (want sync, async, storm, crash)", l)
+		}
+	}
+	if f.Out == "" {
+		return fmt.Errorf("-out must not be empty")
+	}
+	return nil
+}

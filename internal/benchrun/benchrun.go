@@ -66,6 +66,7 @@ func Suite() []Entry {
 		{Name: "checkpoint_encode", Bench: CheckpointEncode},
 		{Name: "checkpoint_disabled", Bench: CheckpointDisabled},
 		{Name: "fleet_record_disabled", Bench: FleetRecordDisabled},
+		{Name: "runtime_sample_disabled", Bench: RuntimeSampleDisabled},
 		{Name: "hellinger_matrix_100", Bench: HellingerMatrix100},
 		{Name: "sketch_cluster_100k", Bench: SketchCluster100k},
 		{Name: "sketch_assign", Bench: SketchAssign},
@@ -411,6 +412,22 @@ func FleetRecordDisabled(b *testing.B) {
 		if r.State().Rounds != 0 {
 			b.Fatal("nil registry must record nothing")
 		}
+	}
+}
+
+// RuntimeSampleDisabled pins the cost the runtime self-metrics hook
+// adds when observability is off: a nil *telemetry.RuntimeCollector's
+// SampleOnce must stay a zero-allocation no-op, joining the nil span
+// tracer, nil checkpoint saver and nil fleet registry contracts that
+// keep the uninstrumented path free.
+func RuntimeSampleDisabled(b *testing.B) {
+	var c *telemetry.RuntimeCollector
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SampleOnce()
+		c.Start()
+		c.Stop()
 	}
 }
 

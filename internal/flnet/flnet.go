@@ -140,6 +140,15 @@ func (c *Client) Run(addr string) (rounds int, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("flnet: dial %s: %w", addr, err)
 	}
+	return c.Serve(conn)
+}
+
+// Serve registers over an already-established connection and serves
+// training requests until shutdown or a connection failure, closing
+// conn on return. Callers that manage the dial themselves (the load
+// generator injects connection churn by closing conns out from under
+// the protocol) use this instead of Run.
+func (c *Client) Serve(conn net.Conn) (rounds int, err error) {
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
@@ -219,7 +228,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[int]*session
-	closed   bool
+	// everSeen records every ClientID that has ever held a session, so
+	// a re-registration after a drop (or a silent replacement of a
+	// stale session) counts as a reconnect rather than a fresh join.
+	everSeen   map[int]bool
+	closed     bool
+	reconnDone chan struct{}
 
 	// Telemetry (all optional; see EnableTelemetry).
 	reg    *telemetry.Registry
@@ -233,7 +247,7 @@ func NewServer(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flnet: listen: %w", err)
 	}
-	return &Server{ln: ln, sessions: map[int]*session{}}, nil
+	return &Server{ln: ln, sessions: map[int]*session{}, everSeen: map[int]bool{}}, nil
 }
 
 // Addr returns the server's listen address.
@@ -247,7 +261,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // telemetry.Combine) when the tail endpoint should see the
 // coordinator's events. Call before AcceptClients; Shutdown stops the
 // endpoint.
-func (s *Server) EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Tracer, ring *telemetry.RingSink, httpAddr string) (string, error) {
+func (s *Server) EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Tracer, ring *telemetry.RingSink, httpAddr string, opts ...telemetry.ServeOption) (string, error) {
 	s.mu.Lock()
 	s.reg = reg
 	s.tracer = tracer
@@ -255,7 +269,7 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry, tracer telemetry.Trace
 	if httpAddr == "" {
 		return "", nil
 	}
-	srv, err := telemetry.Serve(httpAddr, reg, ring)
+	srv, err := telemetry.Serve(httpAddr, reg, ring, opts...)
 	if err != nil {
 		return "", err
 	}
@@ -302,15 +316,103 @@ func (s *Server) AcceptClients(n int) ([]Register, error) {
 			return regs, envelopeErr(ErrDuplicateRegister, sess.reg.ClientID, -1, "client already registered")
 		}
 		s.sessions[sess.reg.ClientID] = sess
+		s.everSeen[sess.reg.ClientID] = true
 		n := len(s.sessions)
 		reg := s.reg
 		s.mu.Unlock()
-		if reg != nil {
-			reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(float64(n))
-		}
+		setSessionGauges(reg, n)
 		regs = append(regs, sess.reg)
 	}
 	return regs, nil
+}
+
+// setSessionGauges publishes the live-session count under both the
+// original registered-clients name (a stable contract since the gauge
+// first shipped) and the churn-oriented sessions-active alias the
+// scale harness scrapes.
+func setSessionGauges(reg *telemetry.Registry, n int) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(float64(n))
+	reg.Gauge("haccs_net_sessions_active", "Live client sessions on the coordinator (alias of registered clients, tracked for churn analysis).").Set(float64(n))
+}
+
+// registerTimeout bounds how long the reconnect accept loop waits for
+// a freshly connected socket to send its Register message, so one
+// wedged dialer cannot stall admission of everyone behind it.
+const registerTimeout = 5 * time.Second
+
+// ServeReconnects starts a background accept loop that re-admits
+// clients after AcceptClients has seated the initial fleet: each new
+// connection registers exactly as in AcceptClients, but an already-
+// known ClientID *replaces* its previous session (closing the stale
+// conn) instead of failing — after a client-side drop the server still
+// holds the dead session, and a strict duplicate check would lock the
+// client out forever. Re-registrations of known clients increment
+// haccs_net_reconnects_total. Malformed or slow registrations are
+// dropped without disturbing the loop. The loop exits when the
+// listener closes; Shutdown and Abort wait for it.
+func (s *Server) ServeReconnects() {
+	s.mu.Lock()
+	if s.closed || s.reconnDone != nil {
+		s.mu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	s.reconnDone = done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.admit(conn)
+		}
+	}()
+}
+
+// admit runs the registration handshake for one reconnecting client.
+func (s *Server) admit(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(registerTimeout))
+	sess := &session{
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		conn: conn,
+	}
+	var env Envelope
+	if err := sess.dec.Decode(&env); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if env.Check() != nil || env.Register == nil {
+		conn.Close()
+		return
+	}
+	sess.reg = *env.Register
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	old := s.sessions[sess.reg.ClientID]
+	s.sessions[sess.reg.ClientID] = sess
+	reconnect := s.everSeen[sess.reg.ClientID]
+	s.everSeen[sess.reg.ClientID] = true
+	n := len(s.sessions)
+	reg := s.reg
+	s.mu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+	if reg != nil && reconnect {
+		reg.Counter("haccs_net_reconnects_total", "Re-registrations of previously seen clients (connection churn).").Inc()
+	}
+	setSessionGauges(reg, n)
 }
 
 // Registrations returns a snapshot of all registered clients.
@@ -343,39 +445,42 @@ func (s *Server) Train(clientID, round int, params []float64, sc telemetry.SpanC
 		return TrainReply{}, envelopeErr(ErrNotRegistered, clientID, round, "no live session")
 	}
 	if err := sess.enc.Encode(Envelope{Request: &TrainRequest{Round: round, Params: params, Trace: sc}}); err != nil {
-		s.dropSession(clientID)
+		s.dropSession(clientID, sess)
 		return TrainReply{}, fmt.Errorf("flnet: push to client %d: %w", clientID, err)
 	}
 	var env Envelope
 	if err := sess.dec.Decode(&env); err != nil {
-		s.dropSession(clientID)
+		s.dropSession(clientID, sess)
 		return TrainReply{}, fmt.Errorf("flnet: receive from client %d: %w", clientID, err)
 	}
 	reply, err := checkReply(&env, clientID, round, sc)
 	if err != nil {
-		s.dropSession(clientID)
+		s.dropSession(clientID, sess)
 		return TrainReply{}, err
 	}
 	return *reply, nil
 }
 
 // dropSession closes and forgets one client session (after a transport
-// or protocol error). Future Train calls for the client fail fast with
+// or protocol error). The drop is pointer-matched: it only removes the
+// exact session the failure happened on, so a Train failure racing a
+// reconnect cannot evict the client's fresh replacement session.
+// Future Train calls for a truly dropped client fail fast with
 // ErrNotRegistered.
-func (s *Server) dropSession(clientID int) {
+func (s *Server) dropSession(clientID int, failed *session) {
 	s.mu.Lock()
-	sess, ok := s.sessions[clientID]
-	if ok {
+	cur, ok := s.sessions[clientID]
+	if ok && cur == failed {
 		delete(s.sessions, clientID)
+	} else {
+		ok = false
 	}
 	n := len(s.sessions)
 	reg := s.reg
 	s.mu.Unlock()
+	failed.conn.Close()
 	if ok {
-		sess.conn.Close()
-	}
-	if reg != nil {
-		reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(float64(n))
+		setSessionGauges(reg, n)
 	}
 }
 
@@ -393,6 +498,22 @@ func (s *Server) Shutdown() error { return s.ShutdownReason("shutdown") }
 // ShutdownReason is Shutdown with an explicit reason forwarded to the
 // clients.
 func (s *Server) ShutdownReason(reason string) error {
+	return s.teardown(&Shutdown{Reason: reason})
+}
+
+// Abort tears the coordinator down without sending Shutdown envelopes:
+// connections are simply closed, so clients observe a receive error —
+// exactly what a coordinator crash looks like from the fleet. The
+// scale harness uses it to inject a mid-run kill before exercising
+// checkpoint resume; production code should call Shutdown.
+func (s *Server) Abort() error {
+	return s.teardown(nil)
+}
+
+// teardown closes sessions (sending farewell first when non-nil), the
+// listener, the reconnect loop and the telemetry endpoint. Safe to
+// call more than once.
+func (s *Server) teardown(farewell *Shutdown) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -400,18 +521,22 @@ func (s *Server) ShutdownReason(reason string) error {
 	}
 	s.closed = true
 	for _, sess := range s.sessions {
-		_ = sess.enc.Encode(Envelope{Shutdown: &Shutdown{Reason: reason}})
+		if farewell != nil {
+			_ = sess.enc.Encode(Envelope{Shutdown: farewell})
+		}
 		sess.conn.Close()
 	}
 	s.sessions = map[int]*session{}
 	httpSrv := s.http
 	s.http = nil
 	reg := s.reg
+	reconnDone := s.reconnDone
 	s.mu.Unlock()
-	if reg != nil {
-		reg.Gauge("haccs_net_registered_clients", "Clients currently registered with the coordinator.").Set(0)
-	}
+	setSessionGauges(reg, 0)
 	err := s.ln.Close()
+	if reconnDone != nil {
+		<-reconnDone
+	}
 	if httpSrv != nil {
 		if herr := httpSrv.Close(); err == nil {
 			err = herr

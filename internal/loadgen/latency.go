@@ -1,0 +1,81 @@
+// Package loadgen generates synthetic TCP client fleets against the
+// flnet coordinator: thousands of goroutine clients with configurable
+// latency distributions, flakiness, staged reconnect storms and a
+// coordinator crash + checkpoint-resume scenario. It is the load side
+// of the scale-test harness; cmd/haccs-load drives its scenario matrix
+// and turns the coordinator's own /metrics and /debug/fleet scrapes
+// into the committed tests/results/scale reports.
+package loadgen
+
+import (
+	"time"
+
+	"haccs/internal/stats"
+)
+
+// LatencyModel shapes the fleet's heterogeneity. Expect is the
+// client's registered latency estimate in virtual seconds — it drives
+// the coordinator's virtual clock and deadline straggler cuts exactly
+// as in the simulation experiments. Delay is the wall-clock training
+// sleep injected into one request (before SleepScale compression).
+type LatencyModel interface {
+	Expect(clientID int) float64
+	Delay(clientID, round int, rng *stats.RNG) float64
+}
+
+// UniformLatency draws each client's expected latency uniformly from
+// [MinSec, MaxSec], deterministically from Seed and the client ID, and
+// jitters each request ±10% around it.
+type UniformLatency struct {
+	MinSec, MaxSec float64
+	Seed           uint64
+}
+
+// Expect implements LatencyModel.
+func (u UniformLatency) Expect(clientID int) float64 {
+	r := stats.NewRNG(stats.DeriveSeed(u.Seed, uint64(clientID)))
+	return r.Uniform(u.MinSec, u.MaxSec)
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(clientID, round int, rng *stats.RNG) float64 {
+	return u.Expect(clientID) * rng.Uniform(0.9, 1.1)
+}
+
+// HeavyTailLatency matches the async experiment's straggler shape:
+// every SlowEvery-th client is SlowFactor slower than BaseSec (the
+// canonical configuration — every 4th client 15x slower — is the
+// regime where FedBuff-style buffering wins in the paper's async
+// comparison).
+type HeavyTailLatency struct {
+	BaseSec    float64
+	SlowEvery  int
+	SlowFactor float64
+}
+
+// Expect implements LatencyModel.
+func (h HeavyTailLatency) Expect(clientID int) float64 {
+	if h.SlowEvery > 0 && clientID%h.SlowEvery == h.SlowEvery-1 {
+		return h.BaseSec * h.SlowFactor
+	}
+	return h.BaseSec
+}
+
+// Delay implements LatencyModel.
+func (h HeavyTailLatency) Delay(clientID, round int, rng *stats.RNG) float64 {
+	return h.Expect(clientID) * rng.Uniform(0.9, 1.1)
+}
+
+// sleepFor compresses a virtual-seconds delay into a bounded wall
+// sleep: delay*scale seconds, clamped to max (so a 15x straggler slows
+// a leg, not the whole matrix).
+func sleepFor(delaySec, scale float64, max time.Duration) time.Duration {
+	d := time.Duration(delaySec * scale * float64(time.Second))
+	if d < 0 {
+		return 0
+	}
+	if max > 0 && d > max {
+		return max
+	}
+	return d
+}

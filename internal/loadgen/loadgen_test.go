@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"haccs/internal/rounds"
+	"haccs/internal/stats"
+)
+
+// testMatrix is a fast environment: tiny sleeps, aggressive scrape
+// cadence, small parameter vector.
+func testMatrix(t *testing.T, n int) MatrixConfig {
+	t.Helper()
+	return MatrixConfig{
+		Fleet: FleetConfig{
+			N:          n,
+			Latency:    HeavyTailLatency{BaseSec: 2, SlowEvery: 4, SlowFactor: 15},
+			SleepScale: 0.0005, // 2 virtual s -> 1ms wall
+			MaxSleep:   20 * time.Millisecond,
+			Seed:       42,
+		},
+		ScrapeEvery:   2,
+		ParamDim:      32,
+		CheckpointDir: t.TempDir(),
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	u := UniformLatency{MinSec: 1, MaxSec: 5, Seed: 7}
+	for id := 0; id < 50; id++ {
+		e := u.Expect(id)
+		if e < 1 || e > 5 {
+			t.Fatalf("uniform Expect(%d) = %v outside [1,5]", id, e)
+		}
+		if e != u.Expect(id) {
+			t.Fatalf("uniform Expect(%d) not deterministic", id)
+		}
+	}
+	h := HeavyTailLatency{BaseSec: 2, SlowEvery: 4, SlowFactor: 15}
+	for id := 0; id < 12; id++ {
+		want := 2.0
+		if id%4 == 3 {
+			want = 30
+		}
+		if got := h.Expect(id); got != want {
+			t.Fatalf("heavy-tail Expect(%d) = %v, want %v", id, got, want)
+		}
+	}
+	rng := stats.NewRNG(1)
+	d := h.Delay(3, 0, rng)
+	if d < 27 || d > 33 {
+		t.Errorf("heavy-tail Delay jitter out of band: %v", d)
+	}
+	if got := sleepFor(2, 0.001, time.Millisecond); got != time.Millisecond {
+		t.Errorf("sleepFor clamp: %v", got)
+	}
+	if got := sleepFor(2, 0.001, 0); got != 2*time.Millisecond {
+		t.Errorf("sleepFor unclamped: %v", got)
+	}
+}
+
+func TestUniformStrategySelects(t *testing.T) {
+	s := NewUniformStrategy(3)
+	available := make([]bool, 20)
+	for i := range available {
+		available[i] = i%2 == 0 // 10 available
+	}
+	sel := s.Select(0, available, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d, want 4", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, id := range sel {
+		if !available[id] {
+			t.Errorf("selected unavailable client %d", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate selection %d", id)
+		}
+		seen[id] = true
+	}
+	if got := s.Select(1, available, 99); len(got) != 10 {
+		t.Errorf("over-budget select returned %d, want all 10 available", len(got))
+	}
+	s.Update(0, sel, []float64{1, 2, 3, 4}) // must not panic
+}
+
+func TestSyncLegSmallFleet(t *testing.T) {
+	cfg := testMatrix(t, 24)
+	res, err := RunLeg(cfg, Leg{Name: "sync", Rounds: 6, K: 6, Deadline: 8})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("round latency percentiles implausible: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.RoundsPerSec <= 0 {
+		t.Errorf("rounds/s = %v", res.RoundsPerSec)
+	}
+	// Every 4th client registers 30 virtual seconds against a deadline
+	// of 8: any slow client selected must show up as a straggler cut.
+	if res.StragglerCuts == 0 {
+		t.Error("heavy-tail fleet under a deadline produced no straggler cuts")
+	}
+	if res.SessionsFinal != 24 {
+		t.Errorf("final sessions = %v, want 24", res.SessionsFinal)
+	}
+	if res.HeapMaxBytes <= 0 || res.GoroutinesMax <= 0 {
+		t.Errorf("runtime envelope empty: heap=%v goroutines=%v", res.HeapMaxBytes, res.GoroutinesMax)
+	}
+	if res.FleetRounds == 0 {
+		t.Error("fleet endpoint recorded no rounds")
+	}
+}
+
+func TestAsyncLegBuffersUpdates(t *testing.T) {
+	cfg := testMatrix(t, 16)
+	res, err := RunLeg(cfg, Leg{
+		Name:   "async",
+		Mode:   rounds.ModeAsync,
+		Async:  rounds.AsyncConfig{BufferK: 3, MaxStaleness: 16},
+		Rounds: 6, K: 6,
+	})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+	if res.BufferedPerSec <= 0 {
+		t.Errorf("async leg buffered no updates: %+v", res)
+	}
+}
+
+func TestAsyncLegRejectsDeadline(t *testing.T) {
+	cfg := testMatrix(t, 4)
+	if _, err := RunLeg(cfg, Leg{Name: "bad", Mode: rounds.ModeAsync, Rounds: 1, K: 2, Deadline: 5}); err == nil {
+		t.Fatal("async leg with a deadline must be rejected")
+	}
+}
+
+func TestStormLegRecovers(t *testing.T) {
+	cfg := testMatrix(t, 24)
+	res, err := RunLeg(cfg, Leg{Name: "storm", Rounds: 10, K: 4, Deadline: 8, StormFraction: 0.25})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if res.StormKilled == 0 {
+		t.Fatal("storm killed no connections")
+	}
+	if res.StormRecoverySec < 0 {
+		t.Fatalf("storm never recovered: %+v", res)
+	}
+	if res.Reconnects < float64(res.StormKilled) {
+		t.Errorf("reconnects %v < killed %v", res.Reconnects, res.StormKilled)
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+}
+
+func TestCrashResumeLegUnderLoad(t *testing.T) {
+	cfg := testMatrix(t, 16)
+	res, err := RunLeg(cfg, Leg{Name: "crash", Rounds: 8, K: 4, Deadline: 8, Crash: true})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if res.CrashResumedFrom != 4 {
+		t.Errorf("resumed from round %d, want 4", res.CrashResumedFrom)
+	}
+	if len(res.Notes) > 0 {
+		t.Errorf("unexpected notes: %v", res.Notes)
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+}
+
+func TestCrashLegRequiresCheckpointDir(t *testing.T) {
+	cfg := testMatrix(t, 4)
+	cfg.CheckpointDir = ""
+	if _, err := RunLeg(cfg, Leg{Name: "crash", Rounds: 2, K: 2, Crash: true}); err == nil {
+		t.Fatal("crash leg without a checkpoint dir must error")
+	}
+}
+
+func TestFleetStopLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := testMatrix(t, 12)
+	res, err := RunLeg(cfg, Leg{Name: "sync", Rounds: 2, K: 4, Deadline: 8})
+	if err != nil || !res.Pass {
+		t.Fatalf("RunLeg: %v %+v", err, res)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

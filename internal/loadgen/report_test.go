@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleLegs() []LegResult {
+	return []LegResult{
+		{
+			Name: "sync", Clients: 2000, Rounds: 40, WallSec: 12.5,
+			P50: 0.021, P99: 0.085, RoundsPerSec: 3.2,
+			StragglerCuts: 120, Failed: 0, Reconnects: 0,
+			SessionsMin: 2000, SessionsFinal: 2000,
+			HeapMaxBytes: 96 << 20, GoroutinesMax: 2105,
+			GCPauseP99: 0.0004, SchedP99: 0.002,
+			FleetRounds: 40, Fairness: 0.93,
+			CrashResumedFrom: -1, StormRecoverySec: -1, Pass: true,
+		},
+		{
+			Name: "storm", Clients: 2000, Rounds: 40, WallSec: 15.1,
+			P50: 0.025, P99: 0.2, RoundsPerSec: 2.6,
+			Reconnects: 500, SessionsMin: 1980, SessionsFinal: 2000,
+			StormKilled: 500, StormRecoverySec: 1.7,
+			CrashResumedFrom: -1, Pass: false,
+			ScrapeErrors: []string{"scrape /metrics: HTTP 500"},
+		},
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	meta := RunMeta{Rev: "abc1234", Date: "2026-08-07", GoVersion: "go1.22", Host: "ci", Clients: 2000, Seed: 42}
+	if err := WriteReport(&sb, meta, sampleLegs()); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Scale results @ abc1234",
+		"clients: 2000",
+		"| sync | 40 | 12.5 | 0.0210 | 0.0850 | 3.20 |",
+		"500 connections killed, all re-admitted in 1.70s",
+		"scrape error: scrape /metrics: HTTP 500",
+		"- result: FAIL",
+		"/metrics` and `/debug/fleet`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestAllPassAndFailureSummary(t *testing.T) {
+	legs := sampleLegs()
+	if AllPass(legs) {
+		t.Error("AllPass true with a failing leg")
+	}
+	if AllPass(nil) {
+		t.Error("AllPass true with no legs")
+	}
+	legs[1].Pass = true
+	if !AllPass(legs) {
+		t.Error("AllPass false with all legs passing")
+	}
+	legs[1].Pass = false
+	sum := FailureSummary(legs)
+	if !strings.Contains(sum, "leg storm") || !strings.Contains(sum, "HTTP 500") {
+		t.Errorf("failure summary: %q", sum)
+	}
+}
+
+func TestReportPath(t *testing.T) {
+	if got := ReportPath("tests/results/scale", "deadbeef"); got != "tests/results/scale/deadbeef.md" {
+		t.Errorf("ReportPath = %q", got)
+	}
+}

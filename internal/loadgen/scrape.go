@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"haccs/internal/fleet"
+	"haccs/internal/telemetry"
+)
+
+// Scraper reads the coordinator's own observability endpoints over
+// HTTP — the identical path an external Prometheus server or operator
+// would use. Every number in a scale report comes through here: the
+// harness deliberately has no side channel into the coordinator's
+// internals, so the committed results also certify the endpoints.
+type Scraper struct {
+	base   string // e.g. "http://127.0.0.1:PORT"
+	client *http.Client
+}
+
+// NewScraper targets the observability endpoint bound at hostport.
+func NewScraper(hostport string) *Scraper {
+	return &Scraper{
+		base:   "http://" + hostport,
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Metrics GETs /metrics, lints the exposition (any violation is a
+// scrape error — conformance is part of what the harness certifies),
+// and returns the parsed families.
+func (s *Scraper) Metrics() (*telemetry.Exposition, error) {
+	body, err := s.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if errs := telemetry.LintExposition(body); len(errs) > 0 {
+		return nil, fmt.Errorf("loadgen: /metrics lint: %v (and %d more)", errs[0], len(errs)-1)
+	}
+	return telemetry.ParseExposition(body)
+}
+
+// Fleet GETs /debug/fleet and decodes the health state.
+func (s *Scraper) Fleet() (*fleet.State, error) {
+	body, err := s.get("/debug/fleet")
+	if err != nil {
+		return nil, err
+	}
+	var st fleet.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("loadgen: /debug/fleet decode: %w", err)
+	}
+	return &st, nil
+}
+
+func (s *Scraper) get(path string) ([]byte, error) {
+	resp, err := s.client.Get(s.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: HTTP %d", path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// scrapePoint is one periodic reading used to build the leg's
+// resource envelope and counter deltas.
+type scrapePoint struct {
+	at time.Time
+	e  *telemetry.Exposition
+}
+
+func (p scrapePoint) value(series string, labels ...[2]string) float64 {
+	v, _ := p.e.Value(series, labels...)
+	return v
+}
+
+// envelope folds periodic scrapes into min/max readings for the
+// report.
+type envelope struct {
+	points []scrapePoint
+}
+
+func (ev *envelope) add(p scrapePoint) { ev.points = append(ev.points, p) }
+
+// max returns the maximum of one series across all scrapes.
+func (ev *envelope) max(series string, labels ...[2]string) float64 {
+	m := 0.0
+	for _, p := range ev.points {
+		if v := p.value(series, labels...); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// min returns the minimum of one series across all scrapes (0 when no
+// scrape carried it).
+func (ev *envelope) min(series string, labels ...[2]string) float64 {
+	first := true
+	m := 0.0
+	for _, p := range ev.points {
+		v, ok := p.e.Value(series, labels...)
+		if !ok {
+			continue
+		}
+		if first || v < m {
+			m, first = v, false
+		}
+	}
+	return m
+}

@@ -1,0 +1,367 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the Prometheus text exposition format:
+// ParseExposition is the inverse of Registry.WritePrometheus, and
+// LintExposition checks an exposition against the format's contract
+// (HELP/TYPE lines, valid names, histogram completeness). The scale
+// harness (internal/loadgen) scrapes /metrics and parses it with this
+// code, so every number in a committed scale-results file went through
+// the same pipeline an external Prometheus server would use — and the
+// conformance test in this package lints every metric the repo
+// registers through the same checker.
+
+// ParsedSample is one time series scraped off an exposition: the full
+// series name (including any _bucket/_sum/_count suffix), its decoded
+// label set, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily groups the samples of one metric family with its
+// HELP/TYPE metadata.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// Exposition is a parsed /metrics scrape.
+type Exposition struct {
+	// Families in exposition order, keyed additionally by name.
+	Families []*ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil when the scrape did not
+// carry it.
+func (e *Exposition) Family(name string) *ParsedFamily {
+	if e == nil {
+		return nil
+	}
+	return e.byName[name]
+}
+
+// Value returns the value of the series with the exact name and label
+// set (labels in any order; pass nothing for an unlabelled series).
+// The second return reports whether the series was present.
+func (e *Exposition) Value(series string, labels ...[2]string) (float64, bool) {
+	fam := e.Family(familyOf(e, series))
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name != series || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if s.Labels[l[0]] != l[1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// familyOf maps a series name back to its declaring family: itself,
+// or the histogram base name when the series carries a histogram
+// suffix and the base was declared.
+func familyOf(e *Exposition, series string) string {
+	if e.byName[series] != nil {
+		return series
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(series, suffix)
+		if ok && e.byName[base] != nil {
+			return base
+		}
+	}
+	return series
+}
+
+// ParseExposition decodes a Prometheus text-format scrape. It fails on
+// syntax errors (malformed lines, unterminated label quotes, bad
+// floats) but does not enforce semantic rules — that is
+// LintExposition's job.
+func ParseExposition(data []byte) (*Exposition, error) {
+	e := &Exposition{byName: map[string]*ParsedFamily{}}
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(e, line); err != nil {
+				return nil, fmt.Errorf("telemetry: exposition line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: exposition line %d: %w", ln+1, err)
+		}
+		fam := e.byName[familyOf(e, s.Name)]
+		if fam == nil {
+			// A sample without metadata still parses; the linter
+			// flags the missing HELP/TYPE.
+			fam = &ParsedFamily{Name: s.Name}
+			e.Families = append(e.Families, fam)
+			e.byName[s.Name] = fam
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	return e, nil
+}
+
+// parseComment folds a "# HELP name text" / "# TYPE name kind" line
+// into the family table. Other comments are ignored per the format.
+func parseComment(e *Exposition, line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return nil // bare "#..." comment
+	}
+	var kind string
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		kind, rest = "HELP", rest[len("HELP "):]
+	case strings.HasPrefix(rest, "TYPE "):
+		kind, rest = "TYPE", rest[len("TYPE "):]
+	default:
+		return nil
+	}
+	name, text, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return fmt.Errorf("%s line without a metric name", kind)
+	}
+	fam := e.byName[name]
+	if fam == nil {
+		fam = &ParsedFamily{Name: name}
+		e.Families = append(e.Families, fam)
+		e.byName[name] = fam
+	}
+	if kind == "HELP" {
+		fam.Help = unescapeHelp(text)
+	} else {
+		fam.Type = text
+	}
+	return nil
+}
+
+// parseSample decodes one `name{key="value",...} number` line.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("sample line without a value: %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set: %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed label pair: %q", line)
+			}
+			key := rest[:eq]
+			val, n, err := unquoteLabel(rest[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("%v: %q", err, line)
+			}
+			s.Labels[key] = val
+			rest = rest[eq+1+n:]
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// strconv accepts the format's +Inf/-Inf/NaN spellings directly.
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unquoteLabel decodes a quoted, escaped label value starting at the
+// opening quote, returning the decoded value and how many input bytes
+// it consumed (quotes included).
+func unquoteLabel(in string) (string, int, error) {
+	if in == "" || in[0] != '"' {
+		return "", 0, fmt.Errorf("label value not quoted")
+	}
+	var sb strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch in[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c in label value", in[i])
+			}
+		default:
+			sb.WriteByte(in[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// unescapeHelp reverses escapeHelp in one pass (sequential
+// ReplaceAlls would mis-decode a literal backslash followed by 'n').
+func unescapeHelp(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				sb.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(v[i])
+	}
+	return sb.String()
+}
+
+// validMetricName reports whether name matches the exposition
+// format's metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches the label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]* (colons are metric-name only).
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// LintExposition checks a text-format scrape against the format
+// contract every consumer relies on: each family has HELP and TYPE
+// lines with a recognized type, every metric and label name is valid,
+// counter samples are finite and non-negative, and each histogram
+// family carries its +Inf bucket, _sum and _count series. It returns
+// one error per violation (nil-length slice = clean); a syntax-level
+// parse failure comes back as a single error.
+func LintExposition(data []byte) []error {
+	e, err := ParseExposition(data)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	lint := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	for _, fam := range e.Families {
+		if !validMetricName(fam.Name) {
+			lint("metric %q: invalid metric name", fam.Name)
+		}
+		if fam.Help == "" {
+			lint("metric %q: missing # HELP line", fam.Name)
+		}
+		switch fam.Type {
+		case "counter", "gauge", "histogram":
+		case "":
+			lint("metric %q: missing # TYPE line", fam.Name)
+		default:
+			lint("metric %q: unknown type %q", fam.Name, fam.Type)
+		}
+		var hasInf, hasSum, hasCount bool
+		for _, s := range fam.Samples {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if !validLabelName(k) {
+					lint("metric %q: invalid label name %q", fam.Name, k)
+				}
+			}
+			if fam.Type == "counter" && !(s.Value >= 0) {
+				lint("metric %q: counter value %v is negative or NaN", fam.Name, s.Value)
+			}
+			switch {
+			case s.Name == fam.Name+"_bucket":
+				if s.Labels["le"] == "+Inf" {
+					hasInf = true
+				}
+			case s.Name == fam.Name+"_sum":
+				hasSum = true
+			case s.Name == fam.Name+"_count":
+				hasCount = true
+			}
+		}
+		if fam.Type == "histogram" {
+			if !hasInf {
+				lint("metric %q: histogram without a +Inf bucket", fam.Name)
+			}
+			if !hasSum {
+				lint("metric %q: histogram without a _sum series", fam.Name)
+			}
+			if !hasCount {
+				lint("metric %q: histogram without a _count series", fam.Name)
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildHostileRegistry registers one metric of every shape with label
+// values exercising the full escape set (backslash, quote, newline)
+// so the round-trip test covers the cases that used to corrupt the
+// exposition.
+func buildHostileRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("hostile_counter_total", "A counter.").Add(3)
+	reg.Gauge("hostile_gauge", `Help with a backslash \ and
+a newline.`).Set(-2.5)
+	cv := reg.CounterVec("hostile_labeled_total", "Labelled counter.", "path")
+	cv.With(`C:\temp\"quoted"`).Add(1)
+	cv.With("line1\nline2").Add(2)
+	cv.With(`trailing backslash \`).Add(4)
+	h := reg.Histogram("hostile_seconds", "A histogram.", []float64{0.1, 1})
+	// Exactly representable values so the _sum survives the text
+	// round trip bit-for-bit.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.InfoGauge("hostile_info", "Info gauge.", [][2]string{
+		{"revision", "abc123"},
+		{"note", `v="1"\n`},
+	}).Set(1)
+	return reg
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := buildHostileRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	e, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\nexposition:\n%s", err, buf.String())
+	}
+
+	cases := []struct {
+		series string
+		labels [][2]string
+		want   float64
+	}{
+		{"hostile_counter_total", nil, 3},
+		{"hostile_gauge", nil, -2.5},
+		{"hostile_labeled_total", [][2]string{{"path", `C:\temp\"quoted"`}}, 1},
+		{"hostile_labeled_total", [][2]string{{"path", "line1\nline2"}}, 2},
+		{"hostile_labeled_total", [][2]string{{"path", `trailing backslash \`}}, 4},
+		{"hostile_seconds_count", nil, 3},
+		{"hostile_seconds_sum", nil, 5.5625},
+		{"hostile_seconds_bucket", [][2]string{{"le", "+Inf"}}, 3},
+		{"hostile_info", [][2]string{{"revision", "abc123"}, {"note", `v="1"\n`}}, 1},
+	}
+	for _, c := range cases {
+		got, ok := e.Value(c.series, c.labels...)
+		if !ok {
+			t.Errorf("series %s %v: not found after round trip", c.series, c.labels)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("series %s %v: got %v, want %v", c.series, c.labels, got, c.want)
+		}
+	}
+
+	// Help text must survive its own escaping round trip.
+	fam := e.Family("hostile_gauge")
+	if fam == nil {
+		t.Fatal("hostile_gauge family missing")
+	}
+	wantHelp := `Help with a backslash \ and
+a newline.`
+	if fam.Help != wantHelp {
+		t.Errorf("help round trip: got %q, want %q", fam.Help, wantHelp)
+	}
+}
+
+func TestEscapedExpositionStaysSingleLinePerSample(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "Escaping.", "k").With("a\nb\"c\\d").Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // HELP, TYPE, one sample
+		t.Fatalf("expected 3 exposition lines, got %d:\n%s", len(lines), out)
+	}
+	want := `esc_total{k="a\nb\"c\\d"} 1`
+	if lines[2] != want {
+		t.Errorf("escaped sample line:\ngot  %s\nwant %s", lines[2], want)
+	}
+}
+
+// TestExpositionConformance is the satellite conformance check: every
+// metric the repo's components register must lint clean — HELP and
+// TYPE present, names valid, histograms complete. Registering a
+// representative instance of each family here means a rename or a
+// malformed help string fails this test before any scraper sees it.
+func TestExpositionConformance(t *testing.T) {
+	reg := buildHostileRegistry()
+	SetBuildInfo(reg)
+	c := NewRuntimeCollector(reg, 0)
+	c.SampleOnce()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, err := range LintExposition(buf.Bytes()) {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"missing help",
+			"# TYPE x counter\nx 1\n",
+			"missing # HELP",
+		},
+		{
+			"missing type",
+			"# HELP x help\nx 1\n",
+			"missing # TYPE",
+		},
+		{
+			"unknown type",
+			"# HELP x help\n# TYPE x summary\nx 1\n",
+			"unknown type",
+		},
+		{
+			"bad metric name",
+			"# HELP 9x help\n# TYPE 9x counter\n9x 1\n",
+			"invalid metric name",
+		},
+		{
+			"negative counter",
+			"# HELP x help\n# TYPE x counter\nx -1\n",
+			"negative or NaN",
+		},
+		{
+			"incomplete histogram",
+			"# HELP h help\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\n",
+			"+Inf bucket",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := LintExposition([]byte(c.in))
+			if len(errs) == 0 {
+				t.Fatalf("expected lint errors, got none")
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no lint error containing %q in %v", c.want, errs)
+			}
+		})
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, in := range []string{
+		"x{k=\"unterminated} 1\n",
+		"x{k=unquoted} 1\n",
+		"x{k=\"v\"\n",
+		"x notanumber\n",
+		"x\n",
+	} {
+		if _, err := ParseExposition([]byte(in)); err == nil {
+			t.Errorf("ParseExposition(%q): expected error, got nil", in)
+		}
+	}
+}

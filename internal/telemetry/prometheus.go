@@ -22,7 +22,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastName = s.Name
 			// HELP/TYPE use the family name; histogram children add
 			// the _bucket/_sum/_count suffixes below.
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.Name, r.helpFor(s.Name), s.Name, s.Type); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.Name, escapeHelp(r.helpFor(s.Name)), s.Name, s.Type); err != nil {
 				return err
 			}
 		}
@@ -45,14 +45,18 @@ func (r *Registry) helpFor(name string) string {
 
 // labelSuffix renders `{key="value"}` (with an optional extra pair —
 // le for histogram buckets, quantile for the derived summary lines),
-// or "" when the sample is unlabelled.
+// or "" when the sample is unlabelled. Info-style samples render their
+// fixed pair set in registration order.
 func labelSuffix(s Sample, extraKey, extraVal string) string {
 	var pairs []string
 	if s.LabelKey != "" {
-		pairs = append(pairs, fmt.Sprintf("%s=%q", s.LabelKey, escapeLabel(s.LabelValue)))
+		pairs = append(pairs, s.LabelKey+`="`+escapeLabel(s.LabelValue)+`"`)
+	}
+	for _, p := range s.Pairs {
+		pairs = append(pairs, p[0]+`="`+escapeLabel(p[1])+`"`)
 	}
 	if extraKey != "" {
-		pairs = append(pairs, fmt.Sprintf("%s=%q", extraKey, extraVal))
+		pairs = append(pairs, extraKey+`="`+escapeLabel(extraVal)+`"`)
 	}
 	if len(pairs) == 0 {
 		return ""
@@ -72,8 +76,20 @@ var exportQuantiles = []struct {
 	{"0.99", 0.99},
 }
 
-// escapeLabel applies the exposition-format label escaping rules.
+// escapeLabel applies the exposition-format label-value escaping
+// rules: backslash, double quote and newline, in that order (the text
+// format's full escape set — a raw quote would end the value early and
+// corrupt every later sample on the scrape).
 func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp applies the HELP-line escaping rules (backslash and
+// newline only; quotes are legal in help text).
+func escapeHelp(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	return v

@@ -189,6 +189,10 @@ type family struct {
 	typ      metricType
 	labelKey string // "" for unlabelled metrics
 	buckets  []float64
+	// pairs, when non-nil, marks an info-style family (a single gauge
+	// child carrying a fixed set of label pairs, the Prometheus
+	// *_info idiom). Mutually exclusive with labelKey.
+	pairs [][2]string
 
 	mu       sync.Mutex
 	children map[string]*child
@@ -306,6 +310,31 @@ func (r *Registry) GaugeVec(name, help, labelKey string) GaugeVec {
 	return GaugeVec{r.lookup(name, help, typeGauge, labelKey, nil)}
 }
 
+// InfoGauge registers a gauge carrying a fixed set of label pairs —
+// the Prometheus *_info idiom (haccs_build_info{revision="…",
+// go_version="…"} 1). Pairs render in the given order; the pair set is
+// part of the family shape, so re-registering the name with different
+// pairs panics like any other shape change.
+func (r *Registry) InfoGauge(name, help string, pairs [][2]string) *Gauge {
+	f := r.lookup(name, help, typeGauge, "", nil)
+	f.mu.Lock()
+	if f.pairs == nil {
+		f.pairs = append([][2]string(nil), pairs...)
+	} else if len(f.pairs) != len(pairs) {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("telemetry: metric %q re-registered with a different shape", name))
+	} else {
+		for i, p := range pairs {
+			if f.pairs[i] != p {
+				f.mu.Unlock()
+				panic(fmt.Sprintf("telemetry: metric %q re-registered with a different shape", name))
+			}
+		}
+	}
+	f.mu.Unlock()
+	return f.get("").gauge
+}
+
 // HistogramVec returns the labelled histogram family registered under
 // name.
 func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) HistogramVec {
@@ -320,9 +349,12 @@ type Sample struct {
 	Name       string
 	LabelKey   string // "" when the metric is unlabelled
 	LabelValue string
-	Type       string // "counter" | "gauge" | "histogram"
-	Value      float64
-	Hist       *HistogramSnapshot // histograms only
+	// Pairs are the fixed label pairs of an info-style family (see
+	// Registry.InfoGauge); nil everywhere else.
+	Pairs [][2]string
+	Type  string // "counter" | "gauge" | "histogram"
+	Value float64
+	Hist  *HistogramSnapshot // histograms only
 }
 
 // Snapshot returns every registered series in deterministic order
@@ -352,9 +384,10 @@ func (r *Registry) Snapshot() []Sample {
 		for _, v := range values {
 			kids = append(kids, f.children[v])
 		}
+		pairs := f.pairs
 		f.mu.Unlock()
 		for _, c := range kids {
-			s := Sample{Name: f.name, LabelKey: f.labelKey, LabelValue: c.labelValue, Type: f.typ.String()}
+			s := Sample{Name: f.name, LabelKey: f.labelKey, LabelValue: c.labelValue, Pairs: pairs, Type: f.typ.String()}
 			switch f.typ {
 			case typeCounter:
 				s.Value = c.counter.Value()

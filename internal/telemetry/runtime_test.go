@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runtimeGaugeValue(t *testing.T, reg *Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("gauge %s not registered", name)
+	return 0
+}
+
+func TestRuntimeCollectorSamplesAcrossGC(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, 0)
+	c.SampleOnce()
+
+	heap := runtimeGaugeValue(t, reg, "haccs_runtime_heap_bytes")
+	if heap <= 0 {
+		t.Errorf("haccs_runtime_heap_bytes = %v, want > 0", heap)
+	}
+	gor := runtimeGaugeValue(t, reg, "haccs_runtime_goroutines")
+	if gor < 1 {
+		t.Errorf("haccs_runtime_goroutines = %v, want >= 1", gor)
+	}
+	cycles := runtimeGaugeValue(t, reg, "haccs_runtime_gc_cycles")
+
+	// Force a GC and re-sample: the cycle counter must advance and
+	// the pause histogram must now have observations, proving the
+	// gauges track live runtime state rather than a one-shot read.
+	runtime.GC()
+	runtime.GC()
+	c.SampleOnce()
+	if got := runtimeGaugeValue(t, reg, "haccs_runtime_gc_cycles"); got < cycles+2 {
+		t.Errorf("gc cycles after 2 forced GCs: got %v, had %v", got, cycles)
+	}
+	if p99 := runtimeGaugeValue(t, reg, "haccs_runtime_gc_pause_p99_seconds"); p99 <= 0 {
+		t.Errorf("haccs_runtime_gc_pause_p99_seconds = %v after forced GC, want > 0", p99)
+	}
+}
+
+func TestRuntimeCollectorStopLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := NewRuntimeCollector(NewRegistry(), time.Millisecond)
+	c.Start()
+	c.Start() // idempotent: must not spawn a second sampler
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	c.Stop() // idempotent on a stopped collector
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRuntimeCollectorNilIsInert(t *testing.T) {
+	var c *RuntimeCollector
+	c.SampleOnce()
+	c.Start()
+	c.Stop()
+	if got := testing.AllocsPerRun(100, func() { c.SampleOnce() }); got != 0 {
+		t.Errorf("nil collector SampleOnce allocs/op = %v, want 0", got)
+	}
+	if c := NewRuntimeCollector(nil, time.Second); c != nil {
+		t.Errorf("NewRuntimeCollector(nil, ...) = %v, want nil", c)
+	}
+}
+
+func TestSetBuildInfoExposesRevisionAndGoVersion(t *testing.T) {
+	reg := NewRegistry()
+	SetBuildInfo(reg)
+	SetBuildInfo(reg) // re-registering the identical shape must not panic
+
+	found := false
+	for _, s := range reg.Snapshot() {
+		if s.Name != "haccs_build_info" {
+			continue
+		}
+		found = true
+		if s.Value != 1 {
+			t.Errorf("haccs_build_info = %v, want 1", s.Value)
+		}
+		var haveRev, haveGo bool
+		for _, p := range s.Pairs {
+			switch p[0] {
+			case "revision":
+				haveRev = p[1] != ""
+			case "go_version":
+				haveGo = strings.HasPrefix(p[1], "go")
+			}
+		}
+		if !haveRev || !haveGo {
+			t.Errorf("haccs_build_info pairs = %v, want revision and go_version", s.Pairs)
+		}
+	}
+	if !found {
+		t.Fatal("haccs_build_info not registered")
+	}
+}
