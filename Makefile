@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke async-smoke scale-smoke scale-results
+.PHONY: check vet fmt-check build test race bench-guard bench bench-json resume-smoke fleet-smoke async-smoke scale-smoke shard-smoke scale-results
 
 ## check: the tier-1 gate — vet, gofmt, build, and the full test suite under -race.
 check: vet fmt-check build race
@@ -92,6 +92,31 @@ scale-smoke:
 		-out $(SCALESMOKE)/results -rev smoke
 	test -s $(SCALESMOKE)/results/smoke.md
 	@echo "scale-smoke: all legs passed; results at $(SCALESMOKE)/results/smoke.md"
+
+## shard-smoke: end-to-end hierarchical-coordination check through the
+## real haccs-root binary. Leg 1 runs 2 shard coordinators + root over
+## loopback TCP (self-contained -local-clients mode) for 6 rounds with
+## per-round root snapshots, then exits (the "crash"); leg 2 restarts
+## the root process with -resume, the shards re-register, and the run
+## continues from round 6 to 12 — cross-process root recovery through
+## the real wire protocol. Leg 3 drives the sharded scenario-matrix leg
+## via haccs-load (shard-wide storm + in-process root crash under
+## load); haccs-load exits nonzero if the leg fails.
+SHARDSMOKE := $(or $(TMPDIR),/tmp)/haccs-shard-smoke
+SHARD_FLAGS := -shards 2 -local-clients 80 -k 8 -param-dim 64 -seed 7 \
+	-checkpoint-dir $(SHARDSMOKE)/ckpt
+shard-smoke:
+	rm -rf $(SHARDSMOKE) && mkdir -p $(SHARDSMOKE)
+	$(GO) build -o $(SHARDSMOKE)/haccs-root ./cmd/haccs-root
+	$(GO) build -o $(SHARDSMOKE)/haccs-load ./cmd/haccs-load
+	$(SHARDSMOKE)/haccs-root $(SHARD_FLAGS) -rounds 6
+	$(SHARDSMOKE)/haccs-root $(SHARD_FLAGS) -rounds 12 -resume \
+		| tee $(SHARDSMOKE)/resumed.log
+	grep -q "resumed from checkpoint at round 6" $(SHARDSMOKE)/resumed.log
+	$(SHARDSMOKE)/haccs-load -clients 120 -k 12 -rounds 12 -scrape-every 3 \
+		-legs sharded -shards 2 -out $(SHARDSMOKE)/results -rev shard-smoke
+	test -s $(SHARDSMOKE)/results/shard-smoke.md
+	@echo "shard-smoke: root resume + sharded leg passed"
 
 ## scale-results: the committed-results run — a 2000-client fleet over
 ## the full matrix, writing tests/results/scale/<rev>.md for the

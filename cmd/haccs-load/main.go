@@ -33,7 +33,8 @@ func main() {
 		clients     = flag.Int("clients", 2000, "synthetic fleet size")
 		k           = flag.Int("k", 64, "clients selected per round")
 		roundsN     = flag.Int("rounds", 40, "rounds per leg")
-		legsFlag    = flag.String("legs", "sync,async,storm,crash", "comma-separated legs to run: sync | async | storm | crash")
+		legsFlag    = flag.String("legs", "sync,async,storm,crash,sharded", "comma-separated legs to run: sync | async | storm | crash | sharded")
+		shards      = flag.Int("shards", 4, "shard coordinators in the sharded leg's hierarchy")
 		deadline    = flag.Float64("deadline", 8, "sync-leg straggler deadline in virtual seconds")
 		stormFrac   = flag.Float64("storm-fraction", 0.25, "fraction of connections the storm leg kills")
 		flakiness   = flag.Float64("flakiness", 0, "per-request probability a client hangs up mid-round")
@@ -51,6 +52,7 @@ func main() {
 		Clients: *clients, K: *k, Rounds: *roundsN, ScrapeEvery: *scrapeEvery,
 		ParamDim: *paramDim, Deadline: *deadline, StormFraction: *stormFrac,
 		Flakiness: *flakiness, SleepScale: *sleepScale, Legs: *legsFlag, Out: *out,
+		Shards: *shards,
 	}
 	if err := validateFlags(f); err != nil {
 		fmt.Fprintln(os.Stderr, "haccs-load:", err)
@@ -143,6 +145,13 @@ func buildLegs(f loadFlags) []loadgen.Leg {
 			legs = append(legs, loadgen.Leg{Name: "storm", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline, StormFraction: f.StormFraction})
 		case "crash":
 			legs = append(legs, loadgen.Leg{Name: "crash", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline, Crash: true})
+		case "sharded":
+			// The hierarchical leg storms one whole shard a third of the
+			// way in and kills the root (not a shard) two thirds in.
+			legs = append(legs, loadgen.Leg{
+				Name: "sharded", Rounds: f.Rounds, K: f.K, Deadline: f.Deadline,
+				Shards: f.Shards, StormFraction: 1, Crash: true,
+			})
 		}
 	}
 	return legs

@@ -9,7 +9,8 @@ func validLoadFlags() loadFlags {
 	return loadFlags{
 		Clients: 200, K: 16, Rounds: 10, ScrapeEvery: 5, ParamDim: 64,
 		Deadline: 8, StormFraction: 0.25, Flakiness: 0, SleepScale: 0.001,
-		Legs: "sync,async,storm,crash", Out: "tests/results/scale",
+		Legs: "sync,async,storm,crash,sharded", Out: "tests/results/scale",
+		Shards: 4,
 	}
 }
 
@@ -32,6 +33,9 @@ func TestValidateFlags(t *testing.T) {
 		{"empty legs", func(f *loadFlags) { f.Legs = " , " }, "-legs"},
 		{"unknown leg", func(f *loadFlags) { f.Legs = "sync,chaos" }, "unknown leg"},
 		{"empty out", func(f *loadFlags) { f.Out = "" }, "-out"},
+		{"one shard", func(f *loadFlags) { f.Shards = 1 }, "-shards"},
+		{"shards over clients", func(f *loadFlags) { f.Shards = 500 }, "-shards"},
+		{"no sharded leg ignores shards", func(f *loadFlags) { f.Legs = "sync"; f.Shards = 0 }, ""},
 		{"zero scrape cadence", func(f *loadFlags) { f.ScrapeEvery = 0 }, "-scrape-every"},
 		{"zero param dim", func(f *loadFlags) { f.ParamDim = 0 }, "-param-dim"},
 	}
@@ -56,14 +60,14 @@ func TestValidateFlags(t *testing.T) {
 func TestBuildLegs(t *testing.T) {
 	f := validLoadFlags()
 	legs := buildLegs(f)
-	if len(legs) != 4 {
-		t.Fatalf("built %d legs, want 4", len(legs))
+	if len(legs) != 5 {
+		t.Fatalf("built %d legs, want 5", len(legs))
 	}
 	names := map[string]bool{}
 	for _, l := range legs {
 		names[l.Name] = true
 	}
-	for _, want := range []string{"sync", "async", "storm", "crash"} {
+	for _, want := range []string{"sync", "async", "storm", "crash", "sharded"} {
 		if !names[want] {
 			t.Errorf("missing leg %s", want)
 		}
@@ -84,6 +88,13 @@ func TestBuildLegs(t *testing.T) {
 		case "crash":
 			if !l.Crash {
 				t.Error("crash leg not marked Crash")
+			}
+		case "sharded":
+			if l.Shards != 4 {
+				t.Errorf("sharded leg shards = %d, want 4", l.Shards)
+			}
+			if !l.Crash || l.StormFraction != 1 {
+				t.Errorf("sharded leg must storm a shard and crash the root: %+v", l)
 			}
 		}
 	}

@@ -14,10 +14,11 @@ type loadFlags struct {
 	SleepScale                                float64
 	Legs                                      string
 	Out                                       string
+	Shards                                    int
 }
 
 // knownLegs is the scenario vocabulary -legs accepts.
-var knownLegs = map[string]bool{"sync": true, "async": true, "storm": true, "crash": true}
+var knownLegs = map[string]bool{"sync": true, "async": true, "storm": true, "crash": true, "sharded": true}
 
 // splitLegs parses the -legs list, dropping empty elements.
 func splitLegs(s string) []string {
@@ -67,9 +68,21 @@ func validateFlags(f loadFlags) error {
 	if len(legs) == 0 {
 		return fmt.Errorf("-legs must name at least one leg")
 	}
+	sharded := false
 	for _, l := range legs {
 		if !knownLegs[l] {
-			return fmt.Errorf("unknown leg %q in -legs (want sync, async, storm, crash)", l)
+			return fmt.Errorf("unknown leg %q in -legs (want sync, async, storm, crash, sharded)", l)
+		}
+		if l == "sharded" {
+			sharded = true
+		}
+	}
+	if sharded {
+		if f.Shards < 2 {
+			return fmt.Errorf("-shards must be >= 2 for the sharded leg (got %d)", f.Shards)
+		}
+		if f.Shards > f.Clients {
+			return fmt.Errorf("-shards (%d) cannot exceed -clients (%d)", f.Shards, f.Clients)
 		}
 	}
 	if f.Out == "" {

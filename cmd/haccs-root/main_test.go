@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func validRootFlags() rootFlags {
+	return rootFlags{
+		Listen: "127.0.0.1:0", Shards: 2, Rounds: 10, K: 8,
+		Deadline: 0, Mode: "sync", ParamDim: 64,
+		CheckpointEvery: 1, LocalClients: 40, HTTP: "",
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*rootFlags)
+		wantErr string
+	}{
+		{"valid", func(f *rootFlags) {}, ""},
+		{"empty listen", func(f *rootFlags) { f.Listen = "" }, "-listen"},
+		{"zero shards", func(f *rootFlags) { f.Shards = 0 }, "-shards"},
+		{"zero rounds", func(f *rootFlags) { f.Rounds = 0 }, "-rounds"},
+		{"zero k", func(f *rootFlags) { f.K = 0 }, "-k"},
+		{"zero param dim", func(f *rootFlags) { f.ParamDim = 0 }, "-param-dim"},
+		{"negative deadline", func(f *rootFlags) { f.Deadline = -1 }, "-deadline"},
+		{"bad mode", func(f *rootFlags) { f.Mode = "turbo" }, "-mode"},
+		{"async with deadline", func(f *rootFlags) { f.Mode = "async"; f.Deadline = 5 }, "-deadline"},
+		{"async valid", func(f *rootFlags) { f.Mode = "async" }, ""},
+		{"checkpoint cadence", func(f *rootFlags) { f.CheckpointDir = "/tmp/x"; f.CheckpointEvery = 0 }, "-checkpoint-every"},
+		{"resume without dir", func(f *rootFlags) { f.Resume = true }, "-resume"},
+		{"negative local clients", func(f *rootFlags) { f.LocalClients = -1 }, "-local-clients"},
+		{"fewer clients than shards", func(f *rootFlags) { f.LocalClients = 1 }, "-local-clients"},
+		{"k over local clients", func(f *rootFlags) { f.K = 100 }, "-k"},
+		{"external agents skip k bound", func(f *rootFlags) { f.LocalClients = 0; f.K = 100 }, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := validRootFlags()
+			c.mutate(&f)
+			err := validateFlags(f)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunLocalHierarchyWithResume drives the self-contained mode end
+// to end twice against one checkpoint directory: the first invocation
+// checkpoints every round, the second resumes from the latest snapshot
+// and continues the round sequence — the process-restart recovery path
+// the shard-smoke CI job exercises through the built binary.
+func TestRunLocalHierarchyWithResume(t *testing.T) {
+	f := validRootFlags()
+	f.Rounds = 3
+	f.K = 6
+	f.LocalClients = 24
+	f.CheckpointDir = t.TempDir()
+	if err := run(f, 7); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	f.Resume = true
+	f.Rounds = 6
+	if err := run(f, 7); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+}
+
+func TestRunAsyncLocalHierarchy(t *testing.T) {
+	f := validRootFlags()
+	f.Mode = "async"
+	f.Rounds = 4
+	f.K = 6
+	f.LocalClients = 20
+	f.BufferK = 2
+	f.ResyncEvery = 2
+	if err := run(f, 11); err != nil {
+		t.Fatalf("async run: %v", err)
+	}
+}

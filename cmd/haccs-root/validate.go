@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+)
+
+// rootFlags collects the flag values subject to validation, so the
+// checks can be exercised by tests without spawning the binary
+// (mirrors cmd/haccs-sim's validateFlags pattern).
+type rootFlags struct {
+	Listen          string
+	Shards          int
+	Rounds          int
+	K               int
+	Deadline        float64
+	Mode            string
+	BufferK         int
+	MaxStaleness    int
+	ResyncEvery     int
+	ParamDim        int
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	LocalClients    int
+	HTTP            string
+}
+
+// validateFlags rejects configurations that would misbehave deep in
+// the runtime. The caller prints the error and exits with status 2.
+func validateFlags(f rootFlags) error {
+	if f.Listen == "" {
+		return fmt.Errorf("-listen must not be empty")
+	}
+	if f.Shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", f.Shards)
+	}
+	positive := []struct {
+		name string
+		v    int
+	}{
+		{"-rounds", f.Rounds},
+		{"-k", f.K},
+		{"-param-dim", f.ParamDim},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("%s must be positive (got %d)", p.name, p.v)
+		}
+	}
+	if f.Deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (got %v)", f.Deadline)
+	}
+	switch f.Mode {
+	case "sync":
+		// Deadline is meaningful; nothing more to check.
+	case "async":
+		if f.Deadline != 0 {
+			return fmt.Errorf("-deadline must be 0 in async mode (got %v)", f.Deadline)
+		}
+		if f.BufferK < 0 || f.MaxStaleness < 0 || f.ResyncEvery < 0 {
+			return fmt.Errorf("async tuning flags must be >= 0")
+		}
+	default:
+		return fmt.Errorf("-mode must be sync or async (got %q)", f.Mode)
+	}
+	if f.CheckpointDir != "" && f.CheckpointEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive with -checkpoint-dir (got %d)", f.CheckpointEvery)
+	}
+	if f.Resume && f.CheckpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if f.LocalClients < 0 {
+		return fmt.Errorf("-local-clients must be >= 0 (got %d)", f.LocalClients)
+	}
+	if f.LocalClients > 0 {
+		if f.LocalClients < f.Shards {
+			return fmt.Errorf("-local-clients (%d) must cover every shard (-shards %d)", f.LocalClients, f.Shards)
+		}
+		if f.K > f.LocalClients {
+			return fmt.Errorf("-k (%d) cannot exceed -local-clients (%d)", f.K, f.LocalClients)
+		}
+	}
+	return nil
+}

@@ -232,6 +232,7 @@ type Server struct {
 	// a re-registration after a drop (or a silent replacement of a
 	// stale session) counts as a reconnect rather than a fresh join.
 	everSeen   map[int]bool
+	reconnects int
 	closed     bool
 	reconnDone chan struct{}
 
@@ -403,6 +404,9 @@ func (s *Server) admit(conn net.Conn) {
 	s.sessions[sess.reg.ClientID] = sess
 	reconnect := s.everSeen[sess.reg.ClientID]
 	s.everSeen[sess.reg.ClientID] = true
+	if reconnect {
+		s.reconnects++
+	}
 	n := len(s.sessions)
 	reg := s.reg
 	s.mu.Unlock()
@@ -413,6 +417,24 @@ func (s *Server) admit(conn net.Conn) {
 		reg.Counter("haccs_net_reconnects_total", "Re-registrations of previously seen clients (connection churn).").Inc()
 	}
 	setSessionGauges(reg, n)
+}
+
+// Sessions returns the number of live client sessions — the shard
+// agent piggybacks it on every report so the root can export merged
+// session gauges without scraping the shards.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Reconnects returns the cumulative count of re-registrations of
+// previously seen clients (the counter behind
+// haccs_net_reconnects_total, available without a registry).
+func (s *Server) Reconnects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
 }
 
 // Registrations returns a snapshot of all registered clients.

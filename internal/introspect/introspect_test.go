@@ -104,6 +104,9 @@ func replayEvents() []telemetry.Event {
 		telemetry.SpanEnded("round", 0xa, 0xb, 0, 0, -1, 0, 0.01),
 		telemetry.SpanEnded("dispatch", 0xa, 0xc, 0xb, 0, -1, 0.001, 0.008),
 		telemetry.Aggregated(0, []int{1, 2}, 4.0, 4.0),
+		telemetry.ShardReport(0, 1, []int{1, 2}, 6, 0.004, 0, 4.0),
+		telemetry.ShardFailed(0, 2, []int{3, 4}),
+		telemetry.ShardMerge(0, 1, 6, 0.001, 4.0),
 	}
 }
 
@@ -120,6 +123,9 @@ func TestWriteTimeline(t *testing.T) {
 		"selected        [1 2]",
 		"pick            client 1 from cluster 0 (fastest, latency 2.5s)",
 		"aggregated      2 updates, round 4.0s, clock 4.0s",
+		"shard report    shard 1: 2 reporters [1 2], 6 samples, 0.004s trip, local clock 4.0s",
+		"shard failed    shard 2: discarded [3 4] (clients stay alive)",
+		"shard merge     1 shards folded, 6 samples, 0.001s aggregation, clock 4.0s",
 		"trace a round 0",
 		"round",
 		"dispatch",

@@ -56,6 +56,14 @@ func WriteTimeline(w io.Writer, events []telemetry.Event) error {
 					len(e.Clients), e.Staleness, e.VirtualSec, e.Clock)
 			case telemetry.KindEvaluated:
 				fmt.Fprintf(w, "  evaluated       acc %.4f loss %.4f at clock %.1fs\n", e.Acc, e.Loss, e.Clock)
+			case telemetry.KindShardReport:
+				fmt.Fprintf(w, "  shard report    shard %d: %d reporters %v, %d samples, %.3fs trip, local clock %.1fs\n",
+					e.Shard, len(e.Clients), e.Clients, e.NumSamples, e.WallSec, e.Clock)
+			case telemetry.KindShardMerge:
+				fmt.Fprintf(w, "  shard merge     %d shards folded, %d samples, %.3fs aggregation, clock %.1fs\n",
+					e.Fill, e.NumSamples, e.WallSec, e.Clock)
+			case telemetry.KindShardFailed:
+				fmt.Fprintf(w, "  shard failed    shard %d: discarded %v (clients stay alive)\n", e.Shard, e.Clients)
 			case telemetry.KindNetRound:
 				fmt.Fprintf(w, "  net round       %.3fs wall\n", e.WallSec)
 			case telemetry.KindReclustered:

@@ -34,6 +34,11 @@ type FleetConfig struct {
 	// Classes is the synthetic label-histogram width carried in each
 	// registration (default 10).
 	Classes int
+	// Route, when set, overrides the fleet-wide target per client —
+	// the sharded legs point each client at its owning shard
+	// coordinator. Routed clients ignore SetTarget (shard servers
+	// survive a root crash, so their addresses never move).
+	Route func(id int) string
 }
 
 func (c *FleetConfig) withDefaults() FleetConfig {
@@ -120,6 +125,25 @@ func (f *Fleet) Storm(n int) int {
 	return len(victims)
 }
 
+// StormIDs abruptly closes the live connections of exactly the given
+// clients — the sharded legs use it to storm one shard's slice while
+// the rest of the fleet stays seated. Returns the number of
+// connections actually closed (clients mid-redial have none).
+func (f *Fleet) StormIDs(ids []int) int {
+	f.mu.Lock()
+	victims := make([]net.Conn, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := f.conns[id]; ok {
+			victims = append(victims, c)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
 // Stop tears the fleet down: no further redials, all live connections
 // closed, and every client goroutine joined before return.
 func (f *Fleet) Stop() {
@@ -150,6 +174,9 @@ func (f *Fleet) clientLoop(id int) {
 	rng := stats.NewRNG(stats.DeriveSeed(f.cfg.Seed, uint64(id)))
 	for !f.stopping.Load() {
 		addr := f.target.Load().(string)
+		if f.cfg.Route != nil {
+			addr = f.cfg.Route(id)
+		}
 		f.dials.Add(1)
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {

@@ -181,6 +181,58 @@ func TestCrashResumeLegUnderLoad(t *testing.T) {
 	}
 }
 
+func TestShardedLegStormAndRootCrash(t *testing.T) {
+	cfg := testMatrix(t, 24)
+	res, err := RunLeg(cfg, Leg{
+		Name: "sharded", Rounds: 12, K: 6, Deadline: 8,
+		Shards: 3, StormFraction: 1, Crash: true,
+	})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if res.Shards != 3 {
+		t.Errorf("result shards = %d", res.Shards)
+	}
+	if res.StormKilled == 0 {
+		t.Fatal("storm killed no connections")
+	}
+	if res.StormRecoverySec < 0 {
+		t.Fatalf("stormed shard never recovered: %+v", res)
+	}
+	if res.CrashResumedFrom != 8 {
+		t.Errorf("root resumed from round %d, want 8", res.CrashResumedFrom)
+	}
+	if res.ShardReconnects < 3 {
+		t.Errorf("shard re-registrations after root crash = %v, want >= 3", res.ShardReconnects)
+	}
+	if res.RoundsPerSec <= 0 {
+		t.Errorf("rounds/s = %v", res.RoundsPerSec)
+	}
+	if res.FleetRounds == 0 {
+		t.Error("fleet endpoint recorded no rounds")
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+}
+
+func TestShardedLegSmallFleetSync(t *testing.T) {
+	cfg := testMatrix(t, 16)
+	res, err := RunLeg(cfg, Leg{Name: "sharded", Rounds: 6, K: 4, Deadline: 8, Shards: 2})
+	if err != nil {
+		t.Fatalf("RunLeg: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("leg failed: %+v", res)
+	}
+	if res.SessionsFinal != 16 {
+		t.Errorf("final sessions = %v, want 16", res.SessionsFinal)
+	}
+	if res.StragglerCuts == 0 {
+		t.Error("heavy-tail fleet under a deadline produced no straggler cuts")
+	}
+}
+
 func TestCrashLegRequiresCheckpointDir(t *testing.T) {
 	cfg := testMatrix(t, 4)
 	cfg.CheckpointDir = ""

@@ -68,7 +68,15 @@ func WriteReport(w io.Writer, meta RunMeta, legs []LegResult) error {
 			}
 		}
 		if l.CrashResumedFrom >= 0 {
-			bw.printf("- crash: coordinator aborted mid-run, resumed from checkpoint at round %d under load\n", l.CrashResumedFrom)
+			if l.Shards > 0 {
+				bw.printf("- crash: root aggregator aborted mid-run, resumed from checkpoint at round %d with shards re-registering under load\n", l.CrashResumedFrom)
+			} else {
+				bw.printf("- crash: coordinator aborted mid-run, resumed from checkpoint at round %d under load\n", l.CrashResumedFrom)
+			}
+		}
+		if l.Shards > 0 {
+			bw.printf("- hierarchy: %d shard coordinators under one root; %.0f shard re-registrations; root aggregation p99 %.2gs\n",
+				l.Shards, l.ShardReconnects, l.RootAggP99)
 		}
 		for _, n := range l.Notes {
 			bw.printf("- note: %s\n", n)

@@ -40,6 +40,13 @@ type Leg struct {
 	// resumes from the latest checkpoint on a fresh server, with the
 	// fleet redialing under load.
 	Crash bool
+	// Shards, when > 1, runs the leg through the hierarchical topology
+	// instead of a flat coordinator: clients partition across Shards
+	// shard coordinators by the consistent-hash ring, shard agents
+	// uplink to a root aggregator, and the leg's storm hits one whole
+	// shard's slice (a third of the way in) while Crash kills the root
+	// (two thirds in) rather than a shard.
+	Shards int
 }
 
 // MatrixConfig is the shared environment for every leg.
@@ -81,6 +88,8 @@ func DefaultLegs(roundsPerLeg, k int) []Leg {
 			Async: rounds.AsyncConfig{BufferK: max(1, k/2), MaxStaleness: 16}},
 		{Name: "storm", Rounds: roundsPerLeg, K: k, Deadline: 8, StormFraction: 0.25},
 		{Name: "crash", Rounds: roundsPerLeg, K: k, Deadline: 8, Crash: true},
+		{Name: "sharded", Rounds: roundsPerLeg, K: k, Deadline: 8, Shards: 4,
+			StormFraction: 1, Crash: true},
 	}
 }
 
@@ -125,6 +134,11 @@ type LegResult struct {
 	// Crash leg: the round index the restored coordinator resumed
 	// from (-1 when the leg did not crash).
 	CrashResumedFrom int
+	// Sharded leg: shard count and the root-observed shard session
+	// churn (0 for flat legs).
+	Shards          int
+	ShardReconnects float64
+	RootAggP99      float64
 
 	ScrapeErrors []string
 	Notes        []string
@@ -154,6 +168,9 @@ func RunMatrix(cfg MatrixConfig, legs []Leg) ([]LegResult, error) {
 // the scrapes into a LegResult.
 func RunLeg(cfg MatrixConfig, leg Leg) (LegResult, error) {
 	cfg = cfg.withDefaults()
+	if leg.Shards > 1 {
+		return runShardedLeg(cfg, leg)
+	}
 	res := LegResult{Name: leg.Name, Clients: cfg.Fleet.N, Rounds: leg.Rounds, CrashResumedFrom: -1, StormRecoverySec: -1}
 	if leg.Mode == rounds.ModeAsync && leg.Deadline != 0 {
 		return res, fmt.Errorf("async leg cannot carry a deadline")

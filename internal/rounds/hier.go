@@ -1,0 +1,1075 @@
+package rounds
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"haccs/internal/fleet"
+	"haccs/internal/simnet"
+	"haccs/internal/telemetry"
+)
+
+// This file is the root half of hierarchical FedAvg: a HierDriver runs
+// rounds over shard proxies instead of client proxies. Each shard owns
+// a slice of the population (consistent hashing lives in
+// internal/shard); the root selects globally, partitions the selection
+// by owner, and folds the shards' unnormalized sample-weighted partial
+// sums back into one global model. Because every shard reports
+// Σ n_r·w_r (not a locally normalized average), the root's
+// renormalization (Σ_s partial_s) / (Σ_s samples_s) computes exactly
+// the quantity flat FedAvg computes — the grouping by shard is
+// invisible wherever the arithmetic is exact, which the golden
+// equivalence test pins over real TCP.
+
+// ShardClient describes one client as owned by a shard: its global ID
+// and its expected round latency in virtual seconds.
+type ShardClient struct {
+	ID      int
+	Latency float64
+}
+
+// ShardCmd is one root→shard work order (one root scheduling cycle).
+type ShardCmd struct {
+	// Round is the root round/cycle index.
+	Round int
+	// Params is the global parameter snapshot the shard trains from.
+	// In async mode it is nil between resyncs: the shard keeps training
+	// from its local model until the root pushes a fresh base.
+	Params []float64
+	// Selected are the shard-owned clients the root selected this
+	// round, in global selection order (sync mode; nil in async mode,
+	// where shards select locally under their θ budget).
+	Selected []int
+	// Version is the root model version Params carries; shards echo it
+	// back as ShardReport.BaseVersion so the root can compute staleness.
+	Version int
+}
+
+// ShardReport is one shard's reply to a ShardCmd.
+type ShardReport struct {
+	// Partial is the unnormalized sample-weighted partial aggregate:
+	// sync Σ n_r·w_r over the shard's reporters, async the shard's
+	// local model delta for the cycle. Nil/empty when the shard had
+	// nothing to contribute.
+	Partial []float64
+	// Samples is the total NumSamples behind Partial.
+	Samples int
+	// Reporters carries per-reporter metadata (loss, samples, summary,
+	// stats) in the shard's selection order; Params fields are nil —
+	// only the partial sum crosses the tree.
+	Reporters []Result
+	// Cut are the shard-owned selected clients discarded at the
+	// deadline (sync; the root validates them against its own latency
+	// table).
+	Cut []int
+	// Failed are the shard-owned selected clients whose client↔shard
+	// transport died mid-round; the root marks them dead.
+	Failed []int
+	// LocalClock is the shard driver's virtual clock after the cycle
+	// (async mode; 0 in sync mode, where the root owns the clock).
+	LocalClock float64
+	// BaseVersion is the root model version of the shard's current
+	// training base (async staleness bookkeeping).
+	BaseVersion int
+	// Sessions and Reconnects are the shard's live client-session count
+	// and cumulative reconnect count, piggybacked so the root can
+	// export merged fleet gauges without scraping the shards.
+	Sessions   int
+	Reconnects int
+}
+
+// ShardProxy is one shard coordinator as seen from the root.
+// Implementations (internal/shard's TCP proxy, test fakes) must be
+// safe for one Exec call at a time per proxy; the root calls the
+// proxies in parallel but never overlaps calls to the same shard.
+type ShardProxy interface {
+	// ID returns the stable shard identifier (the consistent-hash ring
+	// member name).
+	ID() int
+	// Clients returns the roster slice this shard owns. The root caches
+	// it at construction.
+	Clients() []ShardClient
+	// Exec runs one root cycle on the shard and returns its report. An
+	// error means the whole shard failed the round trip; its selected
+	// clients are discarded for the round but stay alive.
+	Exec(cmd ShardCmd) (*ShardReport, error)
+}
+
+// HierConfig parameterizes the hierarchical root driver on top of the
+// shared Config.
+type HierConfig struct {
+	// Mode selects sync barrier rounds (the root selects globally,
+	// shards train their slices, one aggregation per round) or async
+	// (shards run local buffered cycles; the root merges their flushes
+	// staleness-weighted).
+	Mode Mode
+	// Async tunes the async-mode root merge: MaxStaleness bounds how
+	// many root versions a shard base may lag before its flush is
+	// dropped, StalenessExponent is the polynomial discount. BufferK is
+	// ignored at the root (shards buffer locally).
+	Async AsyncConfig
+	// ResyncEvery is the async base-refresh cadence: the root pushes a
+	// fresh global snapshot to every shard each ResyncEvery cycles
+	// (0 defaults to 1 — every cycle). Larger values trade staleness
+	// for bandwidth.
+	ResyncEvery int
+}
+
+// ErrBadResyncEvery rejects a negative async resync cadence.
+var ErrBadResyncEvery = errors.New("rounds: ResyncEvery must be >= 0")
+
+func (h HierConfig) withDefaults() HierConfig {
+	if h.Mode == "" {
+		h.Mode = ModeSync
+	}
+	if h.ResyncEvery == 0 {
+		h.ResyncEvery = 1
+	}
+	if h.Async.StalenessExponent == 0 {
+		h.Async.StalenessExponent = DefaultStalenessExponent
+	}
+	return h
+}
+
+// ValidateHier checks the hierarchical configuration: the shared
+// Config invariants, the sync/async mode split, and the resync
+// cadence. NewHierDriver returns exactly this error.
+func ValidateHier(cfg Config, hier HierConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	h := hier.withDefaults()
+	if h.Mode != ModeSync && h.Mode != ModeAsync {
+		return fmt.Errorf("rounds: unknown hierarchical mode %q", hier.Mode)
+	}
+	if h.Mode == ModeAsync && cfg.Deadline != 0 {
+		return fmt.Errorf("%w (got Deadline %v)", ErrDeadlineInAsync, cfg.Deadline)
+	}
+	if h.ResyncEvery < 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadResyncEvery, hier.ResyncEvery)
+	}
+	if h.Async.MaxStaleness < 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadMaxStaleness, hier.Async.MaxStaleness)
+	}
+	if h.Async.StalenessExponent < 0 {
+		return fmt.Errorf("rounds: StalenessExponent must be >= 0 (got %v)", hier.Async.StalenessExponent)
+	}
+	return nil
+}
+
+// ShardStatus is the root's per-shard view after the last round,
+// served at /debug/shards by internal/shard.
+type ShardStatus struct {
+	ID          int     `json:"id"`
+	Clients     int     `json:"clients"`
+	Sessions    int     `json:"sessions"`
+	Reconnects  int     `json:"reconnects"`
+	LocalClock  float64 `json:"local_clock"`
+	BaseVersion int     `json:"base_version"`
+	Failures    int     `json:"failures"`
+}
+
+// hierMetrics caches the shard-level collectors (nil when metrics are
+// off); the shared round collectors live in driverMetrics.
+type hierMetrics struct {
+	shardRound      telemetry.HistogramVec
+	shardClients    telemetry.GaugeVec
+	shardSessions   telemetry.GaugeVec
+	shardReconnects telemetry.GaugeVec
+	shardFailures   telemetry.CounterVec
+	rootAgg         *telemetry.Histogram
+	merges          *telemetry.Counter
+	stale           *telemetry.Counter
+	netSessions     *telemetry.Gauge
+	netReconnects   *telemetry.Counter
+}
+
+// ShardRoundBuckets cover the root's view of one shard round trip:
+// loopback sub-millisecond up to multi-second WAN tails.
+var ShardRoundBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func newHierMetrics(reg *telemetry.Registry) *hierMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &hierMetrics{
+		shardRound:      reg.HistogramVec("haccs_shard_round_seconds", "Root-observed wall time of one shard round trip.", "shard", ShardRoundBuckets),
+		shardClients:    reg.GaugeVec("haccs_shard_clients", "Clients owned by each shard.", "shard"),
+		shardSessions:   reg.GaugeVec("haccs_shard_sessions", "Live client sessions per shard (shard self-reported).", "shard"),
+		shardReconnects: reg.GaugeVec("haccs_shard_reconnects", "Cumulative client reconnects per shard (shard self-reported).", "shard"),
+		shardFailures:   reg.CounterVec("haccs_shard_failures_total", "Whole-shard round-trip failures observed by the root.", "shard"),
+		rootAgg:         reg.Histogram("haccs_root_aggregate_seconds", "Wall time of the root's hierarchical aggregation step.", ShardRoundBuckets),
+		merges:          reg.Counter("haccs_shard_merges_total", "Shard partials folded into the global model."),
+		stale:           reg.Counter("haccs_shard_stale_total", "Async shard flushes dropped past the staleness bound."),
+		netSessions:     reg.Gauge("haccs_net_sessions_active", "Live client sessions across all shards (merged view)."),
+		netReconnects:   reg.Counter("haccs_net_reconnects_total", "Client reconnects across all shards (merged view)."),
+	}
+}
+
+// HierDriver runs the root half of hierarchical FedAvg over shard
+// proxies. It implements Runner, so the flat coordinator surface
+// (checkpointing, the round loop, /debug handlers) works unchanged.
+// Like the flat drivers it is not safe for concurrent use.
+type HierDriver struct {
+	cfg      Config
+	hier     HierConfig
+	strategy Strategy
+	shards   []ShardProxy
+
+	// Roster geometry, fixed at construction: owner maps a global
+	// client ID to its shard slot, slotClients holds each shard's
+	// client IDs in ascending order.
+	owner       []int
+	slotClients [][]int
+	latency     []float64
+	labels      []string
+
+	global  []float64
+	clock   float64
+	version int // root model version: aggregations applied so far
+	cycle   int // async resync cadence counter
+	dead    []bool
+
+	// Async bookkeeping: each shard's current base version and the
+	// cumulative per-shard counters behind ShardStatus.
+	base       []int
+	sessions   []int
+	reconnects []int
+	lastClock  []float64
+	failures   []int
+
+	// Round-loop buffers, sized once and reused.
+	available []bool
+	seen      []bool
+	down      []int
+	cut       []int
+	failed    []int
+	repIDs    []int
+	losses    []float64
+	perShard  [][]int
+	repBuf    []*ShardReport
+	errBuf    []error
+	scratch   []float64
+	reports   []fleet.ClientReport
+
+	met  *driverMetrics
+	hmet *hierMetrics
+}
+
+// NewHierDriver builds the root driver over the shards. The shards'
+// client sets must partition a dense roster 0..n-1; initial is the
+// global parameter vector (the driver takes ownership). In sync mode
+// the strategy is the global selection strategy and must already be
+// initialized over the full roster; in async mode it may be nil (the
+// shards select locally) and is only fed reporter losses when present.
+// Unlike NewDriver, invalid input returns an error: the roster arrives
+// over the network, so it is not a programming-error panic.
+func NewHierDriver(cfg Config, hier HierConfig, shards []ShardProxy, strategy Strategy, initial []float64) (*HierDriver, error) {
+	if err := ValidateHier(cfg, hier); err != nil {
+		return nil, err
+	}
+	hier = hier.withDefaults()
+	if cfg.Dropout == nil {
+		cfg.Dropout = simnet.NoDropout{}
+	}
+	if len(shards) == 0 {
+		return nil, errors.New("rounds: hierarchical driver needs at least one shard")
+	}
+	if hier.Mode == ModeSync && strategy == nil {
+		return nil, errors.New("rounds: sync hierarchical driver needs a selection strategy")
+	}
+	n := 0
+	for _, s := range shards {
+		n += len(s.Clients())
+	}
+	if n == 0 {
+		return nil, errors.New("rounds: shards own no clients")
+	}
+	d := &HierDriver{
+		cfg:      cfg,
+		hier:     hier,
+		strategy: strategy,
+		shards:   shards,
+		met:      newDriverMetrics(cfg.Metrics),
+		hmet:     newHierMetrics(cfg.Metrics),
+	}
+	d.owner = make([]int, n)
+	d.latency = make([]float64, n)
+	for i := range d.owner {
+		d.owner[i] = -1
+	}
+	d.slotClients = make([][]int, len(shards))
+	d.labels = make([]string, len(shards))
+	for slot, s := range shards {
+		d.labels[slot] = strconv.Itoa(s.ID())
+		ids := make([]int, 0, len(s.Clients()))
+		for _, c := range s.Clients() {
+			if c.ID < 0 || c.ID >= n {
+				return nil, fmt.Errorf("rounds: shard %d owns client %d outside the dense roster [0,%d)", s.ID(), c.ID, n)
+			}
+			if d.owner[c.ID] != -1 {
+				return nil, fmt.Errorf("rounds: client %d owned by shards %d and %d", c.ID, shards[d.owner[c.ID]].ID(), s.ID())
+			}
+			if c.Latency < 0 {
+				return nil, fmt.Errorf("rounds: shard %d reports negative latency for client %d", s.ID(), c.ID)
+			}
+			d.owner[c.ID] = slot
+			d.latency[c.ID] = c.Latency
+			ids = append(ids, c.ID)
+		}
+		sort.Ints(ids)
+		d.slotClients[slot] = ids
+	}
+	d.global = initial
+	d.dead = make([]bool, n)
+	d.base = make([]int, len(shards))
+	d.sessions = make([]int, len(shards))
+	d.reconnects = make([]int, len(shards))
+	d.lastClock = make([]float64, len(shards))
+	d.failures = make([]int, len(shards))
+	k := cfg.ClientsPerRound
+	d.available = make([]bool, n)
+	d.seen = make([]bool, n)
+	d.cut = make([]int, 0, k)
+	d.failed = make([]int, 0, k)
+	d.repIDs = make([]int, 0, k)
+	d.losses = make([]float64, 0, k)
+	d.perShard = make([][]int, len(shards))
+	for i := range d.perShard {
+		d.perShard[i] = make([]int, 0, k)
+	}
+	d.repBuf = make([]*ShardReport, len(shards))
+	d.errBuf = make([]error, len(shards))
+	d.scratch = make([]float64, len(initial))
+	if cfg.Fleet != nil {
+		d.reports = make([]fleet.ClientReport, 0, k)
+	}
+	if d.hmet != nil {
+		for slot := range shards {
+			d.hmet.shardClients.With(d.labels[slot]).Set(float64(len(d.slotClients[slot])))
+		}
+	}
+	return d, nil
+}
+
+// Global returns the driver-owned global parameter vector (read-only).
+func (d *HierDriver) Global() []float64 { return d.global }
+
+// Clock returns the virtual time elapsed so far in seconds.
+func (d *HierDriver) Clock() float64 { return d.clock }
+
+// Version returns the root model version — aggregations applied so far.
+func (d *HierDriver) Version() int { return d.version }
+
+// Latency returns a client's expected round latency in virtual seconds.
+func (d *HierDriver) Latency(id int) float64 { return d.latency[id] }
+
+// Dead reports whether a client's transport failed in an earlier round.
+func (d *HierDriver) Dead(id int) bool { return d.dead[id] }
+
+// Owner returns the shard slot owning a client, or -1 if out of range.
+func (d *HierDriver) Owner(id int) int {
+	if id < 0 || id >= len(d.owner) {
+		return -1
+	}
+	return d.owner[id]
+}
+
+// ShardStatuses returns the per-shard view after the last completed
+// round, in shard slot order. The slice is freshly allocated.
+func (d *HierDriver) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, len(d.shards))
+	for slot, s := range d.shards {
+		out[slot] = ShardStatus{
+			ID:          s.ID(),
+			Clients:     len(d.slotClients[slot]),
+			Sessions:    d.sessions[slot],
+			Reconnects:  d.reconnects[slot],
+			LocalClock:  d.lastClock[slot],
+			BaseVersion: d.base[slot],
+			Failures:    d.failures[slot],
+		}
+	}
+	return out
+}
+
+// RunRound executes one root scheduling cycle: a sync barrier round
+// (global selection partitioned by owner, parallel shard execution,
+// one renormalized aggregation) or an async merge cycle (every shard
+// runs one local buffered cycle; the root folds the flushes
+// staleness-weighted). Implements Runner.
+func (d *HierDriver) RunRound(round int) Outcome {
+	if d.hier.Mode == ModeAsync {
+		return d.runAsync(round)
+	}
+	return d.runSync(round)
+}
+
+func (d *HierDriver) runSync(round int) Outcome {
+	tracer := d.cfg.Tracer
+	if tracer != nil {
+		tracer.Emit(telemetry.RoundStart(round))
+	}
+	mask := d.cfg.Dropout.Unavailable(round, len(d.owner))
+	available := d.available
+	down := d.down[:0]
+	for i := range available {
+		available[i] = !mask[i] && !d.dead[i]
+		if !available[i] {
+			down = append(down, i)
+		}
+	}
+	d.down = down
+	if len(down) > 0 {
+		if tracer != nil {
+			tracer.Emit(telemetry.Unavailable(round, down))
+		}
+		if d.met != nil {
+			d.met.unavailable.Add(float64(len(down)))
+		}
+	}
+	selected := d.strategy.Select(round, available, d.cfg.ClientsPerRound)
+	if tracer != nil {
+		tracer.Emit(telemetry.Selection(round, append([]int(nil), selected...)))
+	}
+	if len(selected) == 0 {
+		d.clock++
+		d.strategy.Update(round, nil, nil)
+		if d.met != nil {
+			d.met.rounds.Inc()
+			d.met.clock.Set(d.clock)
+		}
+		if d.cfg.Fleet != nil {
+			d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+				Round:        round,
+				Unavailable:  down,
+				RoundVirtual: 1,
+				Clock:        d.clock,
+			})
+		}
+		return Outcome{RoundVirtual: 1}
+	}
+	validateSelection(selected, available, d.seen, len(d.owner), d.cfg.ClientsPerRound)
+
+	// Partition the selection by owning shard, preserving global
+	// selection order within each shard.
+	for slot := range d.perShard {
+		d.perShard[slot] = d.perShard[slot][:0]
+	}
+	for _, id := range selected {
+		slot := d.owner[id]
+		d.perShard[slot] = append(d.perShard[slot], id)
+	}
+	d.exec(func(slot int) ShardCmd {
+		return ShardCmd{Round: round, Params: d.global, Selected: d.perShard[slot], Version: d.version}
+	}, func(slot int) bool { return len(d.perShard[slot]) > 0 })
+
+	// Collect: validate each shard's report against the root's own
+	// latency table, then walk the global selection order with
+	// per-shard cursors to rebuild reporters/cut/failed exactly as the
+	// flat driver's collect loop would.
+	deadline := d.cfg.Deadline
+	cut := d.cut[:0]
+	failed := d.failed[:0]
+	repIDs := d.repIDs[:0]
+	losses := d.losses[:0]
+	if d.cfg.Fleet != nil {
+		d.reports = d.reports[:0]
+	}
+	for slot := range d.shards {
+		if len(d.perShard[slot]) == 0 {
+			continue
+		}
+		if d.errBuf[slot] == nil {
+			if err := d.checkSyncReport(slot, d.repBuf[slot]); err != nil {
+				d.errBuf[slot] = err
+			}
+		}
+		if d.errBuf[slot] != nil {
+			d.failures[slot]++
+			if d.hmet != nil {
+				d.hmet.shardFailures.With(d.labels[slot]).Inc()
+			}
+			if tracer != nil {
+				tracer.Emit(telemetry.ShardFailed(round, d.shards[slot].ID(), append([]int(nil), d.perShard[slot]...)))
+			}
+		}
+	}
+	cursor := make(map[int]int, len(d.shards))
+	failedSet := d.seen
+	clear(failedSet)
+	for slot := range d.shards {
+		if d.errBuf[slot] == nil && d.repBuf[slot] != nil {
+			for _, id := range d.repBuf[slot].Failed {
+				failedSet[id] = true
+			}
+		}
+	}
+	maxAll, maxRep := 0.0, 0.0
+	samples := 0
+	for _, id := range selected {
+		lat := d.latency[id]
+		if lat > maxAll {
+			maxAll = lat
+		}
+		slot := d.owner[id]
+		if d.errBuf[slot] != nil {
+			// Whole-shard failure: the update is lost for the round but
+			// the client is not dead — its shard is.
+			cut = append(cut, id)
+			continue
+		}
+		if failedSet[id] {
+			failed = append(failed, id)
+			d.dead[id] = true
+			continue
+		}
+		if deadline > 0 && lat > deadline {
+			cut = append(cut, id)
+			continue
+		}
+		rep := d.repBuf[slot]
+		r := &rep.Reporters[cursor[slot]]
+		cursor[slot]++
+		repIDs = append(repIDs, id)
+		losses = append(losses, r.Loss)
+		samples += r.NumSamples
+		if lat > maxRep {
+			maxRep = lat
+		}
+		if d.met != nil {
+			d.met.trainVirt.Observe(lat)
+		}
+		if d.cfg.OnSummary != nil && r.Summary != nil {
+			d.cfg.OnSummary(id, r.Summary)
+		}
+		if d.cfg.Fleet != nil {
+			d.reports = append(d.reports, fleet.ClientReport{
+				ClientID:   id,
+				Loss:       r.Loss,
+				NumSamples: r.NumSamples,
+				VirtualSec: lat,
+				Stats:      r.Stats,
+			})
+		}
+	}
+	d.cut, d.failed, d.repIDs, d.losses = cut, failed, repIDs, losses
+
+	roundTime := maxRep
+	if len(cut)+len(failed) > 0 {
+		if deadline > 0 {
+			roundTime = deadline
+		} else {
+			roundTime = maxAll
+		}
+	}
+
+	// Aggregate: sum the shards' unnormalized partials and renormalize
+	// once by the total sample count — flat FedAvg, grouped by shard.
+	aggregated := false
+	var aggStart time.Time
+	if d.hmet != nil {
+		aggStart = time.Now()
+	}
+	if len(repIDs) > 0 {
+		for i := range d.scratch {
+			d.scratch[i] = 0
+		}
+		merged := 0
+		for slot := range d.shards {
+			rep := d.repBuf[slot]
+			if d.errBuf[slot] != nil || rep == nil || rep.Samples == 0 {
+				continue
+			}
+			for i, v := range rep.Partial {
+				d.scratch[i] += v
+			}
+			merged++
+		}
+		inv := float64(samples)
+		for i := range d.global {
+			d.global[i] = d.scratch[i] / inv
+		}
+		d.version++
+		aggregated = true
+		if d.hmet != nil {
+			d.hmet.merges.Add(float64(merged))
+		}
+		if tracer != nil {
+			tracer.Emit(telemetry.ShardMerge(round, merged, samples, time.Since(aggStart).Seconds(), d.clock+roundTime))
+		}
+	}
+	if d.hmet != nil {
+		d.hmet.rootAgg.Observe(time.Since(aggStart).Seconds())
+	}
+	d.clock += roundTime
+
+	if len(cut) > 0 && tracer != nil {
+		tracer.Emit(telemetry.StragglerCut(round, append([]int(nil), cut...), deadline))
+	}
+	if len(failed) > 0 && tracer != nil {
+		tracer.Emit(telemetry.ClientFailed(round, append([]int(nil), failed...)))
+	}
+	if aggregated && tracer != nil {
+		tracer.Emit(telemetry.Aggregated(round, append([]int(nil), selected...), roundTime, d.clock))
+	}
+	if d.met != nil {
+		d.met.rounds.Inc()
+		d.met.selected.Add(float64(len(selected)))
+		if len(cut) > 0 {
+			d.met.stragglers.Add(float64(len(cut)))
+		}
+		if len(failed) > 0 {
+			d.met.failures.Add(float64(len(failed)))
+		}
+		d.met.roundVirt.Observe(roundTime)
+		d.met.clock.Set(d.clock)
+	}
+	d.strategy.Update(round, repIDs, losses)
+	if d.cfg.Fleet != nil {
+		d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+			Round:        round,
+			Selected:     selected,
+			Reports:      d.reports,
+			Cut:          cut,
+			Failed:       failed,
+			Unavailable:  down,
+			RoundVirtual: roundTime,
+			Clock:        d.clock,
+		})
+	}
+	return Outcome{
+		Selected:     selected,
+		Reporters:    repIDs,
+		Losses:       losses,
+		Cut:          cut,
+		Failed:       failed,
+		RoundVirtual: roundTime,
+		Aggregated:   aggregated,
+	}
+}
+
+// checkSyncReport validates one shard's sync report against the root's
+// independent view: the cut set must match the root's deadline
+// arithmetic, reporters must be exactly the selected minus cut minus
+// failed in order, and the partial must be dimensioned and weighted
+// consistently. A violation is treated as a whole-shard failure for
+// the round (the transport layer additionally drops the session).
+func (d *HierDriver) checkSyncReport(slot int, rep *ShardReport) error {
+	if rep == nil {
+		return fmt.Errorf("rounds: shard %d returned no report", d.shards[slot].ID())
+	}
+	sel := d.perShard[slot]
+	inSel := make(map[int]bool, len(sel))
+	for _, id := range sel {
+		inSel[id] = true
+	}
+	for _, id := range rep.Failed {
+		if !inSel[id] {
+			return fmt.Errorf("rounds: shard %d reported unselected client %d as failed", d.shards[slot].ID(), id)
+		}
+	}
+	failedSet := make(map[int]bool, len(rep.Failed))
+	for _, id := range rep.Failed {
+		failedSet[id] = true
+	}
+	// Recompute the expected cut and reporter sequences.
+	deadline := d.cfg.Deadline
+	wantCut := make([]int, 0, len(sel))
+	wantRep := make([]int, 0, len(sel))
+	for _, id := range sel {
+		if failedSet[id] {
+			continue
+		}
+		if deadline > 0 && d.latency[id] > deadline {
+			wantCut = append(wantCut, id)
+			continue
+		}
+		wantRep = append(wantRep, id)
+	}
+	if len(rep.Cut) != len(wantCut) {
+		return fmt.Errorf("rounds: shard %d cut %d clients, root expected %d", d.shards[slot].ID(), len(rep.Cut), len(wantCut))
+	}
+	for i, id := range rep.Cut {
+		if id != wantCut[i] {
+			return fmt.Errorf("rounds: shard %d cut set disagrees at position %d (%d vs %d)", d.shards[slot].ID(), i, id, wantCut[i])
+		}
+	}
+	if len(rep.Reporters) != len(wantRep) {
+		return fmt.Errorf("rounds: shard %d reported %d reporters, root expected %d", d.shards[slot].ID(), len(rep.Reporters), len(wantRep))
+	}
+	samples := 0
+	for i := range rep.Reporters {
+		r := &rep.Reporters[i]
+		if r.ClientID != wantRep[i] {
+			return fmt.Errorf("rounds: shard %d reporter order disagrees at position %d (%d vs %d)", d.shards[slot].ID(), i, r.ClientID, wantRep[i])
+		}
+		if r.NumSamples <= 0 {
+			return fmt.Errorf("rounds: shard %d reporter %d has non-positive sample count", d.shards[slot].ID(), r.ClientID)
+		}
+		samples += r.NumSamples
+	}
+	if len(rep.Reporters) > 0 {
+		if len(rep.Partial) != len(d.global) {
+			return fmt.Errorf("rounds: shard %d partial dimension %d, model has %d", d.shards[slot].ID(), len(rep.Partial), len(d.global))
+		}
+		if rep.Samples != samples {
+			return fmt.Errorf("rounds: shard %d partial weight %d, reporters sum to %d", d.shards[slot].ID(), rep.Samples, samples)
+		}
+	} else if rep.Samples != 0 {
+		return fmt.Errorf("rounds: shard %d reported weight %d with no reporters", d.shards[slot].ID(), rep.Samples)
+	}
+	return nil
+}
+
+// runAsync executes one async root cycle: every shard runs one local
+// buffered cycle (from a freshly pushed base on resync cycles) and the
+// root folds the returned deltas staleness-weighted, in deterministic
+// (LocalClock, shard ID) order.
+func (d *HierDriver) runAsync(round int) Outcome {
+	tracer := d.cfg.Tracer
+	if tracer != nil {
+		tracer.Emit(telemetry.RoundStart(round))
+	}
+	resync := d.cycle%d.hier.ResyncEvery == 0
+	d.cycle++
+	d.exec(func(slot int) ShardCmd {
+		cmd := ShardCmd{Round: round, Version: d.version}
+		if resync {
+			cmd.Params = d.global
+		}
+		return cmd
+	}, func(slot int) bool { return true })
+
+	type flush struct {
+		slot int
+		rep  *ShardReport
+		tau  int
+	}
+	flushes := make([]flush, 0, len(d.shards))
+	failed := d.failed[:0]
+	cut := d.cut[:0]
+	for slot := range d.shards {
+		if d.errBuf[slot] != nil {
+			d.failures[slot]++
+			if d.hmet != nil {
+				d.hmet.shardFailures.With(d.labels[slot]).Inc()
+			}
+			if tracer != nil {
+				tracer.Emit(telemetry.ShardFailed(round, d.shards[slot].ID(), nil))
+			}
+			continue
+		}
+		rep := d.repBuf[slot]
+		if rep == nil {
+			continue
+		}
+		if resync {
+			d.base[slot] = d.version
+		}
+		d.lastClock[slot] = rep.LocalClock
+		tau := d.version - rep.BaseVersion
+		if tau < 0 {
+			tau = 0
+		}
+		for _, id := range rep.Failed {
+			if id >= 0 && id < len(d.dead) {
+				d.dead[id] = true
+				failed = append(failed, id)
+			}
+		}
+		cut = append(cut, rep.Cut...)
+		if rep.Samples <= 0 || len(rep.Reporters) == 0 {
+			continue
+		}
+		if len(rep.Partial) != len(d.global) {
+			d.failures[slot]++
+			continue
+		}
+		if d.hier.Async.MaxStaleness > 0 && tau > d.hier.Async.MaxStaleness {
+			if d.hmet != nil {
+				d.hmet.stale.Inc()
+			}
+			continue
+		}
+		flushes = append(flushes, flush{slot: slot, rep: rep, tau: tau})
+	}
+	d.failed, d.cut = failed, cut
+	sort.Slice(flushes, func(i, j int) bool {
+		if flushes[i].rep.LocalClock != flushes[j].rep.LocalClock {
+			return flushes[i].rep.LocalClock < flushes[j].rep.LocalClock
+		}
+		return d.shards[flushes[i].slot].ID() < d.shards[flushes[j].slot].ID()
+	})
+
+	var aggStart time.Time
+	if d.hmet != nil {
+		aggStart = time.Now()
+	}
+	repIDs := d.repIDs[:0]
+	losses := d.losses[:0]
+	if d.cfg.Fleet != nil {
+		d.reports = d.reports[:0]
+	}
+	aggregated := false
+	samples := 0
+	if len(flushes) > 0 {
+		total := 0.0
+		for _, f := range flushes {
+			total += float64(f.rep.Samples) / math.Pow(1+float64(f.tau), d.hier.Async.StalenessExponent)
+		}
+		for _, f := range flushes {
+			w := float64(f.rep.Samples) / math.Pow(1+float64(f.tau), d.hier.Async.StalenessExponent)
+			c := w / total
+			for i, v := range f.rep.Partial {
+				d.global[i] += c * v
+			}
+			samples += f.rep.Samples
+			for i := range f.rep.Reporters {
+				r := &f.rep.Reporters[i]
+				repIDs = append(repIDs, r.ClientID)
+				losses = append(losses, r.Loss)
+				if d.cfg.OnSummary != nil && r.Summary != nil {
+					d.cfg.OnSummary(r.ClientID, r.Summary)
+				}
+				if d.cfg.Fleet != nil {
+					lat := 0.0
+					if r.ClientID >= 0 && r.ClientID < len(d.latency) {
+						lat = d.latency[r.ClientID]
+					}
+					d.reports = append(d.reports, fleet.ClientReport{
+						ClientID:   r.ClientID,
+						Loss:       r.Loss,
+						NumSamples: r.NumSamples,
+						VirtualSec: lat,
+						Stats:      r.Stats,
+						Staleness:  f.tau,
+					})
+				}
+			}
+			if tracer != nil {
+				ids := make([]int, len(f.rep.Reporters))
+				for i := range f.rep.Reporters {
+					ids[i] = f.rep.Reporters[i].ClientID
+				}
+				tracer.Emit(telemetry.ShardReport(round, d.shards[f.slot].ID(), ids, f.rep.Samples, 0, f.tau, f.rep.LocalClock))
+			}
+		}
+		d.version++
+		aggregated = true
+		if d.hmet != nil {
+			d.hmet.merges.Add(float64(len(flushes)))
+		}
+	}
+	d.repIDs, d.losses = repIDs, losses
+
+	// The root clock tracks the frontier of shard-local virtual time;
+	// an empty cycle idles one virtual second like the flat drivers.
+	prev := d.clock
+	for slot := range d.shards {
+		if d.lastClock[slot] > d.clock {
+			d.clock = d.lastClock[slot]
+		}
+	}
+	if d.clock == prev && !aggregated {
+		d.clock++
+	}
+	roundVirtual := d.clock - prev
+	if d.hmet != nil {
+		d.hmet.rootAgg.Observe(time.Since(aggStart).Seconds())
+	}
+	if aggregated && tracer != nil {
+		tracer.Emit(telemetry.ShardMerge(round, len(flushes), samples, time.Since(aggStart).Seconds(), d.clock))
+	}
+	if d.met != nil {
+		d.met.rounds.Inc()
+		if len(failed) > 0 {
+			d.met.failures.Add(float64(len(failed)))
+		}
+		d.met.roundVirt.Observe(roundVirtual)
+		d.met.clock.Set(d.clock)
+	}
+	if d.strategy != nil {
+		d.strategy.Update(round, repIDs, losses)
+	}
+	if d.cfg.Fleet != nil {
+		d.cfg.Fleet.ObserveRound(fleet.RoundObservation{
+			Round:        round,
+			Reports:      d.reports,
+			Cut:          cut,
+			Failed:       failed,
+			RoundVirtual: roundVirtual,
+			Clock:        d.clock,
+			Async:        true,
+		})
+	}
+	return Outcome{
+		Reporters:    repIDs,
+		Losses:       losses,
+		Cut:          cut,
+		Failed:       failed,
+		RoundVirtual: roundVirtual,
+		Aggregated:   aggregated,
+	}
+}
+
+// exec fans one command out to every participating shard in parallel,
+// filling d.repBuf/d.errBuf by slot. Shard-level telemetry (round-trip
+// histogram, session/reconnect gauges) is recorded here.
+func (d *HierDriver) exec(cmd func(slot int) ShardCmd, participates func(slot int) bool) {
+	for slot := range d.shards {
+		d.repBuf[slot] = nil
+		d.errBuf[slot] = nil
+	}
+	var wg sync.WaitGroup
+	for slot := range d.shards {
+		if !participates(slot) {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			start := time.Now()
+			rep, err := d.shards[slot].Exec(cmd(slot))
+			if d.hmet != nil {
+				d.hmet.shardRound.With(d.labels[slot]).Observe(time.Since(start).Seconds())
+			}
+			d.repBuf[slot], d.errBuf[slot] = rep, err
+		}(slot)
+	}
+	wg.Wait()
+	if d.hmet != nil {
+		live := 0
+		for slot := range d.shards {
+			rep := d.repBuf[slot]
+			if rep == nil {
+				continue
+			}
+			if rep.Reconnects > d.reconnects[slot] {
+				d.hmet.netReconnects.Add(float64(rep.Reconnects - d.reconnects[slot]))
+			}
+			d.sessions[slot] = rep.Sessions
+			d.reconnects[slot] = rep.Reconnects
+			d.hmet.shardSessions.With(d.labels[slot]).Set(float64(rep.Sessions))
+			d.hmet.shardReconnects.With(d.labels[slot]).Set(float64(rep.Reconnects))
+		}
+		for slot := range d.shards {
+			live += d.sessions[slot]
+		}
+		d.hmet.netSessions.Set(float64(live))
+	} else {
+		for slot := range d.shards {
+			if rep := d.repBuf[slot]; rep != nil {
+				d.sessions[slot] = rep.Sessions
+				d.reconnects[slot] = rep.Reconnects
+			}
+		}
+	}
+}
+
+// hierStateVersion versions the hierarchical driver's gob payload.
+const hierStateVersion = 1
+
+// hierState is the root driver's serialized mutable state beyond the
+// global model: the clock, the dead mask, the model version and the
+// async resync bookkeeping. Shard-local state (async buffers in
+// flight) is deliberately not captured — on restore the shards rebuild
+// from the restored global base, losing at most one un-merged local
+// buffer per shard (the documented bounded-loss semantics; sync shards
+// are stateless between rounds, so the sync path restores exactly).
+type hierState struct {
+	Version      int
+	Clock        float64
+	Dead         []bool
+	ModelVersion int
+	Cycle        int
+	Base         []int
+	// Per-shard cumulative counters as of the snapshot. Restoring them
+	// re-baselines the merged reconnect counter, so a restored root does
+	// not re-count client reconnects the crashed root already counted,
+	// and keeps /debug/shards continuous across a restore.
+	Sessions   []int
+	Reconnects []int
+	LastClock  []float64
+	Failures   []int
+}
+
+// SnapshotState implements checkpoint.Snapshotter.
+func (d *HierDriver) SnapshotState() ([]byte, error) {
+	st := hierState{
+		Version:      hierStateVersion,
+		Clock:        d.clock,
+		Dead:         append([]bool(nil), d.dead...),
+		ModelVersion: d.version,
+		Cycle:        d.cycle,
+		Base:         append([]int(nil), d.base...),
+		Sessions:     append([]int(nil), d.sessions...),
+		Reconnects:   append([]int(nil), d.reconnects...),
+		LastClock:    append([]float64(nil), d.lastClock...),
+		Failures:     append([]int(nil), d.failures...),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("rounds: encode hierarchical driver state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements checkpoint.Snapshotter. The driver must have
+// been constructed over the same roster partition as the run that
+// produced the snapshot.
+func (d *HierDriver) RestoreState(data []byte) error {
+	var st hierState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("rounds: decode hierarchical driver state: %w", err)
+	}
+	if st.Version != hierStateVersion {
+		return fmt.Errorf("rounds: hierarchical driver state version %d, this build reads %d", st.Version, hierStateVersion)
+	}
+	if len(st.Dead) != len(d.dead) {
+		return fmt.Errorf("rounds: hierarchical snapshot for %d clients, driver has %d", len(st.Dead), len(d.dead))
+	}
+	if len(st.Base) != len(d.base) {
+		return fmt.Errorf("rounds: hierarchical snapshot for %d shards, driver has %d", len(st.Base), len(d.base))
+	}
+	d.clock = st.Clock
+	copy(d.dead, st.Dead)
+	d.version = st.ModelVersion
+	d.cycle = st.Cycle
+	copy(d.base, st.Base)
+	if len(st.Sessions) == len(d.sessions) {
+		copy(d.sessions, st.Sessions)
+	}
+	if len(st.Reconnects) == len(d.reconnects) {
+		copy(d.reconnects, st.Reconnects)
+	}
+	if len(st.LastClock) == len(d.lastClock) {
+		copy(d.lastClock, st.LastClock)
+	}
+	if len(st.Failures) == len(d.failures) {
+		copy(d.failures, st.Failures)
+	}
+	if d.met != nil {
+		d.met.clock.Set(d.clock)
+	}
+	return nil
+}
+
+// SetGlobal overwrites the driver-owned global parameter vector — the
+// restore path of the model snapshot component.
+func (d *HierDriver) SetGlobal(params []float64) error {
+	if len(params) != len(d.global) {
+		return fmt.Errorf("rounds: SetGlobal with %d params, driver has %d", len(params), len(d.global))
+	}
+	copy(d.global, params)
+	return nil
+}
+
+var _ Runner = (*HierDriver)(nil)

@@ -1,0 +1,574 @@
+package shard
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"haccs/internal/fleet"
+	"haccs/internal/flnet"
+	"haccs/internal/rounds"
+	"haccs/internal/sketch"
+	"haccs/internal/stats"
+	"haccs/internal/telemetry"
+)
+
+// Defaults for the agent's sketch representatives. Every shard in a
+// deployment must use the same sketch geometry and seed, or the root's
+// cross-shard clustering compares incomparable vectors; these defaults
+// make the zero-config case consistent.
+const (
+	DefaultSketchDim  = 32
+	DefaultSketchSeed = 0x5ac1d
+)
+
+// AgentConfig parameterizes one shard coordinator's root-facing side.
+type AgentConfig struct {
+	// ShardID is this shard's stable identity on the consistent-hash
+	// ring. Must be >= 0 and unique across the deployment.
+	ShardID int
+	// Root is the root aggregator's TCP address.
+	Root string
+	// Server is the shard's client-facing coordinator with its fleet
+	// slice already registered (AcceptClients done). The agent builds
+	// its roster and sketch representatives from the registrations and
+	// drives training through Server.Train.
+	Server *flnet.Server
+	// Metrics, when non-nil, receives the shard-local driver collectors
+	// (async mode) — the root separately exports the haccs_shard_*
+	// family from its own vantage point.
+	Metrics *telemetry.Registry
+	// Tracer receives the shard-local round events (async mode).
+	Tracer telemetry.Tracer
+	// SketchDim/SketchSeed/AttachRadius shape the label-distribution
+	// representatives shipped in the Hello (zero values select the
+	// shared defaults). All shards must agree on dim and seed.
+	SketchDim    int
+	SketchSeed   uint64
+	AttachRadius float64
+	// StrategySeed seeds the async local uniform selection stream
+	// (derived per shard, so equal seeds across shards do not correlate).
+	StrategySeed uint64
+	// RedialEvery is the pause between reconnection attempts to the
+	// root; RedialFor bounds how long the agent keeps dialing a dead
+	// root before giving up. Defaults: 50ms / 30s.
+	RedialEvery time.Duration
+	RedialFor   time.Duration
+}
+
+// Agent is the shard coordinator's uplink: it registers the shard's
+// roster slice with the root (Hello/Ack), then serves Cmd/Report
+// exchanges — training its clients through the local flnet server in
+// sync mode, or running a local buffered async driver between root
+// resyncs — until the root says Bye. A lost root connection is
+// redialed with the full handshake; the root validates the re-offered
+// roster and replays the Ack, so a root crash-and-restore looks to the
+// agent like one long round gap.
+type Agent struct {
+	cfg     AgentConfig
+	roster  []rounds.ShardClient
+	latency map[int]float64
+	hello   Hello
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	ack   Ack
+	acked bool
+
+	// Async-mode local state, built lazily on first Ack.
+	local       *rounds.AsyncDriver
+	localRound  int
+	baseVersion int
+	prev        []float64
+	globalIDs   []int // local dense index -> global ID
+	lastResults []asyncResult
+}
+
+// asyncResult is the per-client metadata the local async transport
+// captured at the client's last training exchange, consumed when the
+// buffered update flushes.
+type asyncResult struct {
+	samples int
+	summary []float64
+	stats   *fleet.ClientStats
+}
+
+// NewAgent builds the agent over an already-seated shard server: the
+// roster comes from the server's registrations (sorted by global ID),
+// and the Hello's sketch representatives from a shard-local ε-net over
+// the clients' label histograms.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.ShardID < 0 {
+		return nil, fmt.Errorf("shard: negative shard ID %d", cfg.ShardID)
+	}
+	if cfg.Server == nil {
+		return nil, errors.New("shard: agent needs a client-facing server")
+	}
+	if cfg.RedialEvery <= 0 {
+		cfg.RedialEvery = 50 * time.Millisecond
+	}
+	if cfg.RedialFor <= 0 {
+		cfg.RedialFor = 30 * time.Second
+	}
+	if cfg.SketchDim <= 0 {
+		cfg.SketchDim = DefaultSketchDim
+	}
+	if cfg.SketchSeed == 0 {
+		cfg.SketchSeed = DefaultSketchSeed
+	}
+	regs := cfg.Server.Registrations()
+	if len(regs) == 0 {
+		return nil, errors.New("shard: agent owns no registered clients")
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].ClientID < regs[j].ClientID })
+	a := &Agent{
+		cfg:     cfg,
+		roster:  make([]rounds.ShardClient, len(regs)),
+		latency: make(map[int]float64, len(regs)),
+	}
+	for i, r := range regs {
+		if r.ClientID < 0 {
+			return nil, fmt.Errorf("shard: registered client has negative ID %d", r.ClientID)
+		}
+		a.roster[i] = rounds.ShardClient{ID: r.ClientID, Latency: r.LatencyEstimate}
+		a.latency[r.ClientID] = r.LatencyEstimate
+	}
+	reps, counts, dim := buildReps(regs, cfg.SketchDim, cfg.SketchSeed, cfg.AttachRadius)
+	a.hello = Hello{
+		ShardID:   cfg.ShardID,
+		Clients:   a.roster,
+		SketchDim: dim,
+		Reps:      reps,
+		RepCounts: counts,
+		Sessions:  cfg.Server.Sessions(),
+	}
+	if err := a.hello.check(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// buildReps runs a shard-local ε-net over the registrations' label
+// histograms (amplitude-encoded, the same √p embedding the scheduler's
+// sketch backend uses) and returns the representative sketches with
+// their member counts. Clients without label counts attach to a zero
+// histogram's uniform amplitude, so the shard still announces one
+// representative.
+func buildReps(regs []flnet.Register, dim int, seed uint64, attach float64) ([][]float64, []int, int) {
+	sk := sketch.New(sketch.Config{Dim: dim, Seed: seed})
+	idx := sketch.NewIndex(len(regs), sk.Dim(), attach, nil)
+	var amp []float64
+	for i, r := range regs {
+		if len(amp) < max(len(r.LabelCounts), 1) {
+			amp = make([]float64, max(len(r.LabelCounts), 1))
+		}
+		bins := max(len(r.LabelCounts), 1)
+		writeAmplitude(amp[:bins], r.LabelCounts)
+		idx.Observe(i, sk.Sketch(amp[:bins]))
+	}
+	reps := make([][]float64, idx.Len())
+	counts := make([]int, idx.Len())
+	for r := 0; r < idx.Len(); r++ {
+		reps[r] = append([]float64(nil), idx.Rep(r)...)
+		counts[r] = idx.Count(r)
+	}
+	return reps, counts, sk.Dim()
+}
+
+// writeAmplitude fills dst with √p where p is the positive-part
+// normalization of counts, uniform when counts carry no positive mass
+// (mirroring stats.Histogram.Amplitude).
+func writeAmplitude(dst, counts []float64) {
+	total := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total <= 0 {
+		u := math.Sqrt(1 / float64(len(dst)))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		c := 0.0
+		if i < len(counts) && counts[i] > 0 {
+			c = counts[i]
+		}
+		dst[i] = math.Sqrt(c / total)
+	}
+}
+
+// Roster returns the shard's client slice as announced to the root.
+func (a *Agent) Roster() []rounds.ShardClient { return a.roster }
+
+// Close stops the agent: the current root connection is torn down and
+// Run returns after its in-flight exchange (if any) fails.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	a.closed = true
+	conn := a.conn
+	a.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (a *Agent) stopped() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// Run dials the root, performs the Hello/Ack handshake, and serves
+// Cmd/Report exchanges until the root sends Bye (returns nil), Close
+// is called (returns nil), or the root stays unreachable past
+// RedialFor (returns the last error). A broken connection mid-run is
+// redialed with a fresh handshake — the root replays the Ack after
+// validating the roster, so rounds resume transparently.
+func (a *Agent) Run() error {
+	var lastErr error
+	deadline := time.Now().Add(a.cfg.RedialFor)
+	for {
+		if a.stopped() {
+			return nil
+		}
+		conn, err := net.Dial("tcp", a.cfg.Root)
+		if err != nil {
+			lastErr = err
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard %d: root unreachable: %w", a.cfg.ShardID, lastErr)
+			}
+			time.Sleep(a.cfg.RedialEvery)
+			continue
+		}
+		deadline = time.Now().Add(a.cfg.RedialFor)
+		err = a.serve(conn)
+		if err == nil || a.stopped() {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(a.cfg.RedialEvery)
+	}
+}
+
+// serve runs one connected session: handshake, then the Cmd/Report
+// loop. Returns nil only on a clean Bye.
+func (a *Agent) serve(conn net.Conn) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	a.conn = conn
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		if a.conn == conn {
+			a.conn = nil
+		}
+		a.mu.Unlock()
+		conn.Close()
+	}()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	hello := a.hello
+	hello.Sessions = a.cfg.Server.Sessions()
+	if err := enc.Encode(Envelope{Hello: &hello}); err != nil {
+		return fmt.Errorf("shard %d: hello: %w", a.cfg.ShardID, err)
+	}
+	var env Envelope
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("shard %d: await ack: %w", a.cfg.ShardID, err)
+	}
+	if err := env.Check(); err != nil {
+		return err
+	}
+	if env.Bye != nil {
+		return nil
+	}
+	if env.Ack == nil {
+		return protoErr(ErrUnexpectedMessage, a.cfg.ShardID, -1, "expected Ack after Hello")
+	}
+	a.ack = *env.Ack
+	a.acked = true
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return fmt.Errorf("shard %d: receive: %w", a.cfg.ShardID, err)
+		}
+		if err := env.Check(); err != nil {
+			return err
+		}
+		switch {
+		case env.Bye != nil:
+			return nil
+		case env.Cmd != nil:
+			rep := a.exec(env.Cmd)
+			if err := enc.Encode(Envelope{Report: rep}); err != nil {
+				return fmt.Errorf("shard %d: report: %w", a.cfg.ShardID, err)
+			}
+		default:
+			return protoErr(ErrUnexpectedMessage, a.cfg.ShardID, -1, "expected Cmd or Bye")
+		}
+	}
+}
+
+// exec runs one root work order and builds the report.
+func (a *Agent) exec(cmd *Cmd) *Report {
+	if a.ack.Mode == string(rounds.ModeAsync) {
+		return a.execAsync(cmd)
+	}
+	return a.execSync(cmd)
+}
+
+// execSync trains every selected client in parallel through the local
+// flnet server — the exchange completes even for stragglers, exactly
+// like the flat coordinator — then applies the root's deadline
+// arithmetic to split selected into reporters/cut/failed and sums the
+// reporters' updates into the unnormalized partial Σ n_r·w_r.
+func (a *Agent) execSync(cmd *Cmd) *Report {
+	sel := cmd.Selected
+	replies := make([]flnet.TrainReply, len(sel))
+	errs := make([]error, len(sel))
+	var wg sync.WaitGroup
+	for i, id := range sel {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			replies[i], errs[i] = a.cfg.Server.Train(id, cmd.Round, cmd.Params, telemetry.SpanContext{})
+		}(i, id)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		ShardID:    a.cfg.ShardID,
+		Round:      cmd.Round,
+		Sessions:   a.cfg.Server.Sessions(),
+		Reconnects: a.cfg.Server.Reconnects(),
+	}
+	deadline := a.ack.Deadline
+	var partial []float64
+	for i, id := range sel {
+		if errs[i] != nil {
+			rep.Failed = append(rep.Failed, id)
+			continue
+		}
+		lat, known := a.latency[id]
+		if !known {
+			// The root believes we own a client we never saw; report it
+			// failed rather than silently inventing an update.
+			rep.Failed = append(rep.Failed, id)
+			continue
+		}
+		if deadline > 0 && lat > deadline {
+			rep.Cut = append(rep.Cut, id)
+			continue
+		}
+		r := &replies[i]
+		rep.Reporters = append(rep.Reporters, WireResult{
+			ClientID:   id,
+			NumSamples: r.NumSamples,
+			Loss:       r.Loss,
+			Summary:    r.UpdatedLabelCounts,
+			Stats:      r.Stats,
+		})
+		if partial == nil {
+			partial = make([]float64, len(r.Params))
+		}
+		n := float64(r.NumSamples)
+		for j, v := range r.Params {
+			partial[j] += n * v
+		}
+		rep.Samples += r.NumSamples
+	}
+	rep.Partial = partial
+	return rep
+}
+
+// execAsync runs one local buffered cycle: on resync (Params non-nil)
+// the local driver's base is replaced with the root's fresh global,
+// then one AsyncDriver round runs over the shard's clients and the
+// resulting local model delta ships upward with the flushed reporters'
+// metadata.
+func (a *Agent) execAsync(cmd *Cmd) *Report {
+	rep := &Report{
+		ShardID:     a.cfg.ShardID,
+		Round:       cmd.Round,
+		Sessions:    a.cfg.Server.Sessions(),
+		Reconnects:  a.cfg.Server.Reconnects(),
+		BaseVersion: a.baseVersion,
+	}
+	if a.local == nil {
+		// The driver is built on the root's first resync push: the model
+		// dimension arrives with the parameters, and the root always
+		// resyncs on cycle 0, so at most the pre-handshake cycles of a
+		// reconnect report empty.
+		if cmd.Params == nil {
+			return rep
+		}
+		if err := a.buildLocalDriver(len(cmd.Params)); err != nil {
+			return rep
+		}
+	}
+	if cmd.Params != nil {
+		if err := a.local.SetGlobal(cmd.Params); err != nil {
+			// Geometry disagreement with the root; report an empty cycle.
+			rep.LocalClock = a.local.Clock()
+			return rep
+		}
+		a.baseVersion = cmd.Version
+		rep.BaseVersion = cmd.Version
+	}
+	copy(a.prev, a.local.Global())
+	out := a.local.RunRound(a.localRound)
+	a.localRound++
+	rep.LocalClock = a.local.Clock()
+	for _, local := range out.Failed {
+		rep.Failed = append(rep.Failed, a.globalIDs[local])
+	}
+	for _, local := range out.Cut {
+		rep.Cut = append(rep.Cut, a.globalIDs[local])
+	}
+	if !out.Aggregated {
+		return rep
+	}
+	delta := make([]float64, len(a.prev))
+	for i, v := range a.local.Global() {
+		delta[i] = v - a.prev[i]
+	}
+	rep.Partial = delta
+	for i, local := range out.Reporters {
+		last := a.lastResults[local]
+		n := last.samples
+		if n <= 0 {
+			n = 1
+		}
+		rep.Reporters = append(rep.Reporters, WireResult{
+			ClientID:   a.globalIDs[local],
+			NumSamples: n,
+			Loss:       out.Losses[i],
+			Summary:    last.summary,
+			Stats:      last.stats,
+		})
+		rep.Samples += n
+	}
+	return rep
+}
+
+// buildLocalDriver assembles the async local runtime: a dense local
+// index over the shard's global IDs, proxies that train through the
+// local flnet server while capturing per-client metadata for the
+// flush, a derived-seed uniform strategy under the root's θ budget,
+// and the shared buffered async driver over a dim-wide model.
+func (a *Agent) buildLocalDriver(dim int) error {
+	m := len(a.roster)
+	a.globalIDs = make([]int, m)
+	a.lastResults = make([]asyncResult, m)
+	proxies := make([]rounds.Proxy, m)
+	for i, c := range a.roster {
+		a.globalIDs[i] = c.ID
+		proxies[i] = &localProxy{agent: a, local: i, global: c.ID, latency: c.Latency}
+	}
+	budget := a.ack.Budget
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > m {
+		budget = m
+	}
+	cfg := rounds.Config{
+		ClientsPerRound: budget,
+		Tracer:          a.cfg.Tracer,
+		Metrics:         a.cfg.Metrics,
+	}
+	acfg := rounds.AsyncConfig{
+		BufferK:           a.ack.BufferK,
+		StalenessExponent: a.ack.StalenessExponent,
+	}
+	if err := rounds.ValidateAsync(cfg, acfg); err != nil {
+		return fmt.Errorf("shard %d: local async driver: %w", a.cfg.ShardID, err)
+	}
+	seed := stats.DeriveSeed(a.cfg.StrategySeed, uint64(a.cfg.ShardID))
+	a.local = rounds.NewAsyncDriver(cfg, acfg, localTransport{proxies}, newLocalUniform(seed), make([]float64, dim))
+	a.prev = make([]float64, dim)
+	return nil
+}
+
+// localTransport adapts the shard's client sessions to the local async
+// driver.
+type localTransport struct{ proxies []rounds.Proxy }
+
+func (t localTransport) Proxies() []rounds.Proxy { return t.proxies }
+func (t localTransport) Parallelism() int        { return len(t.proxies) }
+
+// localProxy trains one shard-owned client through the flnet server,
+// capturing the reply metadata for the next flush report.
+type localProxy struct {
+	agent   *Agent
+	local   int
+	global  int
+	latency float64
+}
+
+func (p *localProxy) Train(round, worker, slot int, params []float64, sc telemetry.SpanContext) (rounds.Result, error) {
+	reply, err := p.agent.cfg.Server.Train(p.global, round, params, sc)
+	if err != nil {
+		return rounds.Result{}, err
+	}
+	p.agent.lastResults[p.local] = asyncResult{
+		samples: reply.NumSamples,
+		summary: reply.UpdatedLabelCounts,
+		stats:   reply.Stats,
+	}
+	return rounds.Result{
+		ClientID:   p.local,
+		Params:     reply.Params,
+		NumSamples: reply.NumSamples,
+		Loss:       reply.Loss,
+	}, nil
+}
+
+func (p *localProxy) Latency() float64 { return p.latency }
+
+// localUniform is a self-contained uniform sampler (partial
+// Fisher-Yates over the available set) for shard-local async
+// selection; the heterogeneity awareness lives in the root's θ-budget
+// plan, not in the within-shard draw.
+type localUniform struct {
+	rng *stats.RNG
+	ids []int
+}
+
+func newLocalUniform(seed uint64) *localUniform {
+	return &localUniform{rng: stats.NewRNG(seed)}
+}
+
+func (s *localUniform) Select(round int, available []bool, k int) []int {
+	s.ids = s.ids[:0]
+	for i, ok := range available {
+		if ok {
+			s.ids = append(s.ids, i)
+		}
+	}
+	if k > len(s.ids) {
+		k = len(s.ids)
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(len(s.ids)-i)
+		s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	}
+	return append([]int(nil), s.ids[:k]...)
+}
+
+func (s *localUniform) Update(round int, selected []int, losses []float64) {}

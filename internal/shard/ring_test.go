@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministicPlacement checks that placement is a pure
+// function of the shard ID set: rebuilding the ring (a process
+// restart) and permuting the input order reproduce every client's
+// owner exactly.
+func TestRingDeterministicPlacement(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards []int
+		perm   []int
+		vnodes int
+		n      int
+	}{
+		{"four shards", []int{0, 1, 2, 3}, []int{3, 1, 0, 2}, 0, 5000},
+		{"sparse ids", []int{7, 100, 12}, []int{100, 12, 7}, 64, 2000},
+		{"single shard", []int{5}, []int{5}, 16, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewRing(tc.shards, tc.vnodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewRing(tc.perm, tc.vnodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < tc.n; c++ {
+				if a.Owner(c) != b.Owner(c) {
+					t.Fatalf("client %d: owner %d after rebuild, %d before", c, b.Owner(c), a.Owner(c))
+				}
+			}
+			if !reflect.DeepEqual(a.Partition(tc.n), b.Partition(tc.n)) {
+				t.Fatal("Partition disagrees across rebuilds")
+			}
+		})
+	}
+}
+
+// TestRingPartitionCoversRoster checks Partition is a partition: every
+// client appears exactly once, in ascending order within its shard.
+func TestRingPartitionCoversRoster(t *testing.T) {
+	r, err := NewRing([]int{0, 1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	seen := make([]bool, n)
+	for slot, ids := range r.Partition(n) {
+		for i, id := range ids {
+			if id < 0 || id >= n {
+				t.Fatalf("slot %d holds out-of-range client %d", slot, id)
+			}
+			if seen[id] {
+				t.Fatalf("client %d appears twice", id)
+			}
+			seen[id] = true
+			if i > 0 && ids[i-1] >= id {
+				t.Fatalf("slot %d not ascending at %d", slot, i)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("client %d unassigned", id)
+		}
+	}
+}
+
+// TestRingBalance checks no shard ends up pathologically loaded: with
+// default vnodes each of S shards should hold a reasonable fraction of
+// the roster.
+func TestRingBalance(t *testing.T) {
+	const n = 20000
+	for _, s := range []int{2, 4, 8} {
+		ids := make([]int, s)
+		for i := range ids {
+			ids[i] = i
+		}
+		r, err := NewRing(ids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for slot, owned := range r.Partition(n) {
+			frac := float64(len(owned)) / n
+			ideal := 1.0 / float64(s)
+			if frac < ideal/3 || frac > ideal*3 {
+				t.Errorf("S=%d shard %d owns %.3f of the roster (ideal %.3f)", s, slot, frac, ideal)
+			}
+		}
+	}
+}
+
+// TestRingBoundedRemap is the consistent-hashing contract: removing
+// one of S shards moves only the clients that shard owned (everyone
+// else keeps their owner), adding a shard steals clients only for the
+// newcomer, and the stolen fraction is about 1/S.
+func TestRingBoundedRemap(t *testing.T) {
+	const n = 10000
+	cases := []struct {
+		name    string
+		before  []int
+		after   []int
+		changed int // shard appearing/disappearing
+	}{
+		{"remove one of four", []int{0, 1, 2, 3}, []int{0, 1, 3}, 2},
+		{"add a fifth", []int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4}, 4},
+		{"remove one of two", []int{10, 20}, []int{10}, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewRing(tc.before, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewRing(tc.after, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for c := 0; c < n; c++ {
+				oa, ob := a.Owner(c), b.Owner(c)
+				if oa == ob {
+					continue
+				}
+				moved++
+				if oa != tc.changed && ob != tc.changed {
+					t.Fatalf("client %d moved %d -> %d, neither is the changed shard %d", c, oa, ob, tc.changed)
+				}
+			}
+			// The changed shard's arc is ~1/max(S_before, S_after) of the
+			// ring; allow 2x slack for hashing variance.
+			s := len(tc.before)
+			if len(tc.after) > s {
+				s = len(tc.after)
+			}
+			if bound := 2 * n / s; moved > bound {
+				t.Errorf("moved %d clients, want <= %d (~1/%d of %d)", moved, bound, s, n)
+			}
+			if moved == 0 {
+				t.Error("no clients moved; remap test is vacuous")
+			}
+		})
+	}
+}
+
+// TestRingRejectsBadInput exercises the constructor's validation.
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty shard set accepted")
+	}
+	if _, err := NewRing([]int{1, 2, 1}, 0); err == nil {
+		t.Error("duplicate shard ID accepted")
+	}
+	if _, err := NewRing([]int{0, -3}, 0); err == nil {
+		t.Error("negative shard ID accepted")
+	}
+}

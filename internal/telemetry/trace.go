@@ -78,6 +78,23 @@ const (
 	// maximum staleness in the buffer), VirtualSec (the cycle's virtual
 	// duration), Clock.
 	KindAggregateAsync = "aggregate_async"
+	// KindShardReport is one shard's contribution arriving at the root
+	// aggregator: Round, Shard, Clients (the shard's reporters in
+	// selection order), NumSamples (the partial aggregate's total sample
+	// weight), WallSec (the shard round-trip as seen by the root),
+	// Staleness (async: root versions behind at merge time), Clock (the
+	// shard's local virtual clock).
+	KindShardReport = "shard_report"
+	// KindShardMerge closes one hierarchical aggregation at the root:
+	// Round, Fill (shards folded), NumSamples (total sample weight),
+	// WallSec (root aggregation seconds), Clock (root virtual clock
+	// after the merge).
+	KindShardMerge = "shard_merge"
+	// KindShardFailed reports a whole-shard round-trip failure: Round,
+	// Shard, Clients (the shard's selected clients whose updates were
+	// discarded this round; they stay alive, unlike transport-failed
+	// clients).
+	KindShardFailed = "shard_failed"
 	// KindFleetHealth is the per-round fleet registry reading. The
 	// fleet-level record (Cluster -1) carries Fairness (Jain's index
 	// over cumulative selection counts) and Clock; the per-cluster
@@ -99,6 +116,7 @@ type Event struct {
 
 	Cluster int   `json:"cluster"`
 	Client  int   `json:"client"`
+	Shard   int   `json:"shard"`
 	Clients []int `json:"clients,omitempty"`
 
 	// Theta = Rho*Tau + (1-Rho)*ACLShare is the eq. 7 cluster sampling
@@ -156,7 +174,7 @@ type Event struct {
 
 // newEvent returns an event with the index fields neutralized.
 func newEvent(kind string, round int) Event {
-	return Event{Kind: kind, Round: round, Cluster: -1, Client: -1}
+	return Event{Kind: kind, Round: round, Cluster: -1, Client: -1, Shard: -1}
 }
 
 // RoundStart builds a round-opening event.
@@ -328,6 +346,41 @@ func FleetClusterHealth(round, cluster int, share, thetaShare, drift float64) Ev
 	e := newEvent(KindFleetHealth, round)
 	e.Cluster = cluster
 	e.Share, e.Theta, e.Drift = share, thetaShare, drift
+	return e
+}
+
+// ShardReport builds the event for one shard partial landing at the
+// root aggregator. reporters is retained by the event — pass a copy in
+// the shard's selection order. staleness is 0 in sync mode.
+func ShardReport(round, shard int, reporters []int, samples int, wallSec float64, staleness int, shardClock float64) Event {
+	e := newEvent(KindShardReport, round)
+	e.Shard = shard
+	e.Clients = reporters
+	e.NumSamples = samples
+	e.WallSec = wallSec
+	e.Staleness = staleness
+	e.Clock = shardClock
+	return e
+}
+
+// ShardMerge builds the root-side hierarchical aggregation event:
+// shards folded, total sample weight, aggregation wall time, and the
+// root virtual clock after the merge.
+func ShardMerge(round, shards, samples int, wallSec, clock float64) Event {
+	e := newEvent(KindShardMerge, round)
+	e.Fill = shards
+	e.NumSamples = samples
+	e.WallSec = wallSec
+	e.Clock = clock
+	return e
+}
+
+// ShardFailed builds a whole-shard failure event listing the shard's
+// selected clients whose updates were discarded this round.
+func ShardFailed(round, shard int, clients []int) Event {
+	e := newEvent(KindShardFailed, round)
+	e.Shard = shard
+	e.Clients = clients
 	return e
 }
 

@@ -19,6 +19,9 @@ func sampleEvents() []Event {
 		Evaluated(0, 0.31, 2.1, 55.5),
 		Reclustered(-1, 6, 0.002),
 		NetRound(0, []int{11, 4}, 0.01),
+		ShardReport(1, 2, []int{11, 4}, 240, 0.01, 1, 55.5),
+		ShardMerge(1, 4, 960, 0.002, 60),
+		ShardFailed(2, 3, []int{5, 9}),
 	}
 }
 
